@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure/claim of the paper (see the
+per-experiment index in DESIGN.md) and emits a plain-text table both to
+stdout and to ``benchmarks/out/<experiment>.txt`` so EXPERIMENTS.md can
+quote the measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit_table(
+    experiment: str,
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    notes: str = "",
+) -> str:
+    """Format, print, and persist one experiment table."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = [f"== {experiment}: {title} ==", fmt(list(header))]
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(list(row)) for row in rows)
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    text = "\n".join(lines)
+    print("\n" + text)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, f"{experiment}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    return text

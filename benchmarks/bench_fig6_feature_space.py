@@ -1,0 +1,163 @@
+"""Fig. 6 — the F-space remap: social-feature routing in contact networks.
+
+Regenerates: (1) the empirical law the remap rests on (contact
+frequency decays with feature distance, both in the rate model and
+emergently under community mobility); (2) the generalized-hypercube
+routing payoff: F-space-guided forwarding vs direct vs epidemic over
+the same contact traces; (3) node-disjoint multipath counts.
+"""
+
+import numpy as np
+import pytest
+
+from _util import emit_table
+from repro.datasets.human_contacts import mobility_model_trace, rate_model_trace
+from repro.graphs.hypercube import paths_are_node_disjoint
+from repro.remapping.feature_space import (
+    FeatureSpace,
+    contact_frequency_by_feature_distance,
+    simulate_delivery,
+)
+
+RADICES = (2, 2, 3)  # gender x occupation x nationality (the paper's Fig. 6)
+
+
+def test_fig6_contact_frequency_law(once):
+    def experiment():
+        rng = np.random.default_rng(66)
+        trace, profiles = mobility_model_trace(
+            40, RADICES, rng, steps=300, arena_side=24.0
+        )
+        space = FeatureSpace(profiles, RADICES)
+        emergent = contact_frequency_by_feature_distance(
+            trace.to_evolving(1.0), space
+        )
+        trace2, profiles2 = rate_model_trace(
+            40, RADICES, rng, rate0=0.4, decay=0.45, end_time=150.0
+        )
+        space2 = FeatureSpace(profiles2, RADICES)
+        imposed = contact_frequency_by_feature_distance(
+            trace2.to_evolving(1.0), space2
+        )
+        return emergent, imposed
+
+    emergent, imposed = once(experiment)
+    rows = [
+        (d, f"{emergent.get(d, 0.0):.2f}", f"{imposed.get(d, 0.0):.2f}")
+        for d in sorted(set(emergent) | set(imposed))
+    ]
+    emit_table(
+        "fig6-law",
+        "contact frequency vs feature distance",
+        ["feature distance", "community mobility (emergent)", "rate model (imposed)"],
+        rows,
+        notes=(
+            "The empirical law of [21] (INFOCOM06 / Reality Mining): the "
+            "closer the profiles, the more frequent the contacts.  The "
+            "rate model is strictly monotone by construction; community "
+            "mobility reproduces the law emergently — dominant at "
+            "distance 0 (same community), decreasing overall, with some "
+            "noise between intermediate distances from the home-cell "
+            "grid geometry."
+        ),
+    )
+    distances = sorted(imposed)
+    assert all(imposed[a] >= imposed[b] for a, b in zip(distances, distances[1:]))
+    assert emergent[0] == max(emergent.values())
+    assert emergent[0] > 2 * emergent[max(emergent)]
+
+
+def test_fig6_routing_policies(once):
+    def experiment():
+        rng = np.random.default_rng(67)
+        trace, profiles = rate_model_trace(
+            40, RADICES, rng, rate0=0.4, decay=0.45, end_time=150.0
+        )
+        space = FeatureSpace(profiles, RADICES)
+        eg = trace.to_evolving(1.0)
+        nodes = list(profiles)
+        policies = ("direct", "fspace-greedy", "fspace-multipath", "epidemic")
+        stats = {p: {"ok": 0, "delay": [], "copies": []} for p in policies}
+        trials = 0
+        for si in range(6):
+            for ti in range(6, 18):
+                source, target = nodes[si], nodes[ti]
+                trials += 1
+                for policy in policies:
+                    result = simulate_delivery(eg, space, source, target, policy)
+                    if result.delivered:
+                        stats[policy]["ok"] += 1
+                        stats[policy]["delay"].append(result.delivery_time)
+                    stats[policy]["copies"].append(result.copies)
+        return trials, stats
+
+    trials, stats = once(experiment)
+    rows = []
+    for policy, data in stats.items():
+        mean_delay = (
+            f"{sum(data['delay']) / len(data['delay']):.1f}" if data["delay"] else "-"
+        )
+        mean_copies = f"{sum(data['copies']) / len(data['copies']):.1f}"
+        rows.append((policy, f"{data['ok']}/{trials}", mean_delay, mean_copies))
+    emit_table(
+        "fig6-routing",
+        "delivery over contact traces guided by the F-space hypercube",
+        ["policy", "delivered", "mean delay", "mean copies"],
+        rows,
+        notes=(
+            "Shape to reproduce: epidemic is the delay floor at massive "
+            "copy cost; direct is cheap but slow/lossy; F-space greedy "
+            "routing approaches epidemic delivery with a single copy — "
+            "the payoff of remapping M-space onto the hypercube."
+        ),
+    )
+    stats_by = {row[0]: row for row in rows}
+    epidemic_ok = int(stats_by["epidemic"][1].split("/")[0])
+    fspace_ok = int(stats_by["fspace-greedy"][1].split("/")[0])
+    direct_ok = int(stats_by["direct"][1].split("/")[0])
+    assert epidemic_ok >= fspace_ok >= 1
+    assert fspace_ok >= direct_ok * 0.8
+
+
+def test_fig6_multipath_disjointness(once):
+    def experiment():
+        rng = np.random.default_rng(68)
+        _, profiles = rate_model_trace(30, RADICES, rng, end_time=10.0)
+        space = FeatureSpace(profiles, RADICES)
+        nodes = list(profiles)
+        rows = []
+        for target in nodes[1:6]:
+            paths = space.disjoint_profile_paths(nodes[0], target)
+            rows.append(
+                (
+                    str(space.profile_of(nodes[0])),
+                    str(space.profile_of(target)),
+                    len(paths),
+                    paths_are_node_disjoint(paths),
+                )
+            )
+        return rows
+
+    rows = once(experiment)
+    emit_table(
+        "fig6-multipath",
+        "node-disjoint multipath routing in the F-space hypercube",
+        ["source profile", "target profile", "paths", "node-disjoint"],
+        rows,
+        notes="One disjoint path per differing feature, as [21] promises.",
+    )
+    for _, _, count, disjoint in rows:
+        assert disjoint
+
+
+@pytest.mark.parametrize("n", [30, 60])
+def test_fig6_simulation_speed(benchmark, n):
+    rng = np.random.default_rng(69)
+    trace, profiles = rate_model_trace(n, RADICES, rng, end_time=80.0)
+    space = FeatureSpace(profiles, RADICES)
+    eg = trace.to_evolving(1.0)
+    nodes = list(profiles)
+    result = benchmark(
+        simulate_delivery, eg, space, nodes[0], nodes[-1], "fspace-greedy"
+    )
+    assert result.copies == 1

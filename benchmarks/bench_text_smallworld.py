@@ -1,0 +1,106 @@
+"""Text-7 — small-world behaviour in time-varying graphs ([15], Sec. III-B).
+
+Regenerates the Tang-et-al-style analysis the paper points to as the
+route toward time-and-space layered structure: the temporal correlation
+coefficient C and the characteristic temporal path length L of
+socially-driven contact traces, against the time-randomised null model.
+"""
+
+import numpy as np
+import pytest
+
+from _util import emit_table
+from repro.mobility import Arena, CommunityMobility, RandomWaypoint, collect_contact_trace, random_profiles
+from repro.temporal.small_world import (
+    temporal_correlation_coefficient,
+    temporal_small_world_report,
+)
+
+
+def community_eg(seed, n=30, steps=150):
+    rng = np.random.default_rng(seed)
+    profiles = random_profiles(n, (2, 2, 3), rng)
+    mobility = CommunityMobility(profiles, (2, 2, 3), Arena(20, 20), rng)
+    return collect_contact_trace(mobility, steps, radius=2.0).to_evolving(1.0), rng
+
+
+def waypoint_eg(seed, n=30, steps=150):
+    rng = np.random.default_rng(seed)
+    mobility = RandomWaypoint(n, Arena(20, 20), rng, v_min=0.5, v_max=2.0)
+    return collect_contact_trace(mobility, steps, radius=2.0).to_evolving(1.0), rng
+
+
+def test_text7_temporal_small_world_analysis(once):
+    def experiment():
+        rows = []
+        for name, builder in (("community", community_eg), ("waypoint", waypoint_eg)):
+            eg, rng = builder(7)
+            report = temporal_small_world_report(eg, rng, null_samples=3)
+            rows.append(
+                (
+                    name,
+                    f"{report.correlation:.3f}",
+                    f"{report.null_correlation:.3f}",
+                    f"{report.correlation_ratio:.1f}x",
+                    f"{report.path_length:.1f}",
+                    f"{report.null_path_length:.1f}",
+                    f"{report.reachability:.2f}",
+                )
+            )
+        return rows
+
+    rows = once(experiment)
+    emit_table(
+        "text7",
+        "temporal correlation C and temporal path length L vs null model",
+        ["mobility", "C", "C_null", "C ratio", "L", "L_null", "reach"],
+        rows,
+        notes=(
+            "Both mobility-driven traces carry strong temporal "
+            "neighborhood correlation (C >> C_null) — the regular/"
+            "persistent side of the temporal small-world picture of "
+            "[15]; time-shuffling destroys it.  (Waypoint motion is "
+            "also highly correlated step-to-step because trips are "
+            "long and straight; what distinguishes *social* structure "
+            "is the home-attachment sweep in text7-home.)"
+        ),
+    )
+    by = {row[0]: row for row in rows}
+    assert float(by["community"][3].rstrip("x")) > 1.5
+    assert float(by["waypoint"][3].rstrip("x")) > 1.0
+
+
+def test_text7_correlation_vs_home_probability(once):
+    def experiment():
+        rows = []
+        for home_prob in (0.2, 0.5, 0.9):
+            rng = np.random.default_rng(int(home_prob * 100))
+            profiles = random_profiles(24, (2, 2), rng)
+            mobility = CommunityMobility(
+                profiles, (2, 2), Arena(16, 16), rng, home_prob=home_prob
+            )
+            eg = collect_contact_trace(mobility, 120, radius=2.0).to_evolving(1.0)
+            rows.append((home_prob, f"{temporal_correlation_coefficient(eg):.3f}"))
+        return rows
+
+    rows = once(experiment)
+    emit_table(
+        "text7-home",
+        "temporal correlation vs community attachment (home_prob)",
+        ["home_prob", "C"],
+        rows,
+        notes=(
+            "The socially-richer the mobility (stronger home attachment), "
+            "the more persistent the temporal structure — the knob the "
+            "paper's layered time-and-space question turns on."
+        ),
+    )
+    values = [float(row[1]) for row in rows]
+    assert values[-1] > values[0]
+
+
+@pytest.mark.parametrize("n", [20, 40])
+def test_text7_correlation_speed(benchmark, n):
+    eg, _ = community_eg(3, n=n, steps=60)
+    value = benchmark(temporal_correlation_coefficient, eg)
+    assert 0.0 <= value <= 1.0

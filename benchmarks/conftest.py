@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration: local helpers + the `once` fixture."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under the benchmark clock.
+
+    Figure-regeneration experiments are deterministic and often heavy;
+    one timed round is enough, and using the benchmark fixture keeps
+    them in the ``--benchmark-only`` pass that EXPERIMENTS.md documents.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""DTN protocol shoot-out: structure vs replication.
+
+The paper's structures exist to make information dissemination work in
+socially-rich, disruption-tolerant networks.  This walkthrough runs the
+full protocol suite over one synthetic human-contact trace:
+
+* baselines: direct delivery, epidemic flooding, binary spray-and-wait,
+  PRoPHET;
+* the paper's routers: the optimal forwarding-set router of [12]
+  (dynamic trimming, Sec. III-A) and the F-space greedy router of [21]
+  (remapping, Sec. III-C) — both strictly single-copy.
+
+Run:  python examples/dtn_protocol_comparison.py
+"""
+
+import numpy as np
+
+from repro.datasets import rate_model_trace
+from repro.dtn import (
+    DirectDelivery,
+    DTNSimulation,
+    EpidemicRouter,
+    FeatureGreedyRouter,
+    ForwardingSetRouter,
+    MessageSpec,
+    ProphetRouter,
+    SprayAndWait,
+    run_protocol_comparison,
+)
+from repro.remapping import FeatureSpace
+from repro.trimming import optimal_forwarding_sets
+
+RADICES = (2, 2, 3)
+
+
+def main() -> None:
+    rng = np.random.default_rng(51)
+    end_time = 150.0
+    trace, profiles = rate_model_trace(
+        36, RADICES, rng, rate0=0.3, decay=0.5, end_time=end_time
+    )
+    eg = trace.to_evolving(1.0)
+    destination = 35
+    print(
+        f"scenario: {len(profiles)} people, {trace.num_contacts} contacts, "
+        f"destination {destination} {profiles[destination]}"
+    )
+
+    space = FeatureSpace(profiles, RADICES)
+    rates = {
+        pair: count / end_time
+        for pair, count in trace.pair_contact_counts().items()
+    }
+    policy = optimal_forwarding_sets(rates, destination)
+
+    routers = [
+        DirectDelivery(),
+        EpidemicRouter(),
+        SprayAndWait(copies=8),
+        ProphetRouter(),
+        ForwardingSetRouter(policy),
+        FeatureGreedyRouter(space),
+    ]
+    specs = [
+        MessageSpec(f"msg{i}", i, destination, created=0, ttl=120)
+        for i in range(20)
+    ]
+    results = run_protocol_comparison(eg, routers, specs)
+
+    print(f"\n{'protocol':16s} {'delivered':>9s} {'latency':>8s} {'copies':>7s} {'hops':>5s}")
+    for name, stats in results.items():
+        print(
+            f"{name:16s} {stats.delivered:>6d}/{stats.created:<2d} "
+            f"{stats.mean_latency:>8.1f} {stats.mean_copies:>7.1f} "
+            f"{stats.mean_hops:>5.1f}"
+        )
+
+    # Deadline stress: tight TTLs.
+    print("\ndelivery ratio under tight deadlines:")
+    for ttl in (5, 15, 40):
+        row = []
+        for router in (DirectDelivery(), FeatureGreedyRouter(space), EpidemicRouter()):
+            sim = DTNSimulation(eg, router)
+            for i in range(16):
+                sim.add_message(MessageSpec(f"d{i}", i, destination, ttl=ttl))
+            row.append(f"{router.name}: {sim.run().delivery_ratio:.2f}")
+        print(f"  TTL {ttl:>3d}:  " + "   ".join(row))
+
+
+if __name__ == "__main__":
+    main()

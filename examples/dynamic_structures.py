@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Dynamic environments: structures that evolve with the topology.
+
+The paper's Sec. IV-C challenge — "how can we deal with the complexity
+of building a structure along with the change of topology?" — walked
+end to end:
+
+1. maintain a **dynamic MIS** under node churn (O(1) expected flips per
+   update, [30]) instead of recomputing;
+2. repair a **destination-oriented DAG** with link reversal after link
+   breaks instead of rebuilding routes;
+3. watch distributed **Bellman-Ford** reconverge after a failure (the
+   "slow convergence" of dynamic labels);
+4. maintain **temporal reachability incrementally** as contacts stream
+   in (our extension of the same principle).
+
+Run:  python examples/dynamic_structures.py
+"""
+
+import numpy as np
+
+from repro.graphs.generators import random_connected_graph
+from repro.labeling.bellman_ford import (
+    build_routing_network,
+    converge,
+    fail_link_and_reconverge,
+)
+from repro.labeling.mis import DynamicMIS
+from repro.layering.link_reversal import (
+    full_link_reversal,
+    initial_heights,
+    orientation_from_heights,
+)
+from repro.temporal.incremental import IncrementalReachability
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    graph = random_connected_graph(80, 0.04, rng)
+    print(f"network: {graph}")
+
+    # 1. Dynamic MIS under churn.
+    dynamic = DynamicMIS(graph, rng)
+    print(f"\ninitial MIS size: {len(dynamic.mis())}")
+    costs = []
+    nodes = sorted(graph.nodes())
+    for i in range(30):
+        neighbors = [nodes[int(rng.integers(len(nodes)))] for _ in range(3)]
+        costs.append(dynamic.add_node(f"new{i}", set(neighbors)))
+    for i in range(0, 30, 3):
+        costs.append(dynamic.remove_node(f"new{i}"))
+    print(
+        f"40 churn events: mean {np.mean(costs):.2f} membership flips per "
+        f"update (max {max(costs)}); MIS still valid: {dynamic.check_invariant()}"
+    )
+
+    # 2. Link reversal repairs a DAG locally.
+    heights = initial_heights(graph, 0)
+    orientation = orientation_from_heights(graph, heights)
+    victim = next(
+        node for node in graph.nodes()
+        if node != 0
+        and len(orientation.out_neighbors(node)) == 1
+        and graph.degree(node) > 1
+    )
+    broken = graph.copy()
+    broken.remove_edge(victim, next(iter(orientation.out_neighbors(victim))))
+    stale = {node: heights[node] for node in broken.nodes()}
+    repaired_orientation = orientation_from_heights(broken, stale)
+    for a, b in broken.edges():
+        repaired_orientation.orient(a, b, toward=orientation.head(a, b))
+    result = full_link_reversal(
+        broken, 0, orientation=repaired_orientation, heights=stale
+    )
+    print(
+        f"\nlink break at node {victim}: DAG repaired with "
+        f"{result.steps} reversal steps ({result.link_reversals} link flips); "
+        f"destination-oriented: {result.orientation.is_destination_oriented(0)}"
+    )
+
+    # 3. Bellman-Ford reconvergence cost.
+    network = build_routing_network(graph, 0)
+    initial_rounds = converge(network)
+    edge = next(iter(graph.neighbors(0)))
+    repair_rounds = fail_link_and_reconverge(network, 0, edge)
+    print(
+        f"\nBellman-Ford: initial convergence {initial_rounds} rounds; "
+        f"reconvergence after failing (0, {edge}): {repair_rounds} rounds"
+    )
+
+    # 4. Incremental temporal reachability over a live contact stream.
+    engine = IncrementalReachability(source=0)
+    contacts = 0
+    for t in range(60):
+        for _ in range(8):
+            u, v = int(rng.integers(40)), int(rng.integers(40))
+            if u != v:
+                engine.add_contact(u, v, t)
+                contacts += 1
+    print(
+        f"\nstreamed {contacts} contacts: {len(engine.reachable_set())} nodes "
+        f"reachable; only {engine.stats['improvements']} incremental updates "
+        f"were needed (no rebuilds)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Hypercube scenario: safety levels, guided routing, and broadcast.
+
+Reproduces the Sec. IV-C / Fig. 9 pipeline:
+
+1. compute safety levels in a faulty n-D cube (at most n-1 rounds;
+   level-i nodes decided exactly at round i);
+2. route with the self-guided optimal algorithm (no routing tables);
+3. broadcast with safety-prioritised forwarding;
+4. compare the scalar level against the finer binary safety vector.
+
+Run:  python examples/hypercube_fault_tolerance.py
+"""
+
+import numpy as np
+
+from repro.graphs.hypercube import (
+    binary_addresses,
+    format_address,
+    hamming_distance,
+    parse_address,
+)
+from repro.labeling import (
+    compute_safety_levels,
+    compute_safety_vectors,
+    paper_fig9_faults,
+    safety_guided_broadcast,
+    safety_guided_route,
+    vector_guided_route,
+)
+
+
+def main() -> None:
+    # 1. The paper's Fig. 9 instance.
+    n, faults = paper_fig9_faults()
+    safety = compute_safety_levels(n, faults)
+    print(f"4-D cube, faults: {[format_address(f) for f in faults]}")
+    print(f"levels computed in {safety.rounds} rounds (bound: n-1 = {n - 1})")
+    for address in sorted(safety.levels):
+        marker = " (faulty)" if address in safety.faulty else ""
+        print(f"  {format_address(address)}: level {safety.levels[address]}{marker}")
+
+    # 2. The figure's route.
+    route = safety_guided_route(safety, parse_address("1101"), parse_address("0001"))
+    print(
+        "\nroute 1101 -> 0001: "
+        + " -> ".join(format_address(a) for a in route.path)
+        + f"  (optimal: {route.optimal})"
+    )
+
+    # 3. Broadcast from a safe node.
+    safe = next(a for a in binary_addresses(n) if safety.is_safe(a))
+    broadcast = safety_guided_broadcast(safety, safe)
+    print(
+        f"\nbroadcast from safe node {format_address(safe)}: reached "
+        f"{len(broadcast.reached)} healthy nodes in {broadcast.steps} steps"
+    )
+
+    # 4. Levels vs vectors on a denser fault pattern.
+    rng = np.random.default_rng(41)
+    nodes = list(binary_addresses(6))
+    picks = rng.choice(len(nodes), size=10, replace=False)
+    dense_faults = frozenset(nodes[i] for i in picks)
+    levels6 = compute_safety_levels(6, dense_faults)
+    vectors6 = compute_safety_vectors(6, dense_faults)
+    level_pairs = vector_pairs = vector_only = level_only = 0
+    for u in nodes:
+        if u in dense_faults:
+            continue
+        for v in nodes:
+            if v in dense_faults or v == u:
+                continue
+            d = hamming_distance(u, v)
+            by_level = levels6.levels[u] >= d
+            by_vector = vectors6[u][d - 1] == 1
+            level_pairs += by_level
+            vector_pairs += by_vector
+            vector_only += by_vector and not by_level
+            level_only += by_level and not by_vector
+    print(
+        f"\n6-D cube with 10 faults: scalar levels certify {level_pairs} "
+        f"optimal source-destination pairs, binary safety vectors certify "
+        f"{vector_pairs}; the two conditions are incomparable "
+        f"({vector_only} pairs only the vector certifies, {level_only} "
+        f"only the level does) — both are sound, per the tests."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — full reproduction of "Uncovering the Useful Structures of
+Complex Networks in Socially-Rich and Dynamic Environments"
+(Jie Wu, ICDCS 2017).
+
+Subpackages
+-----------
+``repro.graphs``
+    static graph models: adjacency graphs, intersection graphs (unit
+    disk, interval, interval hypergraphs), hypercubes, generators,
+    metrics (Sec. II-A).
+``repro.temporal``
+    time-evolving graphs, journeys, temporal connectivity, contact
+    traces, edge-Markovian dynamics (Sec. II-B).
+``repro.mobility``
+    mobility models and unit-disk contact detection.
+``repro.runtime``
+    the synchronous message-passing engine and view-inconsistency
+    models (Sec. IV).
+``repro.trimming`` / ``repro.layering`` / ``repro.remapping``
+    the three structure-uncovering strategies (Sec. III).
+``repro.labeling``
+    distributed and localized labeling: CDS/MIS/DS, NSF levels,
+    Bellman–Ford, PageRank/HITS, hypercube safety levels (Sec. IV).
+``repro.datasets``
+    synthetic stand-ins for Gnutella and INFOCOM/Reality traces.
+``repro.core``
+    the unified ``trim`` / ``layer`` / ``remap`` API and the
+    :class:`~repro.core.uncover.StructureAnalyzer`.
+"""
+
+from repro.core import (
+    Strategy,
+    Structure,
+    StructureAnalyzer,
+    StructureKind,
+    StructureReport,
+    layer,
+    remap,
+    trim,
+)
+from repro.errors import (
+    AlgorithmError,
+    ConvergenceError,
+    EdgeNotFoundError,
+    GraphClassError,
+    NodeNotFoundError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmError",
+    "ConvergenceError",
+    "EdgeNotFoundError",
+    "GraphClassError",
+    "NodeNotFoundError",
+    "ReproError",
+    "Strategy",
+    "Structure",
+    "StructureAnalyzer",
+    "StructureKind",
+    "StructureReport",
+    "__version__",
+    "layer",
+    "remap",
+    "trim",
+]

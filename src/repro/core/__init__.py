@@ -1,0 +1,42 @@
+"""The paper's primary contribution as a unified API.
+
+``trim`` / ``layer`` / ``remap`` dispatch to the three uncovering
+strategies of Sec. III; :class:`StructureAnalyzer` classifies a network
+against the graph models of Sec. II and reports every structure it
+supports; :mod:`repro.core.properties` provides the global property
+checks that certify a structure is *useful* (connectivity, completion
+times, stretch).
+"""
+
+from repro.core.properties import (
+    contains_spanning_tree,
+    hop_stretch,
+    preserves_completion_times,
+    preserves_connectivity,
+    preserves_hop_counts,
+    preserves_time_i_connectivity,
+)
+from repro.core.structures import (
+    Strategy,
+    Structure,
+    StructureKind,
+    StructureReport,
+)
+from repro.core.uncover import StructureAnalyzer, layer, remap, trim
+
+__all__ = [
+    "Strategy",
+    "Structure",
+    "StructureAnalyzer",
+    "StructureKind",
+    "StructureReport",
+    "contains_spanning_tree",
+    "hop_stretch",
+    "layer",
+    "preserves_completion_times",
+    "preserves_connectivity",
+    "preserves_hop_counts",
+    "preserves_time_i_connectivity",
+    "remap",
+    "trim",
+]

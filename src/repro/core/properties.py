@@ -1,0 +1,147 @@
+"""Global property checks for trimmed/layered/remapped structures.
+
+Sec. III-A: "usually a subgraph maintains several of the global
+properties of the original graph.  Basic properties include
+connectivity and inclusion of a minimum spanning tree or a shortest
+path tree."  These checks are the acceptance criteria the library's
+tests and benchmarks run against every uncovered structure:
+
+* static: connectivity preservation, MST inclusion, hop-distance
+  stretch;
+* temporal: time-i-connectivity preservation and earliest-completion-
+  time preservation under the evolving-graph trimming rule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances, is_connected, minimum_spanning_tree
+from repro.temporal.evolving import EvolvingGraph
+from repro.temporal.journeys import earliest_arrival
+
+Node = Hashable
+
+
+def preserves_connectivity(original: Graph, trimmed: Graph) -> bool:
+    """Connected pairs of the original stay connected after trimming.
+
+    ``trimmed`` may omit nodes (node trimming); only surviving pairs
+    are compared.
+    """
+    for source in trimmed.nodes():
+        original_reach = set(bfs_distances(original, source))
+        trimmed_reach = set(bfs_distances(trimmed, source))
+        survivors = original_reach & set(trimmed.nodes())
+        if not survivors <= trimmed_reach:
+            return False
+    return True
+
+
+def contains_spanning_tree(graph: Graph, subgraph: Graph, weight: str = "weight") -> bool:
+    """Does ``subgraph`` contain *some* minimum spanning tree?
+
+    Checked by total weight: an MST of the subgraph must weigh the same
+    as an MST of the graph (per connected component of equal node set).
+    """
+    if set(subgraph.nodes()) != set(graph.nodes()):
+        return False
+    if not is_connected(graph):
+        return is_connected(subgraph) is is_connected(graph)
+    if not is_connected(subgraph):
+        return False
+    base = minimum_spanning_tree(graph, weight)
+    candidate = minimum_spanning_tree(subgraph, weight)
+
+    def total(tree: Graph) -> float:
+        return sum(tree.edge_attr(u, v, weight, 1.0) for u, v in tree.edges())
+
+    return math.isclose(total(candidate), total(base), rel_tol=1e-9, abs_tol=1e-9)
+
+
+def hop_stretch(original: Graph, trimmed: Graph) -> float:
+    """Worst-case hop-distance stretch over surviving connected pairs.
+
+    inf if some surviving pair got disconnected; 1.0 for perfect
+    preservation.
+    """
+    worst = 1.0
+    for source in trimmed.nodes():
+        base = bfs_distances(original, source)
+        new = bfs_distances(trimmed, source)
+        for target, base_distance in base.items():
+            if target == source or target not in trimmed:
+                continue
+            if base_distance == 0:
+                continue
+            if target not in new:
+                return math.inf
+            worst = max(worst, new[target] / base_distance)
+    return worst
+
+
+# ----------------------------------------------------------------------
+# temporal properties (the trimming rule's guarantees)
+# ----------------------------------------------------------------------
+
+def preserves_time_i_connectivity(
+    original: EvolvingGraph, trimmed: EvolvingGraph, start: int
+) -> bool:
+    """Pairs of surviving nodes connected at ``start`` stay connected."""
+    survivors = set(trimmed.nodes())
+    for source in survivors:
+        original_reach = set(earliest_arrival(original, source, start)) & survivors
+        trimmed_reach = set(earliest_arrival(trimmed, source, start))
+        if not original_reach <= trimmed_reach:
+            return False
+    return True
+
+
+def preserves_completion_times(
+    original: EvolvingGraph,
+    trimmed: EvolvingGraph,
+    start: int = 0,
+) -> bool:
+    """Earliest completion times between surviving nodes do not degrade.
+
+    This is the paper's stated guarantee of the node replacement rule:
+    "in the current rule, the minimum completion time is preserved".
+    """
+    survivors = set(trimmed.nodes())
+    for source in survivors:
+        base = earliest_arrival(original, source, start)
+        new = earliest_arrival(trimmed, source, start)
+        for target, time in base.items():
+            if target not in survivors or target == source:
+                continue
+            if target not in new or new[target] > time:
+                return False
+    return True
+
+
+def preserves_hop_counts(
+    original: EvolvingGraph,
+    trimmed: EvolvingGraph,
+    start: int = 0,
+) -> bool:
+    """Minimum temporal hop counts between survivors do not degrade.
+
+    The guarantee of the hop-bounded refinement (replacement paths with
+    at most one intermediate node).
+    """
+    from repro.temporal.journeys import minimum_hop_journey
+
+    survivors = sorted(trimmed.nodes(), key=repr)
+    for source in survivors:
+        for target in survivors:
+            if source == target:
+                continue
+            base = minimum_hop_journey(original, source, target, start)
+            if base is None:
+                continue
+            new = minimum_hop_journey(trimmed, source, target, start)
+            if new is None or new.hop_count > base.hop_count:
+                return False
+    return True

@@ -1,0 +1,92 @@
+"""The structure abstraction (Sec. I of the paper).
+
+"A structure can be 'logical' like a special property associated with
+a network (e.g., small-world) or 'physical' like a special subnetwork
+(e.g., the backbone in the Internet).  A structure considered in this
+paper is global that spans the whole network."
+
+:class:`Structure` is the uniform result type every uncovering strategy
+returns: a named, typed artifact (the payload is a subgraph, a level
+assignment, an embedding, ...) together with the evidence supporting it
+(preserved properties, measured statistics).  A
+:class:`StructureReport` aggregates the structures uncovered on one
+network by the :class:`~repro.core.uncover.StructureAnalyzer`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class StructureKind(enum.Enum):
+    """The paper's logical/physical dichotomy."""
+
+    LOGICAL = "logical"    # a property spanning the network (small-world, SF, NSF)
+    PHYSICAL = "physical"  # a subnetwork / assignment (backbone, levels, embedding)
+
+
+class Strategy(enum.Enum):
+    """Which of the three uncovering approaches produced a structure."""
+
+    TRIMMING = "trimming"
+    LAYERING = "layering"
+    REMAPPING = "remapping"
+    MODEL = "model"  # graph-model classification (Sec. II), not a strategy per se
+
+
+@dataclass
+class Structure:
+    """One uncovered structure with its supporting evidence."""
+
+    name: str
+    kind: StructureKind
+    strategy: Strategy
+    payload: Any = None
+    evidence: Dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def __repr__(self) -> str:
+        return (
+            f"Structure({self.name!r}, {self.kind.value}, "
+            f"via {self.strategy.value})"
+        )
+
+
+@dataclass
+class StructureReport:
+    """All structures uncovered on one network."""
+
+    network_summary: str
+    structures: List[Structure] = field(default_factory=list)
+
+    def add(self, structure: Structure) -> None:
+        self.structures.append(structure)
+
+    def by_strategy(self, strategy: Strategy) -> List[Structure]:
+        return [s for s in self.structures if s.strategy == strategy]
+
+    def find(self, name: str) -> Optional[Structure]:
+        for structure in self.structures:
+            if structure.name == name:
+                return structure
+        return None
+
+    def names(self) -> List[str]:
+        return [structure.name for structure in self.structures]
+
+    def __len__(self) -> int:
+        return len(self.structures)
+
+    def summary(self) -> str:
+        """A human-readable multi-line report."""
+        lines = [f"network: {self.network_summary}"]
+        for structure in self.structures:
+            lines.append(
+                f"  [{structure.strategy.value:9s}] {structure.name} "
+                f"({structure.kind.value})"
+            )
+            for key, value in structure.evidence.items():
+                lines.append(f"      {key}: {value}")
+        return "\n".join(lines)

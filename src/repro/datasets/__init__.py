@@ -1,0 +1,16 @@
+"""Synthetic stand-ins for the paper's datasets (see DESIGN.md).
+
+Gnutella-like P2P snapshots replace the SNAP Gnutella dataset of
+Fig. 3; feature-driven contact traces replace INFOCOM 2006 / MIT
+Reality Mining for the Sec. III-C remapping experiments.
+"""
+
+from repro.datasets.gnutella import gnutella_largest_scc, gnutella_like_snapshot
+from repro.datasets.human_contacts import mobility_model_trace, rate_model_trace
+
+__all__ = [
+    "gnutella_largest_scc",
+    "gnutella_like_snapshot",
+    "mobility_model_trace",
+    "rate_model_trace",
+]

@@ -1,0 +1,42 @@
+"""DTN routing simulation: the application layer the paper's structures serve.
+
+A contact-trace replay engine with bounded buffers and TTLs
+(:mod:`repro.dtn.simulator`) plus a protocol suite spanning the design
+space (:mod:`repro.dtn.routers`): direct, epidemic, spray-and-wait,
+PRoPHET, the paper's forwarding-set router ([12]) and the F-space
+feature-greedy router ([21]).
+"""
+
+from repro.dtn.routers import (
+    DirectDelivery,
+    EpidemicRouter,
+    FeatureGreedyRouter,
+    ForwardingSetRouter,
+    ProphetRouter,
+    SprayAndWait,
+)
+from repro.dtn.simulator import (
+    Decision,
+    DeliveryStats,
+    DTNSimulation,
+    MessageSpec,
+    MessageState,
+    Router,
+    run_protocol_comparison,
+)
+
+__all__ = [
+    "DTNSimulation",
+    "Decision",
+    "DeliveryStats",
+    "DirectDelivery",
+    "EpidemicRouter",
+    "FeatureGreedyRouter",
+    "ForwardingSetRouter",
+    "MessageSpec",
+    "MessageState",
+    "ProphetRouter",
+    "Router",
+    "SprayAndWait",
+    "run_protocol_comparison",
+]

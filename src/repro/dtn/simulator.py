@@ -1,0 +1,250 @@
+"""A DTN message-routing simulator over contact traces.
+
+The paper's structures all serve one application family — information
+dissemination in disruption-tolerant, socially-rich networks.  This
+simulator is the unified evaluation substrate: it replays a contact
+trace (an :class:`~repro.temporal.evolving.EvolvingGraph` or a
+continuous :class:`~repro.temporal.contacts.ContactTrace`), carries
+messages with TTLs through per-node buffers, and delegates every
+forwarding decision to a pluggable :class:`Router` (see
+:mod:`repro.dtn.routers` for the protocol suite).
+
+Semantics
+---------
+* contacts are processed in time order; within one time unit a message
+  may traverse several contacts (non-decreasing labels, matching
+  :mod:`repro.temporal.journeys`);
+* on a contact (u, v), each direction is offered: for every message
+  held by u and not by v (and vice versa), the router decides
+  :class:`Decision` — carry, replicate, or hand over;
+* buffers are bounded (optional): a node with a full buffer drops the
+  oldest message (FIFO), a standard DTN policy;
+* metrics: delivery ratio, mean/percentile latency, transmission
+  overhead (copies made per delivered message), and hop counts.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.temporal.evolving import EvolvingGraph
+
+Node = Hashable
+
+
+class Decision(enum.Enum):
+    """A router's verdict for one (message, contact) encounter."""
+
+    CARRY = "carry"          # do nothing; holder keeps the message
+    REPLICATE = "replicate"  # copy to the peer; holder keeps it too
+    HANDOVER = "handover"    # give to the peer; holder drops it
+
+
+@dataclass
+class MessageSpec:
+    """One message to be routed."""
+
+    identifier: str
+    source: Node
+    destination: Node
+    created: int = 0
+    ttl: Optional[int] = None  # time units after creation; None = forever
+
+
+@dataclass
+class MessageState:
+    """Mutable per-message simulation state."""
+
+    spec: MessageSpec
+    holders: Set[Node] = field(default_factory=set)
+    copies_made: int = 0
+    hops: int = 0
+    delivered_at: Optional[int] = None
+    # Router-private annotations, e.g. remaining copy budgets.
+    annotations: Dict = field(default_factory=dict)
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_at is not None
+
+    def expired(self, now: int) -> bool:
+        ttl = self.spec.ttl
+        return ttl is not None and now > self.spec.created + ttl
+
+
+class Router:
+    """Base class: per-protocol forwarding policy.
+
+    Override :meth:`decide`; optionally :meth:`on_create` (initialise
+    annotations, e.g. copy budgets) and :meth:`on_contact` (maintain
+    protocol state such as PRoPHET predictabilities — called for every
+    contact whether or not messages move).
+    """
+
+    name = "base"
+
+    def on_create(self, message: MessageState) -> None:  # pragma: no cover
+        """Initialise router-private message annotations."""
+
+    def on_contact(self, u: Node, v: Node, time: int) -> None:
+        """Observe a contact (for routers that learn from encounters)."""
+
+    def decide(
+        self, message: MessageState, holder: Node, peer: Node, time: int
+    ) -> Decision:
+        raise NotImplementedError
+
+
+@dataclass
+class DeliveryStats:
+    """Aggregated outcome of one simulation run."""
+
+    created: int
+    delivered: int
+    latencies: List[int]
+    copies: List[int]
+    hops: List[int]
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.created if self.created else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else math.inf
+
+    @property
+    def mean_copies(self) -> float:
+        return sum(self.copies) / len(self.copies) if self.copies else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        return sum(self.hops) / len(self.hops) if self.hops else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies:
+            return math.inf
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return float(ordered[index])
+
+
+class DTNSimulation:
+    """Replay a contact trace, routing a batch of messages."""
+
+    def __init__(
+        self,
+        eg: EvolvingGraph,
+        router: Router,
+        buffer_size: Optional[int] = None,
+    ) -> None:
+        if buffer_size is not None and buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        self.eg = eg
+        self.router = router
+        self.buffer_size = buffer_size
+        self.messages: Dict[str, MessageState] = {}
+        # Per-node FIFO buffers: message identifiers in arrival order.
+        self._buffers: Dict[Node, List[str]] = {node: [] for node in eg.nodes()}
+
+    # ------------------------------------------------------------------
+    def add_message(self, spec: MessageSpec) -> MessageState:
+        if spec.identifier in self.messages:
+            raise ValueError(f"duplicate message id {spec.identifier!r}")
+        if not self.eg.has_node(spec.source) or not self.eg.has_node(spec.destination):
+            raise ValueError("source/destination not in the trace")
+        state = MessageState(spec=spec, holders={spec.source})
+        self.router.on_create(state)
+        self.messages[spec.identifier] = state
+        self._buffer_add(spec.source, spec.identifier)
+        if spec.source == spec.destination:
+            state.delivered_at = spec.created
+        return state
+
+    def _buffer_add(self, node: Node, identifier: str) -> None:
+        buffer = self._buffers[node]
+        if identifier in buffer:
+            return
+        buffer.append(identifier)
+        if self.buffer_size is not None and len(buffer) > self.buffer_size:
+            evicted = buffer.pop(0)
+            self.messages[evicted].holders.discard(node)
+
+    def _buffer_remove(self, node: Node, identifier: str) -> None:
+        buffer = self._buffers[node]
+        if identifier in buffer:
+            buffer.remove(identifier)
+
+    # ------------------------------------------------------------------
+    def run(self) -> DeliveryStats:
+        """Process the whole trace; returns aggregate statistics."""
+        for time, u, v in self.eg.all_contacts():
+            self.router.on_contact(u, v, time)
+            self._exchange(u, v, time)
+            self._exchange(v, u, time)
+        return self.stats()
+
+    def _exchange(self, holder: Node, peer: Node, time: int) -> None:
+        for identifier in list(self._buffers[holder]):
+            message = self.messages[identifier]
+            if message.delivered or message.expired(time):
+                continue
+            if time < message.spec.created:
+                continue
+            if holder not in message.holders or peer in message.holders:
+                continue
+            if peer == message.spec.destination:
+                message.delivered_at = time
+                message.hops += 1
+                continue
+            decision = self.router.decide(message, holder, peer, time)
+            if decision is Decision.CARRY:
+                continue
+            message.holders.add(peer)
+            message.copies_made += decision is Decision.REPLICATE
+            message.hops += 1
+            self._buffer_add(peer, identifier)
+            if decision is Decision.HANDOVER:
+                message.holders.discard(holder)
+                self._buffer_remove(holder, identifier)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> DeliveryStats:
+        created = len(self.messages)
+        delivered = [m for m in self.messages.values() if m.delivered]
+        return DeliveryStats(
+            created=created,
+            delivered=len(delivered),
+            latencies=[
+                m.delivered_at - m.spec.created for m in delivered
+            ],
+            copies=[m.copies_made + 1 for m in self.messages.values()],
+            hops=[m.hops for m in delivered],
+        )
+
+
+def run_protocol_comparison(
+    eg: EvolvingGraph,
+    routers: Sequence[Router],
+    specs: Sequence[MessageSpec],
+    buffer_size: Optional[int] = None,
+) -> Dict[str, DeliveryStats]:
+    """Run the same message batch under each router; name → stats."""
+    results: Dict[str, DeliveryStats] = {}
+    for router in routers:
+        simulation = DTNSimulation(eg, router, buffer_size=buffer_size)
+        for spec in specs:
+            simulation.add_message(
+                MessageSpec(
+                    identifier=spec.identifier,
+                    source=spec.source,
+                    destination=spec.destination,
+                    created=spec.created,
+                    ttl=spec.ttl,
+                )
+            )
+        results[router.name] = simulation.run()
+    return results

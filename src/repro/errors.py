@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle all library failures.  The narrower
+subclasses communicate *which contract* was violated: an unknown node, an
+edge that does not exist, a graph that does not belong to the required
+class (e.g. a non-chordal graph passed to an interval-graph routine), or
+an algorithm invoked outside its domain of validity.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class NodeNotFoundError(ReproError, KeyError):
+    """A node referenced by the caller is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(ReproError, KeyError):
+    """An edge referenced by the caller is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class GraphClassError(ReproError, ValueError):
+    """The graph does not belong to the graph class an algorithm needs.
+
+    Raised, for instance, when an interval-graph routine is handed a
+    graph that is not chordal, or when a destination-oriented DAG is
+    required but the orientation has a cycle.
+    """
+
+
+class AlgorithmError(ReproError, RuntimeError):
+    """An algorithm was invoked outside its domain of validity.
+
+    Examples: routing to an unreachable destination when the caller
+    required delivery, or a distributed process that failed to converge
+    within the permitted number of rounds.
+    """
+
+
+class ConvergenceError(AlgorithmError):
+    """An iterative process exceeded its round/iteration budget."""
+
+    def __init__(self, what: str, rounds: int) -> None:
+        super().__init__(f"{what} did not converge within {rounds} rounds")
+        self.rounds = rounds

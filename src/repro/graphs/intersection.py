@@ -1,0 +1,78 @@
+"""Generic intersection graphs (Sec. II-A).
+
+An intersection graph is formed from a family of sets ``S_i`` by creating
+one vertex per set and connecting ``v_i`` and ``v_j`` whenever
+``S_i ∩ S_j ≠ ∅``.  Unit disk graphs (vicinity in space) and interval
+graphs (vicinity in time) are the two special cases the paper builds on;
+this module provides the general construction they specialise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Mapping, Optional, Set
+
+from repro.graphs.graph import Graph
+
+Name = Hashable
+
+
+def intersection_graph(
+    families: Mapping[Name, Iterable[Hashable]],
+) -> Graph:
+    """Build the intersection graph of finite set families.
+
+    ``families`` maps a vertex name to the (finite, hashable-element)
+    set it represents.  Vertices are connected iff their sets share an
+    element.  Runs in time proportional to the total number of
+    (element, vertex) incidences plus output edges, via an
+    element → vertices inverted index.
+
+    >>> g = intersection_graph({"a": {1, 2}, "b": {2, 3}, "c": {4}})
+    >>> g.has_edge("a", "b"), g.has_edge("a", "c")
+    (True, False)
+    """
+    graph = Graph()
+    by_element: Dict[Hashable, Set[Name]] = {}
+    for name, members in families.items():
+        graph.add_node(name)
+        for element in members:
+            by_element.setdefault(element, set()).add(name)
+    for owners in by_element.values():
+        owner_list = sorted(owners, key=repr)
+        for i, u in enumerate(owner_list):
+            for v in owner_list[i + 1 :]:
+                if not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+    return graph
+
+
+def intersection_graph_by_predicate(
+    names: Iterable[Name],
+    intersects: Callable[[Name, Name], bool],
+) -> Graph:
+    """Build an intersection graph from a pairwise intersection test.
+
+    This is the fallback for *infinite* sets (disks, intervals on the
+    real line) where enumeration is impossible: ``intersects(u, v)``
+    must return True iff ``S_u ∩ S_v ≠ ∅``.  O(n²) pair tests; the
+    specialised builders in :mod:`repro.graphs.unit_disk` and
+    :mod:`repro.graphs.interval` are asymptotically faster.
+    """
+    graph = Graph()
+    name_list = list(names)
+    for name in name_list:
+        graph.add_node(name)
+    for i, u in enumerate(name_list):
+        for v in name_list[i + 1 :]:
+            if u != v and intersects(u, v):
+                graph.add_edge(u, v)
+    return graph
+
+
+def common_elements(
+    families: Mapping[Name, Iterable[Hashable]],
+    u: Name,
+    v: Name,
+) -> Set[Hashable]:
+    """The witnesses ``S_u ∩ S_v`` certifying an intersection edge."""
+    return set(families[u]) & set(families[v])

@@ -1,0 +1,422 @@
+"""Interval graphs: vicinity in time (Sec. II-A, Fig. 1).
+
+An interval graph is the intersection graph of a family of intervals on
+the real line.  When an interval is a user's online session, the
+interval graph models an *online social network*: two users are joined
+iff they were online simultaneously.  The paper uses three facts this
+module implements and tests:
+
+* every interval graph is chordal — time is linear, not circular, so a
+  chordless cycle of length ≥ 4 is impossible;
+* a user online several times yields a *multiple-interval graph*;
+* recognition: a graph is an interval graph iff it is chordal and its
+  maximal cliques admit a consecutive linear arrangement
+  (Fulkerson–Gross).
+
+Chordality is decided with Lex-BFS + perfect-elimination-ordering
+verification (linear time); the consecutive-clique arrangement uses a
+pruned backtracking search, exact and fast for the clique counts that
+arise in tests and benchmarks (chordal graphs have ≤ n maximal cliques).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import GraphClassError
+from repro.graphs.graph import Graph
+
+Node = Hashable
+Interval = Tuple[float, float]
+
+INTERVALS_ATTR = "intervals"
+
+
+def _validate_interval(interval: Interval) -> Interval:
+    left, right = float(interval[0]), float(interval[1])
+    if left > right:
+        raise ValueError(f"interval has left > right: ({left}, {right})")
+    return (left, right)
+
+
+def intervals_overlap(a: Interval, b: Interval) -> bool:
+    """Closed-interval intersection test."""
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+def interval_graph(intervals: Mapping[Node, Interval]) -> Graph:
+    """The interval graph of one closed interval per vertex.
+
+    A sweep over sorted endpoints keeps the active set, so the cost is
+    O(n log n + m).  Each node stores its interval list in the
+    ``"intervals"`` attribute.
+
+    >>> g = interval_graph({"A": (0, 2), "B": (1, 3), "C": (5, 6)})
+    >>> g.has_edge("A", "B"), g.has_edge("B", "C")
+    (True, False)
+    """
+    return multiple_interval_graph(
+        {node: [interval] for node, interval in intervals.items()}
+    )
+
+
+def multiple_interval_graph(
+    intervals: Mapping[Node, Iterable[Interval]],
+) -> Graph:
+    """The multiple-interval graph: each vertex owns ≥ 0 intervals.
+
+    Two vertices are adjacent iff *any* of their intervals overlap —
+    the model of an online social network where each user logs on
+    multiple times (Sec. II-A).
+    """
+    graph = Graph()
+    events: List[Tuple[float, int, Node, Interval]] = []
+    for node, node_intervals in intervals.items():
+        checked = [_validate_interval(iv) for iv in node_intervals]
+        graph.add_node(node, **{INTERVALS_ATTR: checked})
+        for iv in checked:
+            # Starts sort before ends at the same coordinate so touching
+            # closed intervals count as overlapping.
+            events.append((iv[0], 0, node, iv))
+            events.append((iv[1], 1, node, iv))
+    events.sort(key=lambda e: (e[0], e[1], repr(e[2])))
+
+    active: Dict[Node, int] = {}
+    for _, kind, node, _interval in events:
+        if kind == 0:
+            for other in active:
+                if other != node and not graph.has_edge(node, other):
+                    graph.add_edge(node, other)
+            active[node] = active.get(node, 0) + 1
+        else:
+            active[node] -= 1
+            if active[node] == 0:
+                del active[node]
+    return graph
+
+
+def nodes_online_at(intervals: Mapping[Node, Iterable[Interval]], t: float) -> Set[Node]:
+    """All vertices with an interval covering time ``t``."""
+    online: Set[Node] = set()
+    for node, node_intervals in intervals.items():
+        for left, right in node_intervals:
+            if left <= t <= right:
+                online.add(node)
+                break
+    return online
+
+
+# ----------------------------------------------------------------------
+# Lex-BFS and chordality
+# ----------------------------------------------------------------------
+
+def lex_bfs(graph: Graph) -> List[Node]:
+    """A lexicographic breadth-first search ordering.
+
+    Implemented by partition refinement over a list of buckets; O(n + m)
+    up to set bookkeeping.  The *reverse* of this ordering is a perfect
+    elimination ordering iff the graph is chordal.
+    """
+    remaining = sorted(graph.nodes(), key=repr)
+    if not remaining:
+        return []
+    buckets: List[List[Node]] = [list(remaining)]
+    order: List[Node] = []
+    while buckets:
+        node = buckets[0].pop(0)
+        if not buckets[0]:
+            buckets.pop(0)
+        order.append(node)
+        neighbors = graph.neighbors(node)
+        new_buckets: List[List[Node]] = []
+        for bucket in buckets:
+            inside = [x for x in bucket if x in neighbors]
+            outside = [x for x in bucket if x not in neighbors]
+            if inside:
+                new_buckets.append(inside)
+            if outside:
+                new_buckets.append(outside)
+        buckets = new_buckets
+    return order
+
+
+def is_perfect_elimination_ordering(graph: Graph, order: Sequence[Node]) -> bool:
+    """Check the PEO property: later neighbors of each vertex form a clique.
+
+    Uses the standard single-witness test: for each vertex v, among the
+    neighbors appearing after v in ``order``, the earliest one must be
+    adjacent to all the others.
+    """
+    position = {node: i for i, node in enumerate(order)}
+    if len(position) != graph.num_nodes:
+        raise ValueError("order must be a permutation of the graph's nodes")
+    for v in order:
+        later = [u for u in graph.neighbors(v) if position[u] > position[v]]
+        if not later:
+            continue
+        pivot = min(later, key=lambda u: position[u])
+        pivot_neighbors = graph.neighbors(pivot)
+        for u in later:
+            if u != pivot and u not in pivot_neighbors:
+                return False
+    return True
+
+
+def perfect_elimination_ordering(graph: Graph) -> Optional[List[Node]]:
+    """A PEO if the graph is chordal, else ``None``."""
+    order = list(reversed(lex_bfs(graph)))
+    if is_perfect_elimination_ordering(graph, order):
+        return order
+    return None
+
+
+def is_chordal(graph: Graph) -> bool:
+    """True iff every cycle of length ≥ 4 has a chord."""
+    return perfect_elimination_ordering(graph) is not None
+
+
+def find_chordless_cycle(graph: Graph, min_length: int = 4) -> Optional[List[Node]]:
+    """A chordless (induced) cycle of length ≥ ``min_length``, or ``None``.
+
+    Exponential in the worst case, used as a certificate generator in
+    tests; real decisions should go through :func:`is_chordal`.
+    """
+    nodes = sorted(graph.nodes(), key=repr)
+
+    def extend(path: List[Node], banned: Set[Node]) -> Optional[List[Node]]:
+        tail = path[-1]
+        start = path[0]
+        for nxt in sorted(graph.neighbors(tail), key=repr):
+            if nxt == start and len(path) >= min_length:
+                # Induced check: no chords among path vertices.
+                ok = True
+                for i, a in enumerate(path):
+                    for b in path[i + 2 :]:
+                        if (a, b) != (path[0], path[-1]) and graph.has_edge(a, b):
+                            ok = False
+                            break
+                    if not ok:
+                        break
+                if ok:
+                    return list(path)
+            if nxt in banned or nxt in path:
+                continue
+            # Keep the path induced: nxt may only touch the tail.
+            if any(graph.has_edge(nxt, p) for p in path[:-1] if p != start):
+                continue
+            found = extend(path + [nxt], banned)
+            if found:
+                return found
+        return None
+
+    banned: Set[Node] = set()
+    for start in nodes:
+        found = extend([start], banned)
+        if found:
+            return found
+        banned.add(start)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Maximal cliques and interval recognition (Fulkerson–Gross)
+# ----------------------------------------------------------------------
+
+def maximal_cliques_chordal(graph: Graph) -> List[FrozenSet[Node]]:
+    """Maximal cliques of a chordal graph via its PEO (≤ n cliques).
+
+    Raises :class:`GraphClassError` if the graph is not chordal.
+    """
+    order = perfect_elimination_ordering(graph)
+    if order is None:
+        raise GraphClassError("graph is not chordal")
+    position = {node: i for i, node in enumerate(order)}
+    candidates: List[FrozenSet[Node]] = []
+    for v in order:
+        later = {u for u in graph.neighbors(v) if position[u] > position[v]}
+        candidates.append(frozenset(later | {v}))
+    # Keep only maximal ones.
+    candidates.sort(key=len, reverse=True)
+    maximal: List[FrozenSet[Node]] = []
+    for clique in candidates:
+        if not any(clique < other for other in maximal):
+            if clique not in maximal:
+                maximal.append(clique)
+    return maximal
+
+
+def consecutive_clique_arrangement(
+    cliques: Sequence[FrozenSet[Node]],
+) -> Optional[List[FrozenSet[Node]]]:
+    """Order cliques so each vertex's cliques are consecutive, or ``None``.
+
+    This is the consecutive-ones property on the clique–vertex incidence
+    matrix, decided by pruned backtracking: a partial order is viable
+    only if every vertex whose clique-run has started and stopped never
+    reappears.  Exact; exponential only in pathological clique counts.
+    """
+    clique_list = list(cliques)
+    k = len(clique_list)
+    if k <= 2:
+        return clique_list
+
+    vertex_cliques: Dict[Node, Set[int]] = {}
+    for index, clique in enumerate(clique_list):
+        for v in clique:
+            vertex_cliques.setdefault(v, set()).add(index)
+
+    def viable(sequence: List[int], used: Set[int]) -> bool:
+        if len(sequence) < 2:
+            return True
+        # Any vertex of the newly placed clique that already appeared
+        # earlier must also be in the immediately preceding clique,
+        # otherwise its run of consecutive cliques would be broken.
+        last = clique_list[sequence[-1]]
+        for v in last:
+            placed = vertex_cliques[v] & used
+            if placed - {sequence[-1]} and sequence[-2] not in vertex_cliques[v]:
+                return False
+        return True
+
+    def backtrack(sequence: List[int], used: Set[int]) -> Optional[List[int]]:
+        if len(sequence) == k:
+            return sequence
+        for index in range(k):
+            if index in used:
+                continue
+            sequence.append(index)
+            used.add(index)
+            if viable(sequence, used):
+                found = backtrack(sequence, used)
+                if found is not None:
+                    return found
+            sequence.pop()
+            used.discard(index)
+        return None
+
+    result = backtrack([], set())
+    if result is None:
+        return None
+    return [clique_list[i] for i in result]
+
+
+def _components_avoiding(graph: Graph, x: Node) -> Dict[Node, int]:
+    """Component id of every vertex of G − N[x] (vertices of N[x] absent)."""
+    banned = graph.closed_neighbors(x)
+    component: Dict[Node, int] = {}
+    next_id = 0
+    for start in graph.nodes():
+        if start in banned or start in component:
+            continue
+        component[start] = next_id
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in graph.neighbors(node):
+                if neighbor not in banned and neighbor not in component:
+                    component[neighbor] = next_id
+                    frontier.append(neighbor)
+        next_id += 1
+    return component
+
+
+def find_asteroidal_triple(graph: Graph) -> Optional[Tuple[Node, Node, Node]]:
+    """An asteroidal triple, or ``None`` if the graph is AT-free.
+
+    An AT is three pairwise non-adjacent vertices such that every pair
+    is joined by a path avoiding the closed neighborhood of the third.
+    O(n·(n+m) + n³) via per-vertex component maps.
+    """
+    nodes = sorted(graph.nodes(), key=repr)
+    components = {x: _components_avoiding(graph, x) for x in nodes}
+
+    def connected_avoiding(a: Node, b: Node, x: Node) -> bool:
+        comp = components[x]
+        return a in comp and b in comp and comp[a] == comp[b]
+
+    n = len(nodes)
+    for i in range(n):
+        u = nodes[i]
+        for j in range(i + 1, n):
+            v = nodes[j]
+            if graph.has_edge(u, v):
+                continue
+            for k in range(j + 1, n):
+                w = nodes[k]
+                if graph.has_edge(u, w) or graph.has_edge(v, w):
+                    continue
+                if (
+                    connected_avoiding(u, v, w)
+                    and connected_avoiding(u, w, v)
+                    and connected_avoiding(v, w, u)
+                ):
+                    return (u, v, w)
+    return None
+
+
+def is_at_free(graph: Graph) -> bool:
+    """True iff the graph has no asteroidal triple."""
+    return find_asteroidal_triple(graph) is None
+
+
+def is_interval_graph(graph: Graph) -> bool:
+    """Lekkerkerker–Boland: interval ⟺ chordal ∧ asteroidal-triple-free.
+
+    Polynomial, unlike the consecutive-clique backtracking (which is
+    retained only to *construct* representations of small graphs).
+    """
+    return is_chordal(graph) and is_at_free(graph)
+
+
+def interval_representation(
+    graph: Graph, max_cliques: int = 25
+) -> Optional[Dict[Node, Interval]]:
+    """An explicit interval model of the graph, or ``None``.
+
+    Built from the consecutive clique arrangement: vertex v gets the
+    interval spanning the positions of the cliques containing it.  The
+    arrangement search backtracks (exponential in pathological cases),
+    so graphs with more than ``max_cliques`` maximal cliques are
+    rejected — use :func:`is_interval_graph` for pure recognition.
+    """
+    if not is_chordal(graph):
+        return None
+    if len(maximal_cliques_chordal(graph)) > max_cliques:
+        raise GraphClassError(
+            f"representation construction limited to {max_cliques} maximal "
+            "cliques; use is_interval_graph for recognition"
+        )
+    cliques = maximal_cliques_chordal(graph)
+    arrangement = consecutive_clique_arrangement(cliques)
+    if arrangement is None:
+        return None
+    representation: Dict[Node, Interval] = {}
+    for node in graph.nodes():
+        positions = [i for i, clique in enumerate(arrangement) if node in clique]
+        if not positions:
+            # Isolated vertex: belongs to the singleton clique {v}.
+            representation[node] = (0.0, 0.0)
+            continue
+        representation[node] = (float(min(positions)), float(max(positions)))
+    return representation
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle C_n — for n ≥ 4 the paper's non-interval witness."""
+    if n < 3:
+        raise ValueError(f"a cycle needs at least 3 nodes, got {n}")
+    graph = Graph()
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n)
+    return graph

@@ -1,0 +1,134 @@
+"""Unit disk graphs: vicinity in space (Sec. II-A).
+
+A unit disk graph (UDG) is the intersection graph of equal-radius disks
+in the plane: nodes are points, and an edge exists whenever two points
+lie within the communication radius of each other.  UDGs model sensor
+networks, MANETs and VANETs throughout the paper: topology control
+(Sec. III-A), greedy geographic routing (Sec. III-C) and the CDS/MIS
+labeling schemes with their UDG-specific bounds (Sec. IV-A) all run on
+them.
+
+The builder uses a uniform grid bucketing of side ``radius`` so that
+construction is near-linear for bounded-density deployments instead of
+the naive O(n²).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
+
+from repro.graphs.graph import Graph
+
+Node = Hashable
+Point = Tuple[float, float]
+
+POSITION_ATTR = "pos"
+
+
+def euclidean(p: Point, q: Point) -> float:
+    """Euclidean distance between two points in the plane."""
+    return math.hypot(p[0] - q[0], p[1] - q[1])
+
+
+def unit_disk_graph(positions: Mapping[Node, Point], radius: float = 1.0) -> Graph:
+    """Build the UDG of ``positions`` with communication ``radius``.
+
+    Each node carries its position in the ``"pos"`` node attribute so
+    geographic algorithms (greedy routing, Gabriel/RNG trimming) can
+    read it back without a side table.
+
+    >>> g = unit_disk_graph({"a": (0, 0), "b": (0.5, 0), "c": (3, 0)})
+    >>> g.has_edge("a", "b"), g.has_edge("a", "c")
+    (True, False)
+    """
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    graph = Graph()
+    buckets: Dict[Tuple[int, int], List[Node]] = {}
+    for node, point in positions.items():
+        graph.add_node(node, **{POSITION_ATTR: (float(point[0]), float(point[1]))})
+        cell = (int(math.floor(point[0] / radius)), int(math.floor(point[1] / radius)))
+        buckets.setdefault(cell, []).append(node)
+
+    for (cx, cy), members in buckets.items():
+        # Pair nodes within the cell.
+        for i, u in enumerate(members):
+            pu = positions[u]
+            for v in members[i + 1 :]:
+                if euclidean(pu, positions[v]) <= radius:
+                    graph.add_edge(u, v)
+        # Pair against half of the 8 neighbouring cells to avoid duplicates.
+        for dx, dy in ((1, 0), (1, 1), (0, 1), (-1, 1)):
+            other = buckets.get((cx + dx, cy + dy))
+            if not other:
+                continue
+            for u in members:
+                pu = positions[u]
+                for v in other:
+                    if euclidean(pu, positions[v]) <= radius:
+                        graph.add_edge(u, v)
+    return graph
+
+
+def positions_of(graph: Graph) -> Dict[Node, Point]:
+    """Recover the position table from a UDG built by this module."""
+    table: Dict[Node, Point] = {}
+    for node in graph.nodes():
+        pos = graph.node_attr(node, POSITION_ATTR)
+        if pos is None:
+            raise ValueError(f"node {node!r} has no {POSITION_ATTR!r} attribute")
+        table[node] = pos
+    return table
+
+
+def is_unit_disk_realization(
+    graph: Graph, positions: Mapping[Node, Point], radius: float = 1.0
+) -> bool:
+    """Check that ``positions`` realises ``graph`` as a UDG.
+
+    True iff every edge joins points within ``radius`` and every
+    non-edge joins points strictly farther than ``radius``.
+    """
+    nodes = list(graph.nodes())
+    for node in nodes:
+        if node not in positions:
+            return False
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            within = euclidean(positions[u], positions[v]) <= radius
+            if within != graph.has_edge(u, v):
+                return False
+    return True
+
+
+def star_k16() -> Graph:
+    """The star K_{1,6}: the paper's witness that not every graph is a UDG.
+
+    One centre with six leaves; in any unit-disk realization two of the
+    six leaves would fall within unit distance of each other, creating
+    an edge the star does not have.
+    """
+    star = Graph()
+    for leaf in range(1, 7):
+        star.add_edge("center", f"leaf{leaf}")
+    return star
+
+
+def random_points(
+    n: int, width: float, height: float, rng
+) -> Dict[int, Point]:
+    """``n`` uniform points in ``[0, width] × [0, height]``.
+
+    ``rng`` is a :class:`numpy.random.Generator`; nodes are ``0..n-1``.
+    """
+    xs = rng.uniform(0.0, width, size=n)
+    ys = rng.uniform(0.0, height, size=n)
+    return {i: (float(xs[i]), float(ys[i])) for i in range(n)}
+
+
+def random_unit_disk_graph(
+    n: int, width: float, height: float, radius: float, rng
+) -> Graph:
+    """A UDG over ``n`` uniform random points (common eval workload)."""
+    return unit_disk_graph(random_points(n, width, height, rng), radius)

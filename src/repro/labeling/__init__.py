@@ -1,0 +1,119 @@
+"""Distributed and localized labeling solutions (Sec. IV of the paper).
+
+Static labels: Wu–Dai CDS marking + Rule-k trimming, three-color MIS
+(with the dynamic-MIS maintenance of [30]), one-round neighbor-
+designated dominating sets, and distributed NSF leveling.  Dynamic
+labels: distributed Bellman–Ford, PageRank/HITS.  Hybrid labels:
+hypercube safety levels with guided optimal fault-tolerant routing and
+broadcast, binary safety vectors, and Kleinberg's localized small-world
+router.
+"""
+
+from repro.labeling.bellman_ford import (
+    BellmanFordAlgorithm,
+    build_routing_network,
+    converge,
+    distances,
+    fail_link_and_reconverge,
+)
+from repro.labeling.cds import (
+    distributed_marking,
+    is_connected_dominating_set,
+    is_dominating_set,
+    marking_process,
+    paper_fig8_graph,
+    rule_k_trimming,
+    wu_dai_cds,
+)
+from repro.labeling.gateway import cds_size_comparison, mis_based_cds
+from repro.labeling.ds import (
+    distributed_neighbor_designated_ds,
+    neighbor_designated_ds,
+)
+from repro.labeling.kleinberg_routing import (
+    ExponentSweepPoint,
+    GreedyGridRoute,
+    exponent_sweep,
+    greedy_grid_route,
+)
+from repro.labeling.mis import (
+    DynamicMIS,
+    compute_mis,
+    distributed_mis,
+    id_priorities,
+    independent_neighbors_bound,
+    is_independent_set,
+    is_maximal_independent_set,
+    random_priorities,
+)
+from repro.labeling.nsf_labels import distributed_nsf_levels
+from repro.labeling.pagerank import hits, pagerank
+from repro.labeling.safety_distributed import (
+    SafetyLevelAlgorithm,
+    distributed_safety_levels,
+)
+from repro.labeling.sdn import (
+    CentralController,
+    WeightedBellmanFord,
+    steer_routing,
+)
+from repro.labeling.safety import (
+    BroadcastResult,
+    HypercubeRoute,
+    SafetyLevels,
+    compute_safety_levels,
+    compute_safety_vectors,
+    optimally_reachable_set,
+    paper_fig9_faults,
+    safety_guided_broadcast,
+    safety_guided_route,
+    vector_guided_route,
+)
+
+__all__ = [
+    "BellmanFordAlgorithm",
+    "BroadcastResult",
+    "CentralController",
+    "DynamicMIS",
+    "ExponentSweepPoint",
+    "GreedyGridRoute",
+    "HypercubeRoute",
+    "SafetyLevels",
+    "build_routing_network",
+    "cds_size_comparison",
+    "compute_mis",
+    "compute_safety_levels",
+    "compute_safety_vectors",
+    "converge",
+    "distances",
+    "distributed_marking",
+    "distributed_mis",
+    "distributed_neighbor_designated_ds",
+    "distributed_nsf_levels",
+    "distributed_safety_levels",
+    "exponent_sweep",
+    "fail_link_and_reconverge",
+    "greedy_grid_route",
+    "hits",
+    "id_priorities",
+    "independent_neighbors_bound",
+    "is_connected_dominating_set",
+    "is_dominating_set",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "marking_process",
+    "mis_based_cds",
+    "neighbor_designated_ds",
+    "optimally_reachable_set",
+    "pagerank",
+    "paper_fig8_graph",
+    "paper_fig9_faults",
+    "random_priorities",
+    "rule_k_trimming",
+    "safety_guided_broadcast",
+    "safety_guided_route",
+    "steer_routing",
+    "vector_guided_route",
+    "WeightedBellmanFord",
+    "wu_dai_cds",
+]

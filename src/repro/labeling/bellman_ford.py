@@ -1,0 +1,103 @@
+"""Distributed Bellman–Ford: the canonical dynamic label (Sec. IV-B).
+
+"The Bellman–Ford algorithm maintains the shortest path and distance
+information from each node to a destination.  Each distance estimation
+at a node can be considered a labeling process which involves many
+rounds of routing table update in case of a link failure."
+
+Implemented directly on the message-passing engine: each node keeps
+(distance-to-destination, next hop) and re-advertises on improvement.
+Link failures are injected through the engine's topology API, after
+which affected nodes *poison* their route (distance = ∞) and the
+network reconverges — the benchmark counts the reconvergence rounds,
+the paper's "slow convergence" cost of distributed solutions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.runtime.engine import Network, NodeAlgorithm, NodeContext
+
+Node = Hashable
+
+INFINITY = math.inf
+
+
+class BellmanFordAlgorithm(NodeAlgorithm):
+    """Distance-vector routing toward one destination."""
+
+    def __init__(self, destination: Node) -> None:
+        self.destination = destination
+
+    def init(self, ctx: NodeContext) -> None:
+        is_destination = ctx.node == self.destination
+        ctx.state["distance"] = 0.0 if is_destination else INFINITY
+        ctx.state["next_hop"] = None
+        ctx.broadcast(("distance", ctx.state["distance"]))
+
+    def step(self, ctx: NodeContext) -> None:
+        if ctx.node == self.destination:
+            ctx.state["distance"] = 0.0
+            ctx.halt()
+            return
+        advertised: Dict[Node, float] = {}
+        for message in ctx.inbox:
+            kind, value = message.payload
+            if kind == "distance":
+                advertised[message.sender] = value
+        ctx.state.setdefault("neighbor_distances", {})
+        table: Dict[Node, float] = ctx.state["neighbor_distances"]
+        table.update(advertised)
+        # Drop entries for departed neighbors (topology change).
+        for neighbor in list(table):
+            if neighbor not in ctx.neighbors:
+                del table[neighbor]
+        best_distance = INFINITY
+        best_hop: Optional[Node] = None
+        for neighbor in ctx.neighbors:
+            known = table.get(neighbor, INFINITY)
+            if known + 1.0 < best_distance:
+                best_distance = known + 1.0
+                best_hop = neighbor
+        changed = (
+            best_distance != ctx.state["distance"]
+            or best_hop != ctx.state["next_hop"]
+        )
+        ctx.state["distance"] = best_distance
+        ctx.state["next_hop"] = best_hop
+        if changed:
+            ctx.broadcast(("distance", best_distance))
+        else:
+            ctx.halt()
+
+    def on_topology_change(self, ctx: NodeContext) -> None:
+        # Wake up and re-advertise so neighbors notice the change.
+        ctx.state.setdefault("distance", INFINITY)
+        ctx.broadcast(("distance", ctx.state["distance"]))
+
+
+def build_routing_network(graph: Graph, destination: Node) -> Network:
+    """A ready-to-run distance-vector network toward ``destination``."""
+    return Network(graph, lambda node: BellmanFordAlgorithm(destination))
+
+
+def converge(network: Network, max_rounds: int = 10_000) -> int:
+    """Run to quiescence; returns rounds used in this call."""
+    before = network.stats.rounds
+    network.run(max_rounds=max_rounds)
+    return network.stats.rounds - before
+
+
+def distances(network: Network) -> Dict[Node, float]:
+    return network.states("distance", default=INFINITY)
+
+
+def fail_link_and_reconverge(
+    network: Network, u: Node, v: Node, max_rounds: int = 10_000
+) -> int:
+    """Remove link (u, v) and count rounds until reconvergence."""
+    network.remove_edge(u, v)
+    return converge(network, max_rounds=max_rounds)

@@ -1,0 +1,73 @@
+"""Distributed NSF level labeling (Sec. IV-A, Fig. 7).
+
+The centralized level rule lives in :func:`repro.layering.nsf.nsf_levels`;
+this module runs the same iterative process on the message-passing
+engine: every round, still-unassigned nodes exchange their *adjusted
+node degree* (number of unassigned neighbors); local minima (ID
+tie-break) take the current level and announce it.  The distributed
+run must agree exactly with the centralized labels — a cross-check the
+tests enforce — and its round count equals the number of levels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.runtime.engine import Network, NodeAlgorithm, NodeContext
+
+Node = Hashable
+
+
+class NSFLevelAlgorithm(NodeAlgorithm):
+    """Per-node iterative adjusted-degree leveling.
+
+    The process alternates two phases so decisions never use stale
+    degrees (matching the synchronous centralized rule exactly):
+
+    * odd rounds — *decide*: the inbox holds fresh adjusted degrees of
+      all unassigned neighbors; local minima take level (round + 1) / 2
+      and announce ``assigned``;
+    * even rounds — *refresh*: process the winners' announcements,
+      recompute the adjusted degree, rebroadcast it.
+    """
+
+    def init(self, ctx: NodeContext) -> None:
+        ctx.state["level"] = None
+        ctx.state["unassigned_neighbors"] = set(ctx.neighbors)
+        ctx.broadcast(("degree", len(ctx.neighbors)))
+
+    def step(self, ctx: NodeContext) -> None:
+        if ctx.state["level"] is not None:
+            ctx.halt()
+            return
+        unassigned: Set[Node] = ctx.state["unassigned_neighbors"]
+        if ctx.round_number % 2 == 1:
+            neighbor_degrees: Dict[Node, int] = {
+                message.sender: message.payload[1]
+                for message in ctx.inbox
+                if message.payload[0] == "degree" and message.sender in unassigned
+            }
+            own_adjusted = len(unassigned)
+            is_minimum = all(
+                own_adjusted < degree
+                or (own_adjusted == degree and repr(ctx.node) < repr(neighbor))
+                for neighbor, degree in neighbor_degrees.items()
+            )
+            if is_minimum:
+                ctx.state["level"] = (ctx.round_number + 1) // 2
+                ctx.broadcast(("assigned",))
+                ctx.halt()
+            # Losers stay silent this round; they refresh next round.
+            return
+        for message in ctx.inbox:
+            if message.payload[0] == "assigned":
+                unassigned.discard(message.sender)
+        ctx.broadcast(("degree", len(unassigned)))
+
+
+def distributed_nsf_levels(graph: Graph) -> Tuple[Dict[Node, int], int]:
+    """Run the leveling on the engine; returns (levels, rounds)."""
+    network = Network(graph, lambda node: NSFLevelAlgorithm())
+    stats = network.run()
+    return network.states("level"), stats.rounds

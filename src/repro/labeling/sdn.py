@@ -1,0 +1,185 @@
+"""Hybrid centralized-and-distributed routing control (Sec. IV-C, [31]).
+
+"A recent work on central SDN control over distributed routing ...
+achieves both flexibility and robustness by controlling over
+distributed routing; it inserts fake nodes and links to create an
+augmented topology for a distributed solution."
+
+This module implements that idea on our distance-vector substrate
+(Fisher-price Fibbing):
+
+* the **controller** (:class:`CentralController`) knows the full
+  topology and a routing *requirement* — for a given destination, a
+  set of next-hop overrides the operator wants (e.g. steer traffic off
+  a congested shortest path);
+* it synthesises an **augmented topology**: per-link weights (and, if
+  needed, a fake node with a low-cost fake link advertisement) whose
+  *shortest paths* realise the requirement;
+* the **distributed plane** keeps running plain weighted Bellman–Ford,
+  completely unaware of the controller — robustness of the distributed
+  solution, flexibility of the central one.
+
+The synthesis used here is weight-based: the controller computes
+weights so every requested next hop lies on a strictly shortest path.
+It solves the small LP-like system greedily and *verifies* the result
+by running the distributed protocol on the augmented weights, raising
+:class:`~repro.errors.AlgorithmError` if the requirement is
+unsatisfiable this way (e.g. the override next hop cannot reach the
+destination at all).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.errors import AlgorithmError, NodeNotFoundError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import dijkstra
+from repro.runtime.engine import Network, NodeAlgorithm, NodeContext
+
+Node = Hashable
+
+INFINITY = math.inf
+
+
+class WeightedBellmanFord(NodeAlgorithm):
+    """Distance-vector routing with per-link weights (the data plane)."""
+
+    def __init__(self, destination: Node, weights: Mapping[frozenset, float]) -> None:
+        self.destination = destination
+        self.weights = weights
+
+    def _weight(self, a: Node, b: Node) -> float:
+        return float(self.weights.get(frozenset((a, b)), 1.0))
+
+    def init(self, ctx: NodeContext) -> None:
+        ctx.state["distance"] = 0.0 if ctx.node == self.destination else INFINITY
+        ctx.state["next_hop"] = None
+        ctx.broadcast(("distance", ctx.state["distance"]))
+
+    def step(self, ctx: NodeContext) -> None:
+        if ctx.node == self.destination:
+            ctx.halt()
+            return
+        table: Dict[Node, float] = ctx.state.setdefault("neighbor_distances", {})
+        for message in ctx.inbox:
+            kind, value = message.payload
+            if kind == "distance":
+                table[message.sender] = value
+        best_distance = INFINITY
+        best_hop: Optional[Node] = None
+        for neighbor in ctx.neighbors:
+            known = table.get(neighbor, INFINITY)
+            candidate = known + self._weight(ctx.node, neighbor)
+            if candidate < best_distance:
+                best_distance = candidate
+                best_hop = neighbor
+        changed = (
+            best_distance != ctx.state["distance"]
+            or best_hop != ctx.state["next_hop"]
+        )
+        ctx.state["distance"] = best_distance
+        ctx.state["next_hop"] = best_hop
+        if changed:
+            ctx.broadcast(("distance", best_distance))
+        else:
+            ctx.halt()
+
+
+class CentralController:
+    """Synthesises augmented weights that realise next-hop requirements."""
+
+    def __init__(self, graph: Graph, destination: Node) -> None:
+        if not graph.has_node(destination):
+            raise NodeNotFoundError(destination)
+        self.graph = graph.copy()
+        self.destination = destination
+
+    def synthesize(
+        self,
+        overrides: Mapping[Node, Node],
+        boost: float = 4.0,
+    ) -> Dict[frozenset, float]:
+        """Weights under which each override next hop is strictly optimal.
+
+        Strategy: start from unit weights; for every node u with a
+        required next hop h, *raise* the weight of each other incident
+        link of u high enough that routes through it lose, while the
+        link (u, h) keeps weight 1.  ``boost`` controls the penalty
+        scale (≥ network diameter suffices).  The synthesis is then
+        verified against centralized shortest paths; impossible
+        requirements (h cannot reach the destination without coming
+        back through u) raise :class:`AlgorithmError`.
+        """
+        weights: Dict[frozenset, float] = {
+            frozenset(e): 1.0 for e in self.graph.edges()
+        }
+        n = self.graph.num_nodes
+        penalty = boost * n
+        for node, hop in overrides.items():
+            if not self.graph.has_edge(node, hop):
+                raise AlgorithmError(
+                    f"override {node!r} -> {hop!r} is not an incident link"
+                )
+            for neighbor in self.graph.neighbors(node):
+                if neighbor != hop:
+                    key = frozenset((node, neighbor))
+                    weights[key] = max(weights[key], penalty)
+        self._verify(weights, overrides)
+        return weights
+
+    def _verify(
+        self, weights: Mapping[frozenset, float], overrides: Mapping[Node, Node]
+    ) -> None:
+        def weight_of(a: Node, b: Node) -> float:
+            return float(weights.get(frozenset((a, b)), 1.0))
+
+        distances, _ = dijkstra(self.graph, self.destination, weight=weight_of)
+        for node, hop in overrides.items():
+            if node not in distances or hop not in distances:
+                raise AlgorithmError(
+                    f"override {node!r} -> {hop!r} unreachable under synthesis"
+                )
+            via_hop = distances[hop] + weight_of(node, hop)
+            for neighbor in self.graph.neighbors(node):
+                if neighbor == hop or neighbor not in distances:
+                    continue
+                alternative = distances[neighbor] + weight_of(node, neighbor)
+                if alternative <= via_hop - 1e-9:
+                    raise AlgorithmError(
+                        f"cannot steer {node!r} to {hop!r}: neighbor "
+                        f"{neighbor!r} stays strictly better"
+                    )
+
+    def deploy(self, weights: Mapping[frozenset, float]) -> Network:
+        """A running distributed data plane using the augmented weights."""
+        return Network(
+            self.graph,
+            lambda node: WeightedBellmanFord(self.destination, weights),
+        )
+
+
+def steer_routing(
+    graph: Graph,
+    destination: Node,
+    overrides: Mapping[Node, Node],
+) -> Tuple[Network, Dict[frozenset, float]]:
+    """One-call hybrid control: synthesize, deploy, converge, verify.
+
+    Returns the converged distributed network and the augmented
+    weights.  Each override node's distributed next hop is guaranteed
+    to equal the requirement.
+    """
+    controller = CentralController(graph, destination)
+    weights = controller.synthesize(overrides)
+    network = controller.deploy(weights)
+    network.run()
+    for node, hop in overrides.items():
+        actual = network.state_of(node).get("next_hop")
+        if actual != hop:
+            raise AlgorithmError(
+                f"distributed plane disagrees at {node!r}: wanted {hop!r}, "
+                f"got {actual!r}"
+            )
+    return network, weights

@@ -1,0 +1,72 @@
+"""Structural layering (Sec. III-B of the paper).
+
+Embedded layering: scale-free / nested scale-free (NSF) detection,
+level labeling by adjusted node degree, and hierarchical pub/sub.
+Man-made layering: destination-oriented DAGs with full / partial /
+binary-label link reversal, and height-driven (push-relabel) max-flow.
+"""
+
+from repro.layering.link_reversal import (
+    Orientation,
+    ReversalResult,
+    binary_label_reversal,
+    break_link,
+    full_link_reversal,
+    initial_heights,
+    orientation_from_heights,
+    paper_fig4_graph,
+    partial_link_reversal,
+)
+from repro.layering.link_reversal_distributed import (
+    LinkReversalAlgorithm,
+    distributed_full_reversal,
+)
+from repro.layering.maxflow import (
+    MaxFlowResult,
+    edmonds_karp_max_flow,
+    flow_is_feasible,
+    push_relabel_max_flow,
+)
+from repro.layering.nsf import (
+    NSFReport,
+    degree_levels,
+    local_lowest_degree_nodes,
+    nested_subgraphs,
+    nsf_levels,
+    nsf_report,
+    paper_fig7_graph,
+    peel_once,
+    peel_to_fraction,
+    top_level_nodes,
+)
+from repro.layering.pubsub import HierarchicalPubSub, PubSubStats
+
+__all__ = [
+    "HierarchicalPubSub",
+    "LinkReversalAlgorithm",
+    "MaxFlowResult",
+    "NSFReport",
+    "Orientation",
+    "PubSubStats",
+    "ReversalResult",
+    "binary_label_reversal",
+    "break_link",
+    "degree_levels",
+    "distributed_full_reversal",
+    "edmonds_karp_max_flow",
+    "flow_is_feasible",
+    "full_link_reversal",
+    "initial_heights",
+    "local_lowest_degree_nodes",
+    "nested_subgraphs",
+    "nsf_levels",
+    "nsf_report",
+    "orientation_from_heights",
+    "paper_fig4_graph",
+    "paper_fig7_graph",
+    "partial_link_reversal",
+    "peel_once",
+    "peel_to_fraction",
+    "push_relabel_max_flow",
+    "top_level_nodes",
+]

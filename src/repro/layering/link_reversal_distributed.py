@@ -1,0 +1,101 @@
+"""Distributed full link reversal on the message-passing engine.
+
+The centralized implementations in :mod:`repro.layering.link_reversal`
+drive one sink at a time; the *actual* protocol of Gafni–Bertsekas is
+distributed: every node knows only its own height and its neighbors'
+heights (exchanged via messages), detects locally that it has become a
+sink, raises its height, and announces the new height.  Concurrent
+reversals in one round are allowed — exactly the setting in which the
+O(n²) work bound is usually stated.
+
+:class:`LinkReversalAlgorithm` runs on
+:class:`~repro.runtime.engine.Network`; the run ends when no
+non-destination sink remains, and tests verify the resulting
+orientation is destination-oriented and agrees with the centralized
+variant's *fixpoint* (heights may differ, the DAG property may not).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.layering.link_reversal import Orientation
+from repro.runtime.engine import Network, NodeAlgorithm, NodeContext
+
+Node = Hashable
+Height = Tuple
+
+
+class LinkReversalAlgorithm(NodeAlgorithm):
+    """Height-based full reversal, one node's view.
+
+    State: ``height`` (pair (level, id-rank)) and the believed heights
+    of the neighbors.  Each round: if every neighbor's believed height
+    is above mine and I am not the destination, raise my height to
+    1 + max(neighbor levels) and broadcast it.
+    """
+
+    def __init__(self, is_destination: bool, height: Height) -> None:
+        self.is_destination = is_destination
+        self.initial_height = height
+
+    def init(self, ctx: NodeContext) -> None:
+        ctx.state["height"] = self.initial_height
+        ctx.state["neighbor_heights"] = {}
+        ctx.state["reversals"] = 0
+        ctx.broadcast(("height", self.initial_height))
+
+    def step(self, ctx: NodeContext) -> None:
+        beliefs: Dict[Node, Height] = ctx.state["neighbor_heights"]
+        for message in ctx.inbox:
+            kind, value = message.payload
+            if kind == "height":
+                beliefs[message.sender] = tuple(value)
+        if self.is_destination or not ctx.neighbors:
+            ctx.halt()
+            return
+        known = [beliefs.get(neighbor) for neighbor in ctx.neighbors]
+        if any(height is None for height in known):
+            return  # still waiting for first exchange
+        own: Height = ctx.state["height"]
+        if all(height > own for height in known):  # I am a sink
+            top_level = max(height[0] for height in known)
+            own = (top_level + 1, own[-1])
+            ctx.state["height"] = own
+            ctx.state["reversals"] += 1
+            ctx.broadcast(("height", own))
+            return
+        ctx.halt()
+
+
+def distributed_full_reversal(
+    graph: Graph,
+    destination: Node,
+    heights: Dict[Node, Height],
+    max_rounds: int = 100_000,
+) -> Tuple[Orientation, Dict[Node, Height], Dict[Node, int], int]:
+    """Run the distributed protocol to quiescence.
+
+    Returns (final orientation, final heights, per-node reversal
+    counts, rounds used).
+    """
+    network = Network(
+        graph,
+        lambda node: LinkReversalAlgorithm(
+            is_destination=node == destination, height=heights[node]
+        ),
+    )
+    stats = network.run(max_rounds=max_rounds)
+    final_heights: Dict[Node, Height] = {
+        node: tuple(network.state_of(node)["height"]) for node in graph.nodes()
+    }
+    orientation = Orientation(graph)
+    for u, v in graph.edges():
+        orientation.orient(
+            u, v, toward=v if final_heights[u] > final_heights[v] else u
+        )
+    reversals = {
+        node: network.state_of(node).get("reversals", 0) for node in graph.nodes()
+    }
+    return orientation, final_heights, reversals, stats.rounds

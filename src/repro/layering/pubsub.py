@@ -1,0 +1,170 @@
+"""Publish/subscribe over the NSF hierarchy (Sec. III-B, [11]).
+
+"The hierarchical structure can facilitate efficient implementations of
+the pub-sub systems through push (moving up through the layered
+structure) and pull (coming down through the layered structure)."
+
+This broker realises that sentence: subscriptions are *pushed up* the
+level hierarchy from the subscriber to the top, publications are pushed
+up as well, and matching happens at the lowest common ancestor-ish
+level; delivery then *pulls down* along the recorded path.  Each node
+only talks to hierarchy neighbors (a neighbor at a strictly higher
+level, preferring the highest), so routing state is local, and the cost
+of an event is O(levels) instead of O(n) flooding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import AlgorithmError, NodeNotFoundError
+from repro.graphs.graph import Graph
+from repro.layering.nsf import nsf_levels
+
+Node = Hashable
+Topic = str
+
+
+@dataclass
+class PubSubStats:
+    """Message accounting for one broker lifetime."""
+
+    subscribe_hops: int = 0
+    publish_hops: int = 0
+    deliveries: int = 0
+
+
+class HierarchicalPubSub:
+    """Topic-based pub/sub routed over NSF levels.
+
+    Parameters
+    ----------
+    graph:
+        the (connected) overlay topology.
+    levels:
+        node → hierarchy level; computed with
+        :func:`repro.layering.nsf.nsf_levels` when omitted.
+    """
+
+    def __init__(self, graph: Graph, levels: Optional[Dict[Node, int]] = None) -> None:
+        self.graph = graph.copy()
+        self.levels = dict(levels) if levels is not None else nsf_levels(graph)
+        for node in self.graph.nodes():
+            if node not in self.levels:
+                raise ValueError(f"node {node!r} has no level")
+        # subscription tables: at each node, topic -> set of next hops
+        # (children toward subscribers); None marks "local subscriber".
+        self._routes: Dict[Node, Dict[Topic, Set[Optional[Node]]]] = {
+            node: {} for node in self.graph.nodes()
+        }
+        self.stats = PubSubStats()
+
+    # ------------------------------------------------------------------
+    # hierarchy navigation
+    # ------------------------------------------------------------------
+    def parent(self, node: Node) -> Optional[Node]:
+        """The hierarchy parent: the highest-level strictly-higher neighbor.
+
+        Returns ``None`` at a top node (no strictly higher neighbor).
+        Ties break by ID for determinism.
+        """
+        if not self.graph.has_node(node):
+            raise NodeNotFoundError(node)
+        own = self.levels[node]
+        higher = [n for n in self.graph.neighbors(node) if self.levels[n] > own]
+        if not higher:
+            return None
+        return max(higher, key=lambda n: (self.levels[n], repr(n)))
+
+    def path_to_top(self, node: Node) -> List[Node]:
+        """The push path from ``node`` to its hierarchy top."""
+        path = [node]
+        seen = {node}
+        current = node
+        while True:
+            parent = self.parent(current)
+            if parent is None:
+                return path
+            if parent in seen:
+                raise AlgorithmError(
+                    f"level assignment has a cycle near {parent!r}"
+                )
+            path.append(parent)
+            seen.add(parent)
+            current = parent
+
+    # ------------------------------------------------------------------
+    # pub/sub operations
+    # ------------------------------------------------------------------
+    def subscribe(self, node: Node, topic: Topic) -> List[Node]:
+        """Push the subscription up; returns the installation path."""
+        path = self.path_to_top(node)
+        self._routes[node].setdefault(topic, set()).add(None)
+        for child, parent in zip(path, path[1:]):
+            self._routes[parent].setdefault(topic, set()).add(child)
+            self.stats.subscribe_hops += 1
+        return path
+
+    def unsubscribe(self, node: Node, topic: Topic) -> None:
+        """Remove the local subscription; prune now-dead branches upward."""
+        routes = self._routes[node].get(topic)
+        if routes is None or None not in routes:
+            return
+        routes.discard(None)
+        path = self.path_to_top(node)
+        for child, parent in zip(path, path[1:]):
+            child_routes = self._routes[child].get(topic, set())
+            if child_routes:
+                break
+            self._routes[child].pop(topic, None)
+            self._routes[parent].get(topic, set()).discard(child)
+
+    def publish(self, node: Node, topic: Topic) -> Set[Node]:
+        """Publish: push up to the top, pull down to all subscribers.
+
+        Returns the set of delivered subscriber nodes.
+        """
+        delivered: Set[Node] = set()
+        visited_down: Set[Node] = set()
+
+        def pull_down(at: Node) -> None:
+            if at in visited_down:
+                return
+            visited_down.add(at)
+            for next_hop in self._routes[at].get(topic, set()):
+                if next_hop is None:
+                    delivered.add(at)
+                    self.stats.deliveries += 1
+                else:
+                    self.stats.publish_hops += 1
+                    pull_down(next_hop)
+
+        path = self.path_to_top(node)
+        for hop in path:
+            pull_down(hop)
+        self.stats.publish_hops += len(path) - 1
+        # NSF may leave multiple unconnected top-level nodes; the paper
+        # assumes an external server connects them, which we model by
+        # relaying the publication to every other top.
+        for top in self.top_nodes():
+            if top not in visited_down:
+                self.stats.publish_hops += 1
+                pull_down(top)
+        return delivered
+
+    def top_nodes(self) -> Set[Node]:
+        """All hierarchy tops (nodes without a strictly higher neighbor)."""
+        return {node for node in self.graph.nodes() if self.parent(node) is None}
+
+    def subscribers(self, topic: Topic) -> Set[Node]:
+        """All nodes currently locally subscribed to ``topic``."""
+        return {
+            node
+            for node, routes in self._routes.items()
+            if None in routes.get(topic, set())
+        }
+
+    def flood_cost(self) -> int:
+        """Hops a naive flood would use per event: 2·|E| (baseline)."""
+        return 2 * self.graph.num_edges

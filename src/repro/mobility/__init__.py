@@ -1,0 +1,30 @@
+"""Mobility models and contact detection (macro-level model of Sec. II-B).
+
+Random waypoint and random walk are the classical survey models [5];
+community mobility realises the social-feature/contact-frequency law of
+[21] that the remapping experiments depend on.  ``collect_contact_trace``
+turns any model into a contact trace via the unit-disk radio model.
+"""
+
+from repro.mobility.base import Arena, MobilityModel
+from repro.mobility.community import (
+    CommunityMobility,
+    feature_distance,
+    profile_home_cell,
+    random_profiles,
+)
+from repro.mobility.random_walk import RandomWalk
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.trace import collect_contact_trace
+
+__all__ = [
+    "Arena",
+    "CommunityMobility",
+    "MobilityModel",
+    "RandomWalk",
+    "RandomWaypoint",
+    "collect_contact_trace",
+    "feature_distance",
+    "profile_home_cell",
+    "random_profiles",
+]

@@ -1,0 +1,64 @@
+"""Mobility model interface (Sec. II-B macro-level model, [5]).
+
+A mobility model produces, for each node, a position at every sampled
+time step inside a rectangular arena.  The contact detector in
+:mod:`repro.mobility.trace` turns positions into contact records using
+the unit-disk radio model, from which the temporal machinery
+(:mod:`repro.temporal`) takes over.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, Tuple
+
+Node = Hashable
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Arena:
+    """The rectangular deployment area [0, width] × [0, height]."""
+
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"arena sides must be positive, got {self}")
+
+    def clamp(self, point: Point) -> Point:
+        return (
+            min(max(point[0], 0.0), self.width),
+            min(max(point[1], 0.0), self.height),
+        )
+
+    def contains(self, point: Point) -> bool:
+        return 0.0 <= point[0] <= self.width and 0.0 <= point[1] <= self.height
+
+
+class MobilityModel(abc.ABC):
+    """Produces node positions over discrete steps of length ``dt``."""
+
+    def __init__(self, arena: Arena, dt: float = 1.0) -> None:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        self.arena = arena
+        self.dt = float(dt)
+
+    @abc.abstractmethod
+    def positions(self) -> Dict[Node, Point]:
+        """Current positions of all nodes."""
+
+    @abc.abstractmethod
+    def step(self) -> Dict[Node, Point]:
+        """Advance time by ``dt`` and return the new positions."""
+
+    def run(self, steps: int) -> Iterator[Dict[Node, Point]]:
+        """Yield ``steps + 1`` position maps: initial then after each step."""
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        yield dict(self.positions())
+        for _ in range(steps):
+            yield dict(self.step())

@@ -1,0 +1,91 @@
+"""Random walk (random direction) mobility ([5]).
+
+Each step, every node picks a uniform heading and moves at its speed
+for one epoch, reflecting off arena boundaries.  Simpler and more
+"disruptive" than random waypoint: no destination persistence, so
+contacts are shorter and inter-contacts heavier-tailed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable
+
+import numpy as np
+
+from repro.mobility.base import Arena, MobilityModel, Point
+
+Node = Hashable
+
+
+class RandomWalk(MobilityModel):
+    """Boundary-reflecting random walk with per-epoch random headings."""
+
+    def __init__(
+        self,
+        n: int,
+        arena: Arena,
+        rng: np.random.Generator,
+        speed: float = 1.0,
+        epoch_steps: int = 1,
+        dt: float = 1.0,
+    ) -> None:
+        super().__init__(arena, dt)
+        if n < 1:
+            raise ValueError(f"need at least one node, got {n}")
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        if epoch_steps < 1:
+            raise ValueError(f"epoch_steps must be >= 1, got {epoch_steps}")
+        self.n = int(n)
+        self.speed = float(speed)
+        self.epoch_steps = int(epoch_steps)
+        self._rng = rng
+        self._pos: Dict[Node, Point] = {
+            i: (float(rng.uniform(0, arena.width)), float(rng.uniform(0, arena.height)))
+            for i in range(n)
+        }
+        self._heading: Dict[Node, float] = {}
+        self._steps_left: Dict[Node, int] = {}
+        for node in range(n):
+            self._new_heading(node)
+
+    def _new_heading(self, node: Node) -> None:
+        self._heading[node] = float(self._rng.uniform(0, 2 * math.pi))
+        self._steps_left[node] = self.epoch_steps
+
+    def positions(self) -> Dict[Node, Point]:
+        return dict(self._pos)
+
+    def step(self) -> Dict[Node, Point]:
+        for node in range(self.n):
+            if self._steps_left[node] <= 0:
+                self._new_heading(node)
+            heading = self._heading[node]
+            x, y = self._pos[node]
+            nx = x + self.speed * self.dt * math.cos(heading)
+            ny = y + self.speed * self.dt * math.sin(heading)
+            # Reflect off the boundary (possibly repeatedly for long steps).
+            nx, reflected_x = _reflect(nx, self.arena.width)
+            ny, reflected_y = _reflect(ny, self.arena.height)
+            if reflected_x or reflected_y:
+                # Mirror the heading so motion continues along the bounce.
+                dx = math.cos(heading) * (-1.0 if reflected_x else 1.0)
+                dy = math.sin(heading) * (-1.0 if reflected_y else 1.0)
+                self._heading[node] = math.atan2(dy, dx)
+            self._pos[node] = (nx, ny)
+            self._steps_left[node] -= 1
+        return dict(self._pos)
+
+
+def _reflect(coordinate: float, limit: float) -> tuple:
+    """Reflect ``coordinate`` into [0, limit]; report whether it bounced."""
+    reflected = False
+    value = coordinate
+    while value < 0.0 or value > limit:
+        if value < 0.0:
+            value = -value
+        else:
+            value = 2.0 * limit - value
+        reflected = True
+    return value, reflected

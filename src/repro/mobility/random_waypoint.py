@@ -1,0 +1,93 @@
+"""Random waypoint mobility ([5], Sec. II-B).
+
+Each node repeatedly: picks a uniform destination in the arena, a
+uniform speed in [v_min, v_max], travels there in a straight line, then
+pauses for a uniform time in [0, pause_max].  The paper points out that
+random waypoint (without a boundary) does **not** yield exponential
+contact-duration or inter-contact distributions — our contact-trace
+benchmarks quantify exactly that mismatch via the KS distance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+from repro.mobility.base import Arena, MobilityModel, Point
+
+Node = Hashable
+
+
+class RandomWaypoint(MobilityModel):
+    """Random waypoint over ``n`` nodes in a rectangular arena."""
+
+    def __init__(
+        self,
+        n: int,
+        arena: Arena,
+        rng: np.random.Generator,
+        v_min: float = 0.5,
+        v_max: float = 1.5,
+        pause_max: float = 0.0,
+        dt: float = 1.0,
+    ) -> None:
+        super().__init__(arena, dt)
+        if n < 1:
+            raise ValueError(f"need at least one node, got {n}")
+        if not 0 < v_min <= v_max:
+            raise ValueError(f"need 0 < v_min <= v_max, got {v_min}, {v_max}")
+        if pause_max < 0:
+            raise ValueError(f"pause_max must be >= 0, got {pause_max}")
+        self.n = int(n)
+        self._rng = rng
+        self.v_min = float(v_min)
+        self.v_max = float(v_max)
+        self.pause_max = float(pause_max)
+        self._pos: Dict[Node, Point] = {
+            i: (float(rng.uniform(0, arena.width)), float(rng.uniform(0, arena.height)))
+            for i in range(n)
+        }
+        self._target: Dict[Node, Point] = {}
+        self._speed: Dict[Node, float] = {}
+        self._pause_left: Dict[Node, float] = {i: 0.0 for i in range(n)}
+        for node in range(n):
+            self._pick_waypoint(node)
+
+    def _pick_waypoint(self, node: Node) -> None:
+        self._target[node] = (
+            float(self._rng.uniform(0, self.arena.width)),
+            float(self._rng.uniform(0, self.arena.height)),
+        )
+        self._speed[node] = float(self._rng.uniform(self.v_min, self.v_max))
+
+    def positions(self) -> Dict[Node, Point]:
+        return dict(self._pos)
+
+    def step(self) -> Dict[Node, Point]:
+        for node in range(self.n):
+            remaining = self.dt
+            while remaining > 1e-12:
+                if self._pause_left[node] > 0:
+                    used = min(self._pause_left[node], remaining)
+                    self._pause_left[node] -= used
+                    remaining -= used
+                    continue
+                x, y = self._pos[node]
+                tx, ty = self._target[node]
+                dist = math.hypot(tx - x, ty - y)
+                speed = self._speed[node]
+                if dist <= speed * remaining:
+                    self._pos[node] = (tx, ty)
+                    remaining -= dist / speed if speed > 0 else remaining
+                    if self.pause_max > 0:
+                        self._pause_left[node] = float(
+                            self._rng.uniform(0, self.pause_max)
+                        )
+                    self._pick_waypoint(node)
+                else:
+                    fraction = speed * remaining / dist
+                    self._pos[node] = (x + (tx - x) * fraction, y + (ty - y) * fraction)
+                    remaining = 0.0
+        return dict(self._pos)

@@ -1,0 +1,44 @@
+"""Structural remapping (Sec. III-C of the paper).
+
+Remapping representation: Euclidean greedy geographic routing (stuck at
+non-convex holes) versus greedy routing after embedding into the
+hyperbolic plane (guaranteed delivery).  Remapping domain: the social
+feature space — M-space contacts remapped onto a generalized hypercube
+(F-space) with shortest-path and node-disjoint multipath routing.
+"""
+
+from repro.remapping.feature_space import (
+    DeliveryResult,
+    FeatureSpace,
+    contact_frequency_by_feature_distance,
+    simulate_delivery,
+)
+from repro.remapping.geo_routing import (
+    RouteResult,
+    crescent_hole_positions,
+    delivery_rate,
+    greedy_route,
+    grid_with_holes,
+)
+from repro.remapping.hyperbolic import (
+    HyperbolicEmbedding,
+    embed_tree,
+    greedy_route_hyperbolic,
+    hyperbolic_distance,
+)
+
+__all__ = [
+    "DeliveryResult",
+    "FeatureSpace",
+    "HyperbolicEmbedding",
+    "RouteResult",
+    "contact_frequency_by_feature_distance",
+    "crescent_hole_positions",
+    "delivery_rate",
+    "embed_tree",
+    "greedy_route",
+    "greedy_route_hyperbolic",
+    "grid_with_holes",
+    "hyperbolic_distance",
+    "simulate_delivery",
+]

@@ -1,0 +1,161 @@
+"""Greedy geographic routing and its local minima (Sec. III-C, Fig. 5a).
+
+Greedy geographic routing forwards a message to the neighbor that most
+reduces the Euclidean distance to the destination [18].  It is fully
+localized — but it gets *stuck* at a node with no neighbor closer to
+the destination than itself (a local minimum on the boundary of a
+non-convex hole).  This module provides the router with stuck-node
+reporting, plus workload generators that carve non-convex holes into a
+deployment exactly as in Fig. 5(a).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.graph import Graph
+from repro.graphs.unit_disk import euclidean, positions_of, unit_disk_graph
+
+Node = Hashable
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of one greedy route attempt."""
+
+    delivered: bool
+    path: Tuple[Node, ...]
+    stuck_at: Optional[Node] = None
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+def greedy_route(
+    graph: Graph,
+    source: Node,
+    target: Node,
+    positions: Optional[Mapping[Node, Point]] = None,
+    max_hops: Optional[int] = None,
+) -> RouteResult:
+    """Greedy geographic routing with strict distance progress.
+
+    At each step the current node forwards to its neighbor closest to
+    the target, but only if that neighbor is strictly closer than
+    itself; otherwise the packet is stuck (local minimum) and the
+    attempt fails.  Strict progress makes loops impossible, so
+    ``max_hops`` (default n) is only a safety net.
+    """
+    pos = positions if positions is not None else positions_of(graph)
+    for node in (source, target):
+        if not graph.has_node(node):
+            raise NodeNotFoundError(node)
+    if max_hops is None:
+        max_hops = graph.num_nodes
+    path: List[Node] = [source]
+    current = source
+    for _ in range(max_hops):
+        if current == target:
+            return RouteResult(delivered=True, path=tuple(path))
+        own_distance = euclidean(pos[current], pos[target])
+        best: Optional[Node] = None
+        best_distance = own_distance
+        for neighbor in sorted(graph.neighbors(current), key=repr):
+            candidate = euclidean(pos[neighbor], pos[target])
+            if candidate < best_distance - 1e-15:
+                best = neighbor
+                best_distance = candidate
+        if best is None:
+            return RouteResult(delivered=False, path=tuple(path), stuck_at=current)
+        current = best
+        path.append(current)
+    if current == target:
+        return RouteResult(delivered=True, path=tuple(path))
+    return RouteResult(delivered=False, path=tuple(path), stuck_at=current)
+
+
+def delivery_rate(
+    graph: Graph,
+    pairs: Sequence[Tuple[Node, Node]],
+    positions: Optional[Mapping[Node, Point]] = None,
+) -> float:
+    """Fraction of source-target pairs greedy routing delivers."""
+    if not pairs:
+        return 1.0
+    pos = positions if positions is not None else positions_of(graph)
+    delivered = sum(
+        1 for s, t in pairs if greedy_route(graph, s, t, pos).delivered
+    )
+    return delivered / len(pairs)
+
+
+def grid_with_holes(
+    side: int,
+    radius: float,
+    holes: Sequence[Tuple[Point, float]],
+    jitter: float = 0.15,
+    rng: Optional[np.random.Generator] = None,
+) -> Graph:
+    """A jittered grid deployment with circular holes carved out.
+
+    ``holes`` is a sequence of (centre, hole_radius); any node falling
+    inside a hole is removed.  A packet routed "across" a hole greedily
+    will hit a local minimum on the hole's near boundary — the Fig. 5(a)
+    scenario (holes in a sensor field).
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    positions: Dict[Node, Point] = {}
+    index = 0
+    for row in range(side):
+        for col in range(side):
+            x = col + float(rng.uniform(-jitter, jitter))
+            y = row + float(rng.uniform(-jitter, jitter))
+            if any(euclidean((x, y), centre) <= r for centre, r in holes):
+                continue
+            positions[index] = (x, y)
+            index += 1
+    return unit_disk_graph(positions, radius)
+
+
+def crescent_hole_positions(
+    n: int,
+    width: float,
+    height: float,
+    rng: np.random.Generator,
+    hole_center: Optional[Point] = None,
+    hole_radius: Optional[float] = None,
+    mouth_angle: float = math.pi / 2,
+) -> Dict[Node, Point]:
+    """Uniform deployment with one *non-convex* (crescent) hole.
+
+    The hole is a disk with a wedge ("mouth") left filled, producing a
+    concave pocket: greedy packets entering the pocket toward a target
+    behind it get trapped.  This is a sharper Fig. 5(a) stress case
+    than a purely circular (convex-ish) hole.
+    """
+    if hole_center is None:
+        hole_center = (width / 2.0, height / 2.0)
+    if hole_radius is None:
+        hole_radius = min(width, height) / 4.0
+    positions: Dict[Node, Point] = {}
+    count = 0
+    while count < n:
+        x = float(rng.uniform(0, width))
+        y = float(rng.uniform(0, height))
+        dx, dy = x - hole_center[0], y - hole_center[1]
+        inside = math.hypot(dx, dy) <= hole_radius
+        angle = math.atan2(dy, dx)
+        in_mouth = abs(angle) <= mouth_angle / 2.0
+        if inside and not in_mouth:
+            continue
+        positions[count] = (x, y)
+        count += 1
+    return positions

@@ -1,0 +1,36 @@
+"""Distributed execution substrate (Sec. IV of the paper).
+
+A synchronous message-passing round engine with per-node locality
+enforcement and round/message accounting, plus explicit models of view
+inconsistency under mobility (delayed and multi-view oracles).
+"""
+
+from repro.runtime.engine import (
+    Message,
+    Network,
+    NodeAlgorithm,
+    NodeContext,
+    RunStats,
+)
+from repro.runtime.async_engine import AsyncNetwork
+from repro.runtime.views import (
+    DelayedViewOracle,
+    MultiViewOracle,
+    inconsistency_rate,
+    k_hop_view,
+    view_inconsistency,
+)
+
+__all__ = [
+    "AsyncNetwork",
+    "DelayedViewOracle",
+    "Message",
+    "MultiViewOracle",
+    "Network",
+    "NodeAlgorithm",
+    "NodeContext",
+    "RunStats",
+    "inconsistency_rate",
+    "k_hop_view",
+    "view_inconsistency",
+]

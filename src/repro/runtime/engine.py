@@ -1,0 +1,290 @@
+"""Synchronous message-passing runtime for distributed algorithms (Sec. IV).
+
+The paper's distributed solutions all fit one mould: nodes hold local
+state and labels, interact only with neighbors in a restricted
+vicinity, and collectively achieve a global objective over *rounds*.
+This engine realises that mould explicitly:
+
+* each node runs the same :class:`NodeAlgorithm` with access only to
+  its own state, its neighbor list, and the messages received this
+  round — never the global topology;
+* rounds are synchronous: all sends of round r are delivered at round
+  r + 1 (the standard LOCAL/CONGEST timing model of the theoretical
+  community);
+* the engine counts rounds and messages, so complexity claims
+  ("MIS in O(log n) rounds", "safety levels in at most n − 1 rounds",
+  "O(n²) reversals") become measurable quantities;
+* a *localized* solution in the paper's sense is one that converges in
+  O(1) rounds — no sequential propagation of information; the engine's
+  round counter certifies that too.
+
+Topology changes mid-execution (the paper's dynamic environment) are
+supported through :meth:`Network.add_edge` / :meth:`Network.remove_edge`
+/ :meth:`Network.add_node`, after which affected algorithms may be
+re-activated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.errors import ConvergenceError, NodeNotFoundError
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+@dataclass
+class Message:
+    """A message in flight: sender, receiver and an arbitrary payload."""
+
+    sender: Node
+    receiver: Node
+    payload: Any
+
+
+class NodeContext:
+    """What one node may see and do during a round.
+
+    This is the enforcement point for locality: algorithms receive a
+    context, not the network, so they can only read their own state,
+    their neighbor IDs, and this round's inbox.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        neighbors: Tuple[Node, ...],
+        state: Dict[str, Any],
+        inbox: List[Message],
+        outbox: List[Message],
+        round_number: int,
+    ) -> None:
+        self.node = node
+        self.neighbors = neighbors
+        self.state = state
+        self.inbox = inbox
+        self._outbox = outbox
+        self.round_number = round_number
+        self._halted = False
+
+    def send(self, neighbor: Node, payload: Any) -> None:
+        """Queue a message to a direct neighbor (delivered next round)."""
+        if neighbor not in self.neighbors:
+            raise ValueError(
+                f"{self.node!r} tried to message non-neighbor {neighbor!r}"
+            )
+        self._outbox.append(Message(sender=self.node, receiver=neighbor, payload=payload))
+
+    def broadcast(self, payload: Any) -> None:
+        """Queue the same payload to every neighbor."""
+        for neighbor in self.neighbors:
+            self._outbox.append(
+                Message(sender=self.node, receiver=neighbor, payload=payload)
+            )
+
+    def halt(self) -> None:
+        """Declare this node locally terminated (idempotent).
+
+        A halted node wakes up again if a message arrives or the
+        topology around it changes.
+        """
+        self._halted = True
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+
+class NodeAlgorithm:
+    """Base class for per-node distributed algorithms.
+
+    Subclasses override :meth:`init` (round 0 setup, may send) and
+    :meth:`step` (each subsequent round: read ``ctx.inbox``, update
+    ``ctx.state``, send, or ``ctx.halt()``).
+    """
+
+    def init(self, ctx: NodeContext) -> None:  # pragma: no cover - default
+        """Round-0 initialisation; override to set state and send."""
+
+    def step(self, ctx: NodeContext) -> None:  # pragma: no cover - default
+        """One round of computation; override."""
+        ctx.halt()
+
+    def on_topology_change(self, ctx: NodeContext) -> None:
+        """Called when an incident edge or neighbor changes; default wakes."""
+
+
+@dataclass
+class RunStats:
+    """Accounting of one distributed execution."""
+
+    rounds: int = 0
+    messages_sent: int = 0
+    messages_per_round: List[int] = field(default_factory=list)
+
+
+class Network:
+    """A topology plus per-node algorithm instances and state."""
+
+    def __init__(self, graph: Graph, algorithm_factory: Callable[[Node], NodeAlgorithm]) -> None:
+        self.graph = graph.copy()
+        self._algorithms: Dict[Node, NodeAlgorithm] = {}
+        self._state: Dict[Node, Dict[str, Any]] = {}
+        self._halted: Dict[Node, bool] = {}
+        self._inboxes: Dict[Node, List[Message]] = {}
+        self._pending: List[Message] = []
+        self.stats = RunStats()
+        self._round = 0
+        self._initialized = False
+        self._factory = algorithm_factory
+        for node in self.graph.nodes():
+            self._install(node)
+
+    def _install(self, node: Node) -> None:
+        self._algorithms[node] = self._factory(node)
+        self._state[node] = {}
+        self._halted[node] = False
+        self._inboxes[node] = []
+
+    # ------------------------------------------------------------------
+    # state access (for the "external observer", i.e. tests/benchmarks)
+    # ------------------------------------------------------------------
+    def state_of(self, node: Node) -> Dict[str, Any]:
+        if node not in self._state:
+            raise NodeNotFoundError(node)
+        return self._state[node]
+
+    def states(self, key: str, default: Any = None) -> Dict[Node, Any]:
+        """Snapshot of one state variable across all nodes."""
+        return {node: state.get(key, default) for node, state in self._state.items()}
+
+    @property
+    def round_number(self) -> int:
+        return self._round
+
+    def all_halted(self) -> bool:
+        return all(self._halted.values())
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _run_node(self, node: Node, phase: str) -> List[Message]:
+        outbox: List[Message] = []
+        ctx = NodeContext(
+            node=node,
+            neighbors=tuple(sorted(self.graph.neighbors(node), key=repr)),
+            state=self._state[node],
+            inbox=self._inboxes[node],
+            outbox=outbox,
+            round_number=self._round,
+        )
+        algorithm = self._algorithms[node]
+        if phase == "init":
+            algorithm.init(ctx)
+        elif phase == "step":
+            algorithm.step(ctx)
+        else:
+            algorithm.on_topology_change(ctx)
+        self._halted[node] = ctx.halted
+        return outbox
+
+    def _deliver(self, messages: Iterable[Message]) -> None:
+        for inbox in self._inboxes.values():
+            inbox.clear()
+        count = 0
+        for message in messages:
+            if message.receiver in self._inboxes:
+                self._inboxes[message.receiver].append(message)
+                count += 1
+        self.stats.messages_sent += count
+        self.stats.messages_per_round.append(count)
+
+    def initialize(self) -> None:
+        """Run every node's :meth:`NodeAlgorithm.init` (round 0)."""
+        if self._initialized:
+            return
+        outgoing: List[Message] = []
+        for node in sorted(self.graph.nodes(), key=repr):
+            outgoing.extend(self._run_node(node, "init"))
+        self._deliver(outgoing)
+        self._initialized = True
+
+    def step_round(self) -> None:
+        """Execute one synchronous round on all non-halted nodes.
+
+        Halted nodes with a non-empty inbox are woken: messages must
+        not be silently dropped.
+        """
+        if not self._initialized:
+            self.initialize()
+        self._round += 1
+        self.stats.rounds = self._round
+        outgoing: List[Message] = []
+        for node in sorted(self.graph.nodes(), key=repr):
+            if self._halted[node] and not self._inboxes[node]:
+                continue
+            outgoing.extend(self._run_node(node, "step"))
+        self._deliver(outgoing)
+
+    def run(self, max_rounds: int = 10_000) -> RunStats:
+        """Run until every node halts and no message is in flight."""
+        self.initialize()
+        for _ in range(max_rounds):
+            if self.all_halted() and not any(self._inboxes[n] for n in self._inboxes):
+                return self.stats
+            self.step_round()
+        if self.all_halted() and not any(self._inboxes[n] for n in self._inboxes):
+            return self.stats
+        raise ConvergenceError("distributed execution", max_rounds)
+
+    # ------------------------------------------------------------------
+    # dynamics (Sec. IV-C: integrating structure with topology change)
+    # ------------------------------------------------------------------
+    def _notify_topology(self, nodes: Iterable[Node]) -> None:
+        outgoing: List[Message] = []
+        for node in sorted(set(nodes), key=repr):
+            if node in self._algorithms:
+                outgoing.extend(self._run_node(node, "topology"))
+        for message in outgoing:
+            if message.receiver in self._inboxes:
+                self._inboxes[message.receiver].append(message)
+                self.stats.messages_sent += 1
+
+    def add_node(self, node: Node) -> None:
+        self.graph.add_node(node)
+        if node not in self._algorithms:
+            self._install(node)
+            if self._initialized:
+                self._run_node(node, "init")
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        for endpoint in (u, v):
+            if endpoint not in self._algorithms:
+                self.add_node(endpoint)
+        self.graph.add_edge(u, v)
+        self._notify_topology((u, v))
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        self.graph.remove_edge(u, v)
+        self._notify_topology((u, v))
+
+    def remove_node(self, node: Node) -> None:
+        neighbors = self.graph.neighbors(node)
+        self.graph.remove_node(node)
+        del self._algorithms[node]
+        del self._state[node]
+        del self._halted[node]
+        del self._inboxes[node]
+        self._notify_topology(neighbors)

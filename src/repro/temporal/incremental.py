@@ -1,0 +1,151 @@
+"""Incremental temporal reachability (Sec. IV-C).
+
+"Another promising area is integrating the process of building a
+structure with the change of topology ... different from most existing
+approaches where structure re-building occurs after a topology change."
+
+:class:`IncrementalReachability` maintains, for one source, the
+earliest-arrival (foremost) tree of a growing contact stream *as the
+contacts arrive*, instead of recomputing after every change:
+
+* contacts are appended in non-decreasing time order (the natural
+  streaming regime of a live trace);
+* each appended contact (u, v, t) triggers work only when it actually
+  improves someone's arrival time, and the improvement can cascade only
+  through *future-or-equal* contacts already seen at the same time unit
+  — so the amortised cost per contact is O(1) dictionary updates plus
+  the size of the genuine improvement, versus a full O(contacts) rescan;
+* :meth:`arrival_times` / :meth:`reachable_set` answer queries at any
+  moment and always agree exactly with the batch
+  :func:`repro.temporal.journeys.earliest_arrival` (cross-checked in
+  tests and benchmarked for the speedup).
+
+The same-unit-chaining subtlety of journeys (labels are non-decreasing,
+so several hops may share a time unit) is handled by buffering the
+current unit's contacts and propagating within the buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import NodeNotFoundError
+
+Node = Hashable
+
+
+class IncrementalReachability:
+    """Streaming earliest-arrival maintenance for one source."""
+
+    def __init__(self, source: Node, start: int = 0) -> None:
+        self.source = source
+        self.start = int(start)
+        self._arrival: Dict[Node, int] = {source: self.start}
+        self._parent: Dict[Node, Optional[Tuple[Node, Node, int]]] = {source: None}
+        self._last_time: Optional[int] = None
+        # Contacts of the *current* time unit (for same-unit chaining).
+        self._unit_contacts: List[Tuple[Node, Node]] = []
+        self._contacts_processed = 0
+        self._improvements = 0
+
+    # ------------------------------------------------------------------
+    # stream input
+    # ------------------------------------------------------------------
+    def add_contact(self, u: Node, v: Node, time: int) -> bool:
+        """Append one contact; returns True iff reachability improved.
+
+        Contacts must arrive in non-decreasing time order.
+        """
+        if u == v:
+            raise ValueError(f"self-contact on {u!r}")
+        if self._last_time is not None and time < self._last_time:
+            raise ValueError(
+                f"contacts must be appended in time order: got {time} after "
+                f"{self._last_time}"
+            )
+        if self._last_time is None or time > self._last_time:
+            self._unit_contacts = []
+            self._last_time = time
+        self._unit_contacts.append((u, v))
+        self._contacts_processed += 1
+        if time < self.start:
+            return False
+        improved = self._relax(u, v, time)
+        if improved:
+            self._cascade(time)
+        return improved
+
+    def _relax(self, u: Node, v: Node, time: int) -> bool:
+        changed = False
+        for src, dst in ((u, v), (v, u)):
+            src_arrival = self._arrival.get(src)
+            if src_arrival is None or src_arrival > time:
+                continue
+            if self._arrival.get(dst, time + 1) > time:
+                self._arrival[dst] = time
+                self._parent[dst] = (src, dst, time)
+                self._improvements += 1
+                changed = True
+        return changed
+
+    def _cascade(self, time: int) -> None:
+        """Re-relax the current unit's buffered contacts to a fixpoint.
+
+        A new arrival at this time unit can enable earlier contacts of
+        the *same* unit (non-decreasing labels permit same-unit chains);
+        earlier units can never be affected, so the buffer suffices.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for u, v in self._unit_contacts:
+                if self._relax(u, v, time):
+                    changed = True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def arrival_time(self, node: Node) -> Optional[int]:
+        """Earliest time ``node`` holds the message, or ``None``."""
+        return self._arrival.get(node)
+
+    def arrival_times(self) -> Dict[Node, int]:
+        return dict(self._arrival)
+
+    def reachable_set(self) -> Set[Node]:
+        return set(self._arrival)
+
+    def journey_to(self, target: Node) -> Optional[List[Tuple[Node, Node, int]]]:
+        """The maintained foremost journey to ``target``, or ``None``."""
+        if target not in self._parent:
+            return None
+        hops: List[Tuple[Node, Node, int]] = []
+        node = target
+        while True:
+            hop = self._parent[node]
+            if hop is None:
+                break
+            hops.append(hop)
+            node = hop[0]
+        hops.reverse()
+        return hops
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Work counters: contacts seen vs arrival improvements made."""
+        return {
+            "contacts_processed": self._contacts_processed,
+            "improvements": self._improvements,
+        }
+
+
+def incremental_from_contacts(
+    source: Node,
+    contacts: List[Tuple[Node, Node, int]],
+    start: int = 0,
+) -> IncrementalReachability:
+    """Feed a (time-sorted) contact list through the incremental engine."""
+    engine = IncrementalReachability(source, start)
+    for u, v, time in sorted(contacts, key=lambda c: c[2]):
+        engine.add_contact(u, v, time)
+    return engine

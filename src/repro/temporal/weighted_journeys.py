@@ -1,0 +1,198 @@
+"""Journeys in *weighted* time-evolving graphs (Sec. II-B).
+
+"A weighted time-evolving graph has a definition similar to the
+time-evolving graph except that each edge at time unit i is associated
+with a weight w_i, which [has] different interpretations based on the
+application.  For example, a weight can be the bandwidth, transmission
+delay, or reliability."
+
+One path problem per interpretation:
+
+* **transmission delay** — :func:`min_delay_journey`: a contact at
+  label t with weight w occupies [t, t + w); the message leaves the
+  receiving node no earlier than t + w.  Minimise the arrival time
+  (the weighted generalisation of earliest completion, solved by a
+  time-ordered Dijkstra);
+* **reliability** — :func:`most_reliable_journey`: each contact
+  succeeds independently with probability w ∈ (0, 1]; maximise the
+  product of weights (Viterbi-style DP over labels);
+* **bandwidth** — :func:`max_bandwidth_journey`: the journey's
+  bandwidth is the minimum weight along it; maximise that bottleneck
+  (binary search over thresholds + temporal reachability).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import NodeNotFoundError
+from repro.temporal.evolving import EvolvingGraph
+from repro.temporal.journeys import Hop, Journey
+
+Node = Hashable
+
+
+def _weighted_contacts(eg: EvolvingGraph) -> List[Tuple[int, Node, Node, float]]:
+    return [
+        (time, u, v, eg.weight(u, v, time))
+        for time, u, v in eg.all_contacts()
+    ]
+
+
+def min_delay_journey(
+    eg: EvolvingGraph, source: Node, target: Node, start: int = 0
+) -> Optional[Journey]:
+    """Minimise arrival time when weights are per-contact delays.
+
+    A contact (u, v, t, w) is usable if the holder is ready by t
+    (ready time ≤ t) and delivers at t + w; the receiver is ready at
+    t + w.  Dijkstra over (ready time, node) states.
+    """
+    for node in (source, target):
+        if not eg.has_node(node):
+            raise NodeNotFoundError(node)
+    if source == target:
+        return Journey(source=source, hops=())
+
+    ready: Dict[Node, float] = {source: float(start)}
+    parent: Dict[Node, Hop] = {}
+    heap: List[Tuple[float, int, Node]] = [(float(start), 0, source)]
+    counter = 1
+    done: Set[Node] = set()
+    while heap:
+        time_ready, _, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        if node == target:
+            break
+        for contact_time, neighbor in eg.contacts_from(node):
+            if contact_time < time_ready:
+                continue
+            weight = eg.weight(node, neighbor, contact_time)
+            arrival = contact_time + weight
+            if arrival < ready.get(neighbor, math.inf):
+                ready[neighbor] = arrival
+                parent[neighbor] = (node, neighbor, contact_time)
+                heapq.heappush(heap, (arrival, counter, neighbor))
+                counter += 1
+    if target not in parent:
+        return None
+    hops: List[Hop] = []
+    node = target
+    while node != source:
+        hop = parent[node]
+        hops.append(hop)
+        node = hop[0]
+    hops.reverse()
+    return Journey(source=source, hops=tuple(hops))
+
+
+def journey_delay(eg: EvolvingGraph, journey: Journey, start: int = 0) -> float:
+    """Total arrival time of a journey under delay weights."""
+    ready = float(start)
+    for u, v, t in journey.hops:
+        if t < ready:
+            raise ValueError(f"contact at {t} before ready time {ready}")
+        ready = t + eg.weight(u, v, t)
+    return ready
+
+
+def most_reliable_journey(
+    eg: EvolvingGraph, source: Node, target: Node, start: int = 0
+) -> Optional[Tuple[Journey, float]]:
+    """Maximise the product of contact reliabilities along a journey.
+
+    Weights must lie in (0, 1].  Returns (journey, reliability) or
+    ``None`` when unreachable.  DP over time: best[node] = highest
+    success probability of holding the message by the current label,
+    with same-unit chaining handled by per-unit fixpoint (max is
+    idempotent).
+    """
+    for node in (source, target):
+        if not eg.has_node(node):
+            raise NodeNotFoundError(node)
+    best: Dict[Node, float] = {source: 1.0}
+    # Best value at the moment each node first attains it, and the hop used.
+    parent: Dict[Node, Hop] = {}
+    contacts = _weighted_contacts(eg)
+    index = 0
+    n = len(contacts)
+    while index < n:
+        time = contacts[index][0]
+        group = []
+        while index < n and contacts[index][0] == time:
+            group.append(contacts[index])
+            index += 1
+        if time < start:
+            continue
+        changed = True
+        while changed:
+            changed = False
+            for _, u, v, weight in group:
+                if not 0.0 < weight <= 1.0:
+                    raise ValueError(
+                        f"reliability weights must be in (0, 1], got {weight}"
+                    )
+                for a, b in ((u, v), (v, u)):
+                    candidate = best.get(a, 0.0) * weight
+                    if candidate > best.get(b, 0.0) + 1e-15:
+                        best[b] = candidate
+                        parent[b] = (a, b, time)
+                        changed = True
+    if target not in best:
+        return None
+    if source == target:
+        return Journey(source=source, hops=()), 1.0
+    if target not in parent:
+        return None
+    hops: List[Hop] = []
+    node = target
+    seen_guard = 0
+    while node != source and seen_guard <= len(parent) + 1:
+        hop = parent[node]
+        hops.append(hop)
+        node = hop[0]
+        seen_guard += 1
+    hops.reverse()
+    return Journey(source=source, hops=tuple(hops)), best[target]
+
+
+def max_bandwidth_journey(
+    eg: EvolvingGraph, source: Node, target: Node, start: int = 0
+) -> Optional[Tuple[Journey, float]]:
+    """Maximise the bottleneck (minimum) weight along a journey.
+
+    Search over the distinct weight values: the best bottleneck is the
+    largest threshold for which the subgraph of contacts with weight ≥
+    threshold still temporally connects source to target.
+    """
+    from repro.temporal.journeys import earliest_completion_journey
+
+    for node in (source, target):
+        if not eg.has_node(node):
+            raise NodeNotFoundError(node)
+    if source == target:
+        return Journey(source=source, hops=()), math.inf
+
+    thresholds = sorted(
+        {weight for _, _, _, weight in _weighted_contacts(eg)}, reverse=True
+    )
+    for threshold in thresholds:
+        filtered = EvolvingGraph(horizon=eg.horizon, nodes=eg.nodes())
+        for time, u, v, weight in _weighted_contacts(eg):
+            if weight >= threshold:
+                filtered.add_contact(u, v, time, weight)
+        journey = earliest_completion_journey(filtered, source, target, start)
+        if journey is not None and (journey.hops or source == target):
+            return journey, threshold
+    return None
+
+
+def journey_bottleneck(eg: EvolvingGraph, journey: Journey) -> float:
+    """The minimum weight along a journey (inf for the empty journey)."""
+    if not journey.hops:
+        return math.inf
+    return min(eg.weight(u, v, t) for u, v, t in journey.hops)

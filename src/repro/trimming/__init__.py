@@ -1,0 +1,67 @@
+"""Structural trimming (Sec. III-A of the paper).
+
+Static trimming: the evolving-graph node/link replacement rules with
+priorities, localized topology control on unit disk graphs (Gabriel,
+RNG, XTC), and greedy t-spanners.  Dynamic trimming: fixed-point,
+time-varying (utility decay) and copy-varying forwarding sets for
+opportunistic routing.
+"""
+
+from repro.trimming.forwarding_set import (
+    CopyVaryingPolicy,
+    ForwardingPolicy,
+    TimeVaryingForwardingSets,
+    optimal_copy_varying_sets,
+    optimal_forwarding_sets,
+    simulate_single_copy,
+)
+from repro.trimming.probabilistic import (
+    ProbabilisticEvolvingGraph,
+    SamplingVerdict,
+    node_trimmable_p1,
+    node_trimmable_p2,
+    replacement_probability,
+)
+from repro.trimming.spanners import greedy_spanner, spanner_stretch
+from repro.trimming.static_rules import (
+    betweenness_priority,
+    degree_priority,
+    id_priority,
+    ignorable_links,
+    link_ignorable,
+    node_trimmable,
+    trim_nodes,
+)
+from repro.trimming.topology_control import (
+    gabriel_graph,
+    relative_neighborhood_graph,
+    stretch_factor,
+    xtc,
+)
+
+__all__ = [
+    "CopyVaryingPolicy",
+    "ForwardingPolicy",
+    "ProbabilisticEvolvingGraph",
+    "SamplingVerdict",
+    "TimeVaryingForwardingSets",
+    "betweenness_priority",
+    "degree_priority",
+    "gabriel_graph",
+    "greedy_spanner",
+    "id_priority",
+    "ignorable_links",
+    "link_ignorable",
+    "node_trimmable",
+    "node_trimmable_p1",
+    "node_trimmable_p2",
+    "replacement_probability",
+    "optimal_copy_varying_sets",
+    "optimal_forwarding_sets",
+    "relative_neighborhood_graph",
+    "simulate_single_copy",
+    "spanner_stretch",
+    "stretch_factor",
+    "trim_nodes",
+    "xtc",
+]

@@ -1,0 +1,147 @@
+"""Contact traces and the edge-Markovian process (Sec. II-B)."""
+
+import numpy as np
+import pytest
+
+from repro.temporal.contacts import (
+    ContactRecord,
+    ContactTrace,
+    fit_exponential,
+    generate_exponential_trace,
+)
+from repro.temporal.edge_markovian import (
+    EdgeMarkovianProcess,
+    measure_flooding_times,
+)
+
+
+class TestContactRecords:
+    def test_duration(self):
+        r = ContactRecord("a", "b", 1.0, 3.5)
+        assert r.duration == 2.5
+        assert r.pair == frozenset({"a", "b"})
+
+    def test_invalid_records(self):
+        with pytest.raises(ValueError):
+            ContactRecord("a", "a", 0, 1)
+        with pytest.raises(ValueError):
+            ContactRecord("a", "b", 2, 2)
+
+    def test_trace_accumulates(self):
+        trace = ContactTrace()
+        trace.add_contact("a", "b", 0, 1)
+        trace.add_contact("b", "c", 2, 3)
+        assert trace.num_contacts == 2
+        assert trace.nodes == {"a", "b", "c"}
+        assert trace.end_time == 3
+
+    def test_inter_contact_times_per_pair(self):
+        trace = ContactTrace()
+        trace.add_contact("a", "b", 0, 1)
+        trace.add_contact("a", "b", 4, 5)
+        trace.add_contact("a", "c", 2, 3)  # different pair: no gap yet
+        gaps = trace.inter_contact_times()
+        assert gaps == [3.0]
+
+    def test_contact_durations(self):
+        trace = ContactTrace()
+        trace.add_contact("a", "b", 0, 2)
+        trace.add_contact("a", "b", 5, 6)
+        assert sorted(trace.contact_durations()) == [1.0, 2.0]
+
+    def test_pair_counts(self):
+        trace = ContactTrace()
+        trace.add_contact("a", "b", 0, 1)
+        trace.add_contact("a", "b", 2, 3)
+        trace.add_contact("b", "c", 0, 1)
+        counts = trace.pair_contact_counts()
+        assert counts[frozenset({"a", "b"})] == 2
+        assert counts[frozenset({"b", "c"})] == 1
+
+    def test_to_evolving_discretisation(self):
+        trace = ContactTrace()
+        trace.add_contact("a", "b", 0.5, 2.5)
+        eg = trace.to_evolving(slot=1.0)
+        assert eg.labels("a", "b") == frozenset({0, 1, 2})
+
+    def test_to_evolving_bad_slot(self):
+        trace = ContactTrace()
+        trace.add_contact("a", "b", 0, 1)
+        with pytest.raises(ValueError):
+            trace.to_evolving(slot=0)
+
+
+class TestExponentialFit:
+    def test_rate_is_inverse_mean(self, rng):
+        samples = rng.exponential(2.0, size=5000)
+        fit = fit_exponential(samples.tolist())
+        assert fit.rate == pytest.approx(0.5, rel=0.1)
+        assert fit.mean == pytest.approx(2.0, rel=0.1)
+
+    def test_ks_small_for_true_exponential(self, rng):
+        samples = rng.exponential(1.0, size=5000)
+        fit = fit_exponential(samples.tolist())
+        assert fit.ks_distance < 0.05
+
+    def test_ks_large_for_uniform(self, rng):
+        samples = rng.uniform(0.9, 1.1, size=5000)
+        fit = fit_exponential(samples.tolist())
+        assert fit.ks_distance > 0.2
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1.0])
+
+    def test_synthetic_trace_inter_contacts_exponential(self, rng):
+        trace = generate_exponential_trace(
+            list(range(10)), rate=0.3, duration_mean=0.1, end_time=200.0, rng=rng
+        )
+        fit = fit_exponential(trace.inter_contact_times())
+        assert fit.ks_distance < 0.08
+
+
+class TestEdgeMarkovian:
+    def test_stationary_density(self, rng):
+        process = EdgeMarkovianProcess(30, p=0.2, q=0.1, rng=rng)
+        assert process.stationary_density == pytest.approx(1 / 3)
+
+    def test_density_stays_near_stationary(self, rng):
+        process = EdgeMarkovianProcess(60, p=0.3, q=0.1, rng=rng)
+        densities = []
+        for _ in range(50):
+            process.step()
+            densities.append(process.edge_density())
+        mean_density = sum(densities) / len(densities)
+        assert abs(mean_density - 0.25) < 0.05
+
+    def test_frozen_process_rejected(self, rng):
+        with pytest.raises(ValueError):
+            EdgeMarkovianProcess(10, p=0.0, q=0.0, rng=rng)
+
+    def test_p_one_q_one_alternates(self, rng):
+        process = EdgeMarkovianProcess(10, p=1.0, q=1.0, rng=rng, initial_density=1.0)
+        full = process.current_snapshot()
+        assert full.num_edges == 45
+        empty = process.step()
+        assert empty.num_edges == 0
+        assert process.step().num_edges == 45
+
+    def test_generate_evolving(self, rng):
+        process = EdgeMarkovianProcess(15, p=0.5, q=0.2, rng=rng)
+        eg = process.generate(horizon=8)
+        assert eg.horizon == 8
+        assert eg.num_nodes == 15
+
+    def test_flooding_faster_when_denser(self, rng):
+        sparse = measure_flooding_times(40, p=0.9, q=0.02, trials=10, horizon=60, rng=rng)
+        rng2 = np.random.default_rng(999)
+        dense = measure_flooding_times(40, p=0.2, q=0.2, trials=10, horizon=60, rng=rng2)
+        assert dense.completed == 10
+        assert dense.mean_flooding_time is not None
+        if sparse.mean_flooding_time is not None:
+            assert dense.mean_flooding_time <= sparse.mean_flooding_time
+
+    def test_measurement_fields(self, rng):
+        m = measure_flooding_times(10, p=0.3, q=0.3, trials=3, horizon=30, rng=rng)
+        assert m.n == 10 and m.trials == 3
+        assert m.completed <= 3

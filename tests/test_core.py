@@ -1,0 +1,201 @@
+"""The core API: structures, property checks, the analyzer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.properties import (
+    contains_spanning_tree,
+    hop_stretch,
+    preserves_completion_times,
+    preserves_connectivity,
+    preserves_hop_counts,
+    preserves_time_i_connectivity,
+)
+from repro.core.structures import Strategy, Structure, StructureKind, StructureReport
+from repro.core.uncover import StructureAnalyzer, layer, remap, trim
+from repro.graphs.generators import barabasi_albert, path_graph, random_connected_graph
+from repro.graphs.graph import Graph
+from repro.graphs.unit_disk import random_unit_disk_graph
+from repro.graphs.traversal import connected_components
+from repro.mobility.community import random_profiles
+from repro.temporal.evolving import EvolvingGraph, paper_fig2_evolving_graph
+
+
+class TestProperties:
+    def test_preserves_connectivity_positive(self):
+        g = path_graph(5)
+        assert preserves_connectivity(g, g.copy())
+
+    def test_preserves_connectivity_negative(self):
+        g = path_graph(5)
+        cut = g.copy()
+        cut.remove_edge(2, 3)
+        assert not preserves_connectivity(g, cut)
+
+    def test_preserves_connectivity_with_removed_nodes(self):
+        g = path_graph(5)
+        sub = g.subgraph({0, 1, 2})
+        assert preserves_connectivity(g, sub)
+
+    def test_contains_spanning_tree(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=1)
+        g.add_edge("b", "c", weight=1)
+        g.add_edge("a", "c", weight=5)
+        sub = g.copy()
+        sub.remove_edge("a", "c")
+        assert contains_spanning_tree(g, sub)
+        sub2 = g.copy()
+        sub2.remove_edge("a", "b")
+        assert not contains_spanning_tree(g, sub2)
+
+    def test_hop_stretch(self):
+        g = Graph()
+        for u, v in [(0, 1), (1, 2), (0, 2)]:
+            g.add_edge(u, v)
+        sub = g.copy()
+        sub.remove_edge(0, 2)
+        assert hop_stretch(g, sub) == 2.0
+
+    def test_hop_stretch_inf_when_disconnected(self):
+        g = path_graph(3)
+        sub = g.copy()
+        sub.remove_edge(0, 1)
+        assert hop_stretch(g, sub) == math.inf
+
+    def test_temporal_preservation_identity(self):
+        eg = paper_fig2_evolving_graph()
+        assert preserves_completion_times(eg, eg.copy())
+        assert preserves_time_i_connectivity(eg, eg.copy(), 0)
+        assert preserves_hop_counts(eg, eg.copy())
+
+    def test_temporal_preservation_detects_degradation(self):
+        eg = EvolvingGraph(horizon=6)
+        eg.add_contact("a", "b", 1)
+        eg.add_contact("a", "b", 5)
+        worse = eg.copy()
+        worse.remove_contact("a", "b", 1)
+        assert not preserves_completion_times(eg, worse)
+
+
+class TestStructures:
+    def test_report_accumulates(self):
+        report = StructureReport(network_summary="test")
+        report.add(Structure("s1", StructureKind.LOGICAL, Strategy.MODEL))
+        report.add(Structure("s2", StructureKind.PHYSICAL, Strategy.TRIMMING))
+        assert len(report) == 2
+        assert report.find("s1") is not None
+        assert report.find("nope") is None
+        assert report.names() == ["s1", "s2"]
+        assert len(report.by_strategy(Strategy.TRIMMING)) == 1
+
+    def test_summary_readable(self):
+        report = StructureReport(network_summary="net")
+        report.add(
+            Structure(
+                "x", StructureKind.LOGICAL, Strategy.MODEL, evidence={"k": 1}
+            )
+        )
+        text = report.summary()
+        assert "net" in text and "x" in text and "k: 1" in text
+
+
+class TestTrimDispatch:
+    def test_trim_evolving_auto(self):
+        structure = trim(paper_fig2_evolving_graph())
+        assert structure.strategy == Strategy.TRIMMING
+        assert structure.payload.num_nodes <= 6
+
+    def test_trim_positioned_auto_gabriel(self, medium_udg):
+        structure = trim(medium_udg)
+        assert structure.name == "gabriel-backbone"
+        assert structure.evidence["edges_after"] < structure.evidence["edges_before"]
+
+    def test_trim_plain_graph_auto_spanner(self, rng):
+        g = random_connected_graph(30, 0.3, rng)
+        structure = trim(g)
+        assert "spanner" in structure.name
+
+    def test_trim_explicit_spanner_t(self, rng):
+        g = random_connected_graph(25, 0.3, rng)
+        structure = trim(g, "spanner", t=2.0)
+        assert structure.evidence["t"] == 2.0
+
+    def test_trim_type_errors(self, rng):
+        with pytest.raises(TypeError):
+            trim(path_graph(4), "replacement-rule")
+        with pytest.raises(TypeError):
+            trim(paper_fig2_evolving_graph(), "gabriel")
+        with pytest.raises(ValueError):
+            trim(path_graph(4), "shrink-ray")
+
+
+class TestLayerDispatch:
+    def test_layer_nsf(self, rng):
+        g = barabasi_albert(100, 2, rng)
+        structure = layer(g, "nsf")
+        assert structure.strategy == Strategy.LAYERING
+        assert set(structure.payload) == set(g.nodes())
+
+    def test_layer_link_reversal(self, rng):
+        g = random_connected_graph(20, 0.15, rng)
+        structure = layer(g, "link-reversal", destination=0)
+        assert structure.payload.is_destination_oriented(0)
+
+    def test_layer_link_reversal_needs_destination(self):
+        with pytest.raises(ValueError):
+            layer(path_graph(4), "link-reversal")
+
+    def test_layer_unknown(self):
+        with pytest.raises(ValueError):
+            layer(path_graph(4), "lasagna")
+
+
+class TestRemapDispatch:
+    def test_remap_hyperbolic(self, rng):
+        g = random_connected_graph(30, 0.12, rng)
+        structure = remap(g, "hyperbolic")
+        assert structure.strategy == Strategy.REMAPPING
+        assert structure.payload.tau > 0
+
+    def test_remap_feature_space(self, rng):
+        profiles = random_profiles(20, (2, 2, 3), rng)
+        structure = remap(Graph(), "feature-space", profiles=profiles, radices=(2, 2, 3))
+        assert structure.payload.hypercube.num_nodes == 12
+
+    def test_remap_feature_space_needs_args(self):
+        with pytest.raises(ValueError):
+            remap(Graph(), "feature-space")
+
+    def test_remap_unknown(self):
+        with pytest.raises(ValueError):
+            remap(path_graph(3), "astral")
+
+
+class TestAnalyzer:
+    def test_static_analysis_has_model_entries(self, rng):
+        g = random_connected_graph(25, 0.15, rng)
+        report = StructureAnalyzer().analyze(g)
+        assert report.find("graph-model") is not None
+        assert report.find("degree-structure") is not None
+        assert report.find("nsf-levels") is not None
+
+    def test_positioned_graph_gets_gabriel(self, medium_udg):
+        report = StructureAnalyzer().analyze(medium_udg)
+        assert report.find("gabriel-backbone") is not None
+
+    def test_evolving_analysis(self):
+        report = StructureAnalyzer().analyze(paper_fig2_evolving_graph())
+        assert report.find("temporal-connectivity") is not None
+        assert report.find("trimmed-evolving-graph") is not None
+
+    def test_interval_classification(self):
+        from repro.graphs.interval import interval_graph
+
+        g = interval_graph({"a": (0, 2), "b": (1, 3), "c": (2.5, 5)})
+        report = StructureAnalyzer().analyze(g)
+        model = report.find("graph-model")
+        assert model.evidence["chordal"] is True
+        assert model.evidence["interval"] is True

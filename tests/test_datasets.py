@@ -1,0 +1,76 @@
+"""Synthetic dataset stand-ins (DESIGN.md substitution table)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.gnutella import gnutella_largest_scc, gnutella_like_snapshot
+from repro.datasets.human_contacts import mobility_model_trace, rate_model_trace
+from repro.graphs.metrics import degree_sequence, fit_power_law
+from repro.graphs.traversal import is_connected
+from repro.mobility.community import feature_distance
+from repro.remapping.feature_space import FeatureSpace, contact_frequency_by_feature_distance
+
+
+class TestGnutellaLike:
+    def test_snapshot_size_and_direction(self, rng):
+        g = gnutella_like_snapshot(500, rng)
+        assert g.num_nodes == 500
+        assert g.num_edges > 500  # out-degree 3 plus reciprocation
+
+    def test_largest_scc_is_big_and_connected(self, rng):
+        scc = gnutella_largest_scc(800, rng)
+        assert scc.num_nodes > 0.5 * 800
+        assert is_connected(scc)
+
+    def test_power_law_exponent_near_gnutella(self, rng):
+        """Calibration: exponent in the published Gnutella ballpark."""
+        scc = gnutella_largest_scc(4000, rng)
+        fit = fit_power_law(degree_sequence(scc), kmin=4)
+        assert 1.9 < fit.alpha < 3.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            gnutella_like_snapshot(3, rng)
+        with pytest.raises(ValueError):
+            gnutella_like_snapshot(100, rng, back_edge_prob=2.0)
+
+
+class TestHumanContacts:
+    def test_rate_model_law_holds(self, rng):
+        trace, profiles = rate_model_trace(
+            30, (2, 2, 3), rng, rate0=0.5, decay=0.4, end_time=120.0
+        )
+        space = FeatureSpace(profiles, (2, 2, 3))
+        eg = trace.to_evolving(slot=1.0)
+        freq = contact_frequency_by_feature_distance(eg, space)
+        distances = sorted(freq)
+        assert freq[distances[0]] > freq[distances[-1]]
+
+    def test_rate_model_validation(self, rng):
+        with pytest.raises(ValueError):
+            rate_model_trace(10, (2, 2), rng, decay=0.0)
+        with pytest.raises(ValueError):
+            rate_model_trace(10, (2, 2), rng, rate0=-1.0)
+
+    def test_mobility_model_trace_produces_contacts(self, rng):
+        trace, profiles = mobility_model_trace(
+            24, (2, 2, 3), rng, steps=150, arena_side=20.0
+        )
+        assert trace.num_contacts > 0
+        assert set(profiles) <= trace.nodes | set(profiles)
+
+    def test_mobility_model_law_emerges(self, rng):
+        trace, profiles = mobility_model_trace(
+            36, (2, 2, 3), rng, steps=300, arena_side=24.0
+        )
+        counts = trace.pair_contact_counts()
+        by_distance = {}
+        nodes = list(profiles)
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                d = feature_distance(profiles[u], profiles[v])
+                by_distance.setdefault(d, []).append(
+                    counts.get(frozenset((u, v)), 0)
+                )
+        means = {d: sum(v) / len(v) for d, v in by_distance.items()}
+        assert means[0] > means[max(means)]

@@ -1,0 +1,209 @@
+"""Exception hierarchy and cross-module edge cases."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AlgorithmError,
+    ConvergenceError,
+    EdgeNotFoundError,
+    GraphClassError,
+    NodeNotFoundError,
+    ReproError,
+)
+from repro.graphs.graph import DiGraph, Graph
+from repro.graphs.generators import path_graph
+from repro.temporal.evolving import EvolvingGraph
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for error_type in (
+            NodeNotFoundError,
+            EdgeNotFoundError,
+            GraphClassError,
+            AlgorithmError,
+            ConvergenceError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_node_not_found_is_key_error(self):
+        assert issubclass(NodeNotFoundError, KeyError)
+        error = NodeNotFoundError("x")
+        assert error.node == "x"
+        assert "x" in str(error)
+
+    def test_edge_not_found_carries_endpoints(self):
+        error = EdgeNotFoundError("a", "b")
+        assert (error.u, error.v) == ("a", "b")
+
+    def test_graph_class_error_is_value_error(self):
+        assert issubclass(GraphClassError, ValueError)
+
+    def test_convergence_error_carries_rounds(self):
+        error = ConvergenceError("thing", 42)
+        assert error.rounds == 42
+        assert "42" in str(error)
+
+    def test_catching_base_catches_all(self):
+        g = Graph()
+        with pytest.raises(ReproError):
+            g.remove_node("ghost")
+        with pytest.raises(ReproError):
+            g.add_node("a")
+            g.add_node("b")
+            g.remove_edge("a", "b")
+
+
+class TestGraphEdgeCases:
+    def test_empty_graph_properties(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+        assert g.copy().num_nodes == 0
+        assert g.subgraph(set()).num_nodes == 0
+
+    def test_single_node_graph(self):
+        g = Graph()
+        g.add_node(0)
+        assert g.degree(0) == 0
+        assert g.neighbors(0) == set()
+        assert g.k_hop_neighbors(0, 5) == set()
+
+    def test_hashable_node_types_mix(self):
+        g = Graph()
+        g.add_edge(1, "one")
+        g.add_edge("one", (1, 0))
+        g.add_edge((1, 0), frozenset({1}))
+        assert g.num_edges == 3
+        assert g.has_edge(frozenset({1}), (1, 0))
+
+    def test_digraph_edges_directional_attrs(self):
+        g = DiGraph()
+        g.add_edge("a", "b", weight=1)
+        g.add_edge("b", "a", weight=9)
+        assert g.edge_attr("a", "b", "weight") == 1
+        assert g.edge_attr("b", "a", "weight") == 9
+
+    def test_subgraph_of_subgraph(self):
+        g = path_graph(6)
+        sub = g.subgraph({0, 1, 2, 3}).subgraph({1, 2})
+        assert sub.has_edge(1, 2)
+        assert sub.num_nodes == 2
+
+
+class TestEvolvingGraphEdgeCases:
+    def test_horizon_one(self):
+        eg = EvolvingGraph(horizon=1)
+        eg.add_contact("a", "b", 0)
+        assert eg.labels("a", "b") == frozenset({0})
+        with pytest.raises(ValueError):
+            eg.add_contact("a", "b", 1)
+
+    def test_duplicate_contact_idempotent(self):
+        eg = EvolvingGraph(horizon=4)
+        eg.add_contact("a", "b", 2)
+        eg.add_contact("a", "b", 2)
+        assert eg.num_contacts == 1
+
+    def test_empty_eg_queries(self):
+        eg = EvolvingGraph(horizon=3, nodes=["a"])
+        assert eg.contacts_from("a") == []
+        assert eg.all_contacts() == []
+        from repro.temporal.journeys import earliest_arrival
+
+        assert earliest_arrival(eg, "a") == {"a": 0}
+
+    def test_snapshot_is_independent_copy(self):
+        eg = EvolvingGraph(horizon=3)
+        eg.add_contact("a", "b", 0)
+        snap = eg.snapshot(0)
+        snap.remove_edge("a", "b")
+        assert eg.has_contact("a", "b", 0)
+
+    def test_weight_update_overwrites(self):
+        eg = EvolvingGraph(horizon=4)
+        eg.add_contact("a", "b", 1, weight=2.0)
+        eg.add_contact("a", "b", 1, weight=5.0)
+        assert eg.weight("a", "b", 1) == 5.0
+
+
+class TestNumericEdgeCases:
+    def test_power_law_fit_needs_two_samples(self):
+        from repro.graphs.metrics import fit_power_law
+
+        with pytest.raises(ValueError):
+            fit_power_law([5], kmin=1)
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], kmin=10)
+
+    def test_exponential_fit_filters_nonpositive(self):
+        from repro.temporal.contacts import fit_exponential
+
+        fit = fit_exponential([1.0, 2.0, -5.0, 0.0, 3.0])
+        assert fit.n == 3
+
+    def test_hyperbolic_distance_identity(self):
+        from repro.remapping.hyperbolic import hyperbolic_distance
+
+        assert hyperbolic_distance((0.3, 2.0), (0.3, 2.0)) == 0.0
+
+    def test_log_space_distance_huge_radii(self):
+        # The Möbius machinery must survive distances far beyond
+        # float-cosh range (cosh overflows past ~710).
+        from repro.graphs.generators import path_graph
+        from repro.remapping.hyperbolic import embed_tree
+
+        chain = path_graph(60)
+        embedding = embed_tree(chain, tau=30.0, certify=False)
+        distance = embedding.distance(0, 59)
+        assert distance == pytest.approx(59 * 30.0, rel=1e-6)
+        assert not math.isinf(distance)
+
+    def test_spanner_of_empty_graph(self):
+        from repro.trimming.spanners import greedy_spanner
+
+        g = Graph()
+        assert greedy_spanner(g, 2.0).num_nodes == 0
+
+    def test_mis_of_empty_graph(self):
+        from repro.labeling.mis import compute_mis
+
+        mis, rounds = compute_mis(Graph())
+        assert mis == set()
+
+    def test_marking_of_clique_union_node(self):
+        from repro.labeling.cds import marking_process
+
+        g = Graph()
+        g.add_node("lonely")
+        assert marking_process(g) == set()
+
+    def test_analyzer_on_tiny_graphs(self):
+        from repro.core.uncover import StructureAnalyzer
+
+        g = Graph()
+        g.add_edge(0, 1)
+        report = StructureAnalyzer().analyze(g)
+        assert report.find("graph-model") is not None
+
+    def test_pagerank_single_node(self):
+        from repro.labeling.pagerank import pagerank
+
+        g = DiGraph()
+        g.add_node("solo")
+        scores, _ = pagerank(g)
+        assert scores["solo"] == pytest.approx(1.0)
+
+    def test_safety_levels_all_faulty_neighbors(self):
+        from repro.labeling.safety import compute_safety_levels
+
+        # Every neighbor of 000 faulty: its level must be 0's successor
+        # logic => level 1 requires l_1 >= 1 which fails => level ...
+        faults = [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+        s = compute_safety_levels(3, faults)
+        # Sorted neighbor levels (0,0,0): smallest k with l_k < k is 1.
+        assert s.levels[(0, 0, 0)] == 1

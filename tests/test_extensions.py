@@ -1,0 +1,292 @@
+"""Tests for the paper's extension/open-question features:
+
+multilayer networks (Sec. I), probabilistic trimming (Sec. III-A),
+asynchronous execution (Sec. IV-C view inconsistency), and hybrid
+central-over-distributed routing control ([31], Sec. IV-C).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError, NodeNotFoundError
+from repro.graphs.generators import grid_2d, path_graph, random_connected_graph
+from repro.graphs.graph import Graph
+from repro.graphs.multilayer import MultilayerNetwork, social_physical_coupling
+from repro.labeling.sdn import CentralController, steer_routing
+from repro.runtime.async_engine import AsyncNetwork
+from repro.runtime.engine import Network, NodeAlgorithm
+from repro.temporal.evolving import EvolvingGraph, paper_fig2_evolving_graph
+from repro.trimming.probabilistic import (
+    ProbabilisticEvolvingGraph,
+    node_trimmable_p1,
+    node_trimmable_p2,
+    replacement_probability,
+)
+from repro.trimming.static_rules import id_priority, node_trimmable
+
+
+class TestMultilayer:
+    def test_layers_share_node_universe(self):
+        net = MultilayerNetwork()
+        net.add_edge("social", "a", "b")
+        net.add_layer("physical")
+        net.add_edge("physical", "b", "c")
+        assert net.layer("social").has_node("c")
+        assert net.layer("physical").has_node("a")
+        assert net.num_nodes == 3
+
+    def test_duplicate_layer_rejected(self):
+        net = MultilayerNetwork()
+        net.add_layer("x")
+        with pytest.raises(ValueError):
+            net.add_layer("x")
+
+    def test_aggregate_counts_layers(self):
+        net = MultilayerNetwork()
+        net.add_edge("a-layer", 1, 2)
+        net.add_edge("b-layer", 1, 2)
+        net.add_edge("b-layer", 2, 3)
+        union = net.aggregate()
+        assert union.edge_attr(1, 2, "layers") == 2
+        assert union.edge_attr(2, 3, "layers") == 1
+
+    def test_overlap_metrics(self):
+        net = MultilayerNetwork()
+        net.add_edge("a", 1, 2)
+        net.add_edge("a", 2, 3)
+        net.add_edge("b", 1, 2)
+        assert net.layer_overlap("a", "b") == pytest.approx(0.5)
+        assert net.edge_conditional_probability("b", "a") == 1.0
+        assert net.edge_conditional_probability("a", "b") == 0.5
+
+    def test_degree_correlation_positive_on_copies(self):
+        g = random_connected_graph(20, 0.2, np.random.default_rng(1))
+        net = MultilayerNetwork()
+        net.add_layer("a", g)
+        net.add_layer("b", g)
+        assert net.degree_correlation("a", "b") == pytest.approx(1.0)
+
+    def test_degree_vector(self):
+        net = MultilayerNetwork()
+        net.add_edge("x", 1, 2)
+        net.add_layer("y")
+        assert net.degree_vector(1) == {"x": 1, "y": 0}
+        with pytest.raises(NodeNotFoundError):
+            net.degree_vector(99)
+
+    def test_social_physical_coupling_influence(self, rng):
+        """The Sec. III-C law shows up as cross-layer edge prediction."""
+        from repro.datasets.human_contacts import rate_model_trace
+
+        trace, profiles = rate_model_trace(
+            30, (2, 2, 3), rng, rate0=0.5, decay=0.3, end_time=60.0
+        )
+        net = social_physical_coupling(
+            profiles, trace.pair_contact_counts(), strong_threshold=3
+        )
+        # Physical edges are much likelier between social neighbors
+        # than between arbitrary pairs.
+        conditional = net.edge_conditional_probability("social", "physical")
+        physical_density = (
+            net.layer("physical").num_edges
+            / (net.num_nodes * (net.num_nodes - 1) / 2)
+        )
+        assert conditional > physical_density
+
+
+def two_hop_peg(p_in, p_out, p_repl):
+    """w --0--> u --1--> v with a direct w-v replacement at time 0."""
+    peg = ProbabilisticEvolvingGraph(horizon=3)
+    peg.set_contact_probability("w", "u", 0, p_in)
+    peg.set_contact_probability("u", "v", 1, p_out)
+    if p_repl > 0:
+        peg.set_contact_probability("w", "v", 1, p_repl)
+    return peg
+
+
+class TestProbabilisticTrimming:
+    def test_degenerates_to_deterministic_rule(self):
+        """All probabilities 1, gamma = 1  ==  the paper's rule."""
+        eg = paper_fig2_evolving_graph()
+        peg = ProbabilisticEvolvingGraph.from_evolving(eg, probability=1.0)
+        priorities = id_priority(eg)
+        for node in sorted(eg.nodes(), key=repr):
+            if not eg.neighbors(node):
+                continue
+            deterministic = node_trimmable(eg, node, priorities)
+            probabilistic = node_trimmable_p1(peg, node, gamma=1.0, priorities=priorities)
+            assert deterministic == probabilistic, node
+
+    def test_replacement_probability_exact_single_link(self):
+        peg = two_hop_peg(1.0, 1.0, 0.7)
+        assert replacement_probability(
+            peg, "w", "v", 0, 1, {"u"}
+        ) == pytest.approx(0.7)
+
+    def test_trimmable_iff_replacement_strong_enough(self):
+        strong = two_hop_peg(1.0, 1.0, 0.95)
+        weak = two_hop_peg(1.0, 1.0, 0.5)
+        assert node_trimmable_p1(strong, "u", gamma=0.9)
+        assert not node_trimmable_p1(weak, "u", gamma=0.9)
+
+    def test_gamma_scales_with_pattern_probability(self):
+        # Pattern itself is unlikely (0.25): a 0.3 replacement suffices
+        # at gamma = 0.9 because 0.3 >= 0.9 * 0.25.
+        peg = two_hop_peg(0.5, 0.5, 0.3)
+        assert node_trimmable_p1(peg, "u", gamma=0.9)
+
+    def test_gamma_validation(self):
+        peg = two_hop_peg(1, 1, 1)
+        with pytest.raises(ValueError):
+            node_trimmable_p1(peg, "u", gamma=1.5)
+
+    def test_sampling_rule_agrees_with_expectation_rule(self, rng):
+        peg = two_hop_peg(1.0, 1.0, 0.95)
+        verdict = node_trimmable_p2(peg, "u", rng, samples=200)
+        # Deterministic per-realisation: trimmable iff the w-v contact
+        # materialises (prob 0.95).
+        assert verdict.trimmable_fraction == pytest.approx(0.95, abs=0.05)
+
+    def test_sample_respects_probabilities(self, rng):
+        peg = ProbabilisticEvolvingGraph(horizon=2)
+        peg.set_contact_probability("a", "b", 0, 0.3)
+        hits = sum(
+            peg.sample(rng).has_contact("a", "b", 0) for _ in range(500)
+        )
+        assert hits / 500 == pytest.approx(0.3, abs=0.06)
+
+    def test_same_unit_chaining_probability(self):
+        # w-x and x-v both at time 0: chain probability is p1 * p2.
+        peg = ProbabilisticEvolvingGraph(horizon=1)
+        peg.set_contact_probability("w", "x", 0, 0.5)
+        peg.set_contact_probability("x", "v", 0, 0.5)
+        assert replacement_probability(
+            peg, "w", "v", 0, 0, set()
+        ) == pytest.approx(0.25)
+
+    def test_validation(self):
+        peg = ProbabilisticEvolvingGraph(horizon=2)
+        with pytest.raises(ValueError):
+            peg.set_contact_probability("a", "a", 0, 0.5)
+        with pytest.raises(ValueError):
+            peg.set_contact_probability("a", "b", 5, 0.5)
+        with pytest.raises(ValueError):
+            peg.set_contact_probability("a", "b", 0, 1.5)
+
+
+class Flood(NodeAlgorithm):
+    def __init__(self, source):
+        self.source = source
+
+    def init(self, ctx):
+        ctx.state["informed"] = ctx.node == self.source
+        if ctx.state["informed"]:
+            ctx.broadcast("token")
+
+    def step(self, ctx):
+        if ctx.inbox and not ctx.state["informed"]:
+            ctx.state["informed"] = True
+            ctx.broadcast("token")
+        ctx.halt()
+
+
+class TestAsyncEngine:
+    def test_flood_survives_asynchrony(self, rng):
+        g = grid_2d(4, 4)
+        network = AsyncNetwork(g, lambda n: Flood((0, 0)), rng, max_delay=4)
+        network.run()
+        assert all(network.states("informed").values())
+
+    def test_delay_one_behaves_like_synchronous(self, rng):
+        g = path_graph(6)
+        asynchronous = AsyncNetwork(g, lambda n: Flood(0), rng, max_delay=1)
+        asynchronous.run()
+        synchronous = Network(g, lambda n: Flood(0))
+        synchronous.run()
+        assert (
+            asynchronous.states("informed") == synchronous.states("informed")
+        )
+
+    def test_larger_delays_cost_more_ticks(self):
+        g = path_graph(12)
+        slow_ticks = []
+        fast_ticks = []
+        for seed in range(5):
+            fast = AsyncNetwork(
+                g, lambda n: Flood(0), np.random.default_rng(seed), max_delay=1
+            )
+            fast.run()
+            fast_ticks.append(fast.tick)
+            slow = AsyncNetwork(
+                g, lambda n: Flood(0), np.random.default_rng(seed), max_delay=5
+            )
+            slow.run()
+            slow_ticks.append(slow.tick)
+        assert sum(slow_ticks) > sum(fast_ticks)
+
+    def test_bad_delay_rejected(self, rng):
+        with pytest.raises(ValueError):
+            AsyncNetwork(path_graph(3), lambda n: Flood(0), rng, max_delay=0)
+
+    def test_marking_algorithm_tolerates_asynchrony(self, rng):
+        """One-shot localized labels survive async delivery."""
+        from repro.labeling.cds import MarkingAlgorithm, marking_process
+
+        g = random_connected_graph(25, 0.15, rng)
+        network = AsyncNetwork(g, lambda n: MarkingAlgorithm(), rng, max_delay=3)
+        network.run()
+        black = {
+            node
+            for node, color in network.states("color").items()
+            if color == "black"
+        }
+        assert black == marking_process(g)
+
+
+class TestHybridSDN:
+    def test_steering_overrides_next_hop(self):
+        # 4-cycle: 0-1-2-3-0, destination 0.  Node 2 is equidistant via
+        # 1 and 3; force it through 3.
+        g = Graph()
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+            g.add_edge(u, v)
+        network, weights = steer_routing(g, 0, {2: 3})
+        assert network.state_of(2)["next_hop"] == 3
+
+    def test_steering_off_shortest_path(self):
+        # Grid: force (1,1) to route via (1,0) instead of its default.
+        g = grid_2d(3, 3)
+        network, _ = steer_routing(g, (0, 0), {(1, 1): (1, 0)})
+        assert network.state_of((1, 1))["next_hop"] == (1, 0)
+
+    def test_unsteerable_requirement_raises(self):
+        # Path 0-1-2: node 1 cannot be steered to 2 (dead end away
+        # from the destination 0).
+        g = path_graph(3)
+        with pytest.raises(AlgorithmError):
+            steer_routing(g, 0, {1: 2})
+
+    def test_non_incident_override_rejected(self):
+        g = path_graph(4)
+        controller = CentralController(g, 0)
+        with pytest.raises(AlgorithmError):
+            controller.synthesize({0: 3})
+
+    def test_unaffected_nodes_still_route_correctly(self):
+        g = grid_2d(4, 4)
+        network, _ = steer_routing(g, (0, 0), {(2, 2): (1, 2)})
+        # Every node still reaches the destination by following hops.
+        for node in g.nodes():
+            current = node
+            for _ in range(50):
+                if current == (0, 0):
+                    break
+                current = network.state_of(current)["next_hop"]
+            assert current == (0, 0)
+
+    def test_multiple_overrides(self):
+        g = grid_2d(4, 4)
+        overrides = {(3, 3): (2, 3), (1, 1): (0, 1)}
+        network, _ = steer_routing(g, (0, 0), overrides)
+        for node, hop in overrides.items():
+            assert network.state_of(node)["next_hop"] == hop

@@ -1,0 +1,161 @@
+"""MIS-gateway CDS (footnote 2) and incremental reachability (Sec. IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.graphs.generators import (
+    complete_graph,
+    path_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import connected_components
+from repro.graphs.unit_disk import random_unit_disk_graph
+from repro.labeling.cds import is_connected_dominating_set
+from repro.labeling.gateway import cds_size_comparison, mis_based_cds
+from repro.labeling.mis import is_independent_set
+from repro.temporal.evolving import EvolvingGraph, paper_fig2_evolving_graph
+from repro.temporal.incremental import (
+    IncrementalReachability,
+    incremental_from_contacts,
+)
+from repro.temporal.journeys import earliest_arrival
+
+
+class TestMISBasedCDS:
+    def test_valid_cds_on_random_graphs(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            g = random_connected_graph(40, 0.08, rng)
+            cds, dominators, gateways = mis_based_cds(g)
+            assert is_connected_dominating_set(g, cds)
+            assert cds == dominators | gateways
+
+    def test_dominators_are_independent(self, rng):
+        g = random_connected_graph(30, 0.12, rng)
+        _, dominators, _ = mis_based_cds(g)
+        assert is_independent_set(g, dominators)
+
+    def test_valid_on_udgs(self):
+        for seed in range(4):
+            rng = np.random.default_rng(seed + 100)
+            g = random_unit_disk_graph(100, 9, 9, 1.7, rng)
+            g = g.subgraph(connected_components(g)[0])
+            cds, dominators, gateways = mis_based_cds(g)
+            assert is_connected_dominating_set(g, cds)
+            # UDG: the construction is a constant-factor scheme.
+            assert len(cds) <= 4 * len(dominators)
+
+    def test_path_graph(self):
+        g = path_graph(7)
+        cds, dominators, gateways = mis_based_cds(g)
+        assert is_connected_dominating_set(g, cds)
+
+    def test_star_needs_no_gateways(self):
+        g = star_graph(6)
+        cds, dominators, gateways = mis_based_cds(g)
+        assert is_connected_dominating_set(g, cds)
+
+    def test_complete_graph_single_node(self):
+        g = complete_graph(5)
+        cds, dominators, gateways = mis_based_cds(g)
+        assert len(dominators) == 1
+        assert gateways == set()
+
+    def test_singleton(self):
+        g = Graph()
+        g.add_node("only")
+        cds, dominators, gateways = mis_based_cds(g)
+        assert cds == {"only"}
+
+    def test_disconnected_rejected(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        with pytest.raises(AlgorithmError):
+            mis_based_cds(g)
+
+    def test_size_comparison_fields(self, rng):
+        g = random_connected_graph(35, 0.1, rng)
+        sizes = cds_size_comparison(g)
+        assert sizes["mis_cds"] == sizes["mis_dominators"] + sizes["mis_gateways"]
+        assert sizes["wu_dai"] <= sizes["marking"]
+
+
+class TestIncrementalReachability:
+    def test_agrees_with_batch_on_random_streams(self):
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            eg = EvolvingGraph(horizon=15, nodes=range(12))
+            for u in range(12):
+                for v in range(u + 1, 12):
+                    if rng.random() < 0.25:
+                        eg.add_contact(u, v, int(rng.integers(15)))
+            stream = [(u, v, t) for t, u, v in eg.all_contacts()]
+            engine = incremental_from_contacts(0, stream)
+            assert engine.arrival_times() == earliest_arrival(eg, 0)
+
+    def test_agrees_with_nonzero_start(self, rng):
+        eg = paper_fig2_evolving_graph()
+        stream = [(u, v, t) for t, u, v in eg.all_contacts()]
+        engine = incremental_from_contacts("A", stream, start=4)
+        assert engine.arrival_times() == earliest_arrival(eg, "A", start=4)
+
+    def test_same_unit_chaining(self):
+        engine = IncrementalReachability("a")
+        engine.add_contact("b", "c", 1)  # c not yet informed
+        improved = engine.add_contact("a", "b", 1)
+        assert improved
+        # The buffered (b, c) contact at unit 1 must now fire too.
+        assert engine.arrival_time("c") == 1
+
+    def test_out_of_order_rejected(self):
+        engine = IncrementalReachability(0)
+        engine.add_contact(0, 1, 5)
+        with pytest.raises(ValueError):
+            engine.add_contact(1, 2, 3)
+
+    def test_self_contact_rejected(self):
+        engine = IncrementalReachability(0)
+        with pytest.raises(ValueError):
+            engine.add_contact(1, 1, 0)
+
+    def test_journey_reconstruction_valid(self, rng):
+        eg = EvolvingGraph(horizon=10, nodes=range(8))
+        for u in range(8):
+            for v in range(u + 1, 8):
+                if rng.random() < 0.4:
+                    eg.add_contact(u, v, int(rng.integers(10)))
+        stream = [(u, v, t) for t, u, v in eg.all_contacts()]
+        engine = incremental_from_contacts(0, stream)
+        for target in engine.reachable_set():
+            hops = engine.journey_to(target)
+            assert hops is not None
+            current, previous_time = 0, 0
+            for a, b, t in hops:
+                assert a == current
+                assert t >= previous_time
+                assert eg.has_contact(a, b, t)
+                current, previous_time = b, t
+            assert current == target
+
+    def test_unreachable_returns_none(self):
+        engine = IncrementalReachability("src")
+        engine.add_contact("x", "y", 0)
+        assert engine.arrival_time("y") is None
+        assert engine.journey_to("y") is None
+
+    def test_improvement_counter(self):
+        engine = IncrementalReachability(0)
+        assert engine.add_contact(0, 1, 0) is True
+        assert engine.add_contact(0, 1, 1) is False  # already reached earlier
+        assert engine.stats["contacts_processed"] == 2
+        assert engine.stats["improvements"] == 1
+
+    def test_contacts_before_start_ignored(self):
+        engine = IncrementalReachability(0, start=5)
+        assert engine.add_contact(0, 1, 2) is False
+        assert engine.arrival_time(1) is None
+        assert engine.add_contact(0, 1, 5) is True

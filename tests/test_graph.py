@@ -1,0 +1,240 @@
+"""Unit tests for the adjacency-set graph containers."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, NodeNotFoundError
+from repro.graphs.graph import DiGraph, Graph
+
+
+class TestGraphNodes:
+    def test_add_node(self):
+        g = Graph()
+        g.add_node("a")
+        assert g.has_node("a")
+        assert g.num_nodes == 1
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.num_nodes == 1
+
+    def test_add_node_merges_attrs(self):
+        g = Graph()
+        g.add_node("a", color="red")
+        g.add_node("a", size=3)
+        assert g.node_attr("a", "color") == "red"
+        assert g.node_attr("a", "size") == 3
+
+    def test_node_attr_default(self):
+        g = Graph()
+        g.add_node("a")
+        assert g.node_attr("a", "missing", 42) == 42
+
+    def test_node_attr_missing_node_raises(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.node_attr("ghost", "x")
+
+    def test_remove_node_drops_incident_edges(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.remove_node("b")
+        assert not g.has_node("b")
+        assert g.num_edges == 0
+        assert g.has_node("a") and g.has_node("c")
+
+    def test_remove_missing_node_raises(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node("ghost")
+
+    def test_contains_and_iter(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        assert 1 in g
+        assert sorted(g) == [1, 2]
+        assert len(g) == 2
+
+
+class TestGraphEdges:
+    def test_add_edge_adds_endpoints(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        assert g.has_node("a") and g.has_node("b")
+        assert g.has_edge("a", "b") and g.has_edge("b", "a")
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a")
+
+    def test_edge_attrs_symmetric(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=2.5)
+        assert g.edge_attr("a", "b", "weight") == 2.5
+        assert g.edge_attr("b", "a", "weight") == 2.5
+
+    def test_set_edge_attr(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        g.set_edge_attr("b", "a", "weight", 7)
+        assert g.edge_attr("a", "b", "weight") == 7
+
+    def test_remove_edge(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.has_node("a")
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("b")
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge("a", "b")
+
+    def test_edges_iterates_once_per_edge(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert len(list(g.edges())) == 2
+        assert g.num_edges == 2
+
+    def test_parallel_edge_merges(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=1)
+        g.add_edge("b", "a", weight=2)
+        assert g.num_edges == 1
+        assert g.edge_attr("a", "b", "weight") == 2
+
+
+class TestGraphNeighborhoods:
+    def test_neighbors_returns_copy(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        neighbors = g.neighbors("a")
+        neighbors.add("z")
+        assert g.neighbors("a") == {"b"}
+
+    def test_closed_neighbors(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        assert g.closed_neighbors("a") == {"a", "b"}
+
+    def test_degree(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        assert g.degree("a") == 2
+        assert g.degree("c") == 1
+
+    def test_k_hop_neighbors(self):
+        g = Graph()
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 4)]:
+            g.add_edge(u, v)
+        assert g.k_hop_neighbors(0, 1) == {1}
+        assert g.k_hop_neighbors(0, 2) == {1, 2}
+        assert g.k_hop_neighbors(0, 10) == {1, 2, 3, 4}
+
+    def test_k_hop_excludes_self(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        assert "a" not in g.k_hop_neighbors("a", 3)
+
+
+class TestGraphWholeOps:
+    def test_copy_is_independent(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=1)
+        clone = g.copy()
+        clone.add_edge("b", "c")
+        assert not g.has_node("c")
+        assert clone.edge_attr("a", "b", "weight") == 1
+
+    def test_subgraph_induced(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(1, 3)
+        sub = g.subgraph({1, 2})
+        assert sub.num_nodes == 2
+        assert sub.has_edge(1, 2)
+        assert not sub.has_node(3)
+
+    def test_subgraph_missing_node_raises(self):
+        g = Graph()
+        g.add_node(1)
+        with pytest.raises(NodeNotFoundError):
+            g.subgraph({1, 99})
+
+    def test_to_directed_doubles_edges(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        dg = g.to_directed()
+        assert dg.has_edge("a", "b") and dg.has_edge("b", "a")
+        assert dg.num_edges == 2
+
+
+class TestDiGraph:
+    def test_directed_edges_one_way(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_successors_predecessors(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("c", "b")
+        assert g.successors("a") == {"b"}
+        assert g.predecessors("b") == {"a", "c"}
+        assert g.out_degree("a") == 1
+        assert g.in_degree("b") == 2
+
+    def test_self_loop_rejected(self):
+        g = DiGraph()
+        with pytest.raises(ValueError):
+            g.add_edge("x", "x")
+
+    def test_remove_node_cleans_both_directions(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.remove_node("b")
+        assert g.num_edges == 0
+        assert g.successors("a") == set()
+        assert g.predecessors("c") == set()
+
+    def test_reverse(self):
+        g = DiGraph()
+        g.add_edge("a", "b", weight=5)
+        rev = g.reverse()
+        assert rev.has_edge("b", "a")
+        assert not rev.has_edge("a", "b")
+        assert rev.edge_attr("b", "a", "weight") == 5
+
+    def test_to_undirected_merges_opposing(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        ug = g.to_undirected()
+        assert ug.num_edges == 1
+
+    def test_subgraph(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        sub = g.subgraph({1, 2})
+        assert sub.has_edge(1, 2)
+        assert sub.num_nodes == 2
+
+    def test_copy_independent(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        clone = g.copy()
+        clone.remove_edge(1, 2)
+        assert g.has_edge(1, 2)

@@ -1,0 +1,187 @@
+"""Interval graphs, chordality, recognition (Sec. II-A, Fig. 1)."""
+
+import pytest
+
+from repro.errors import GraphClassError
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.interval import (
+    cycle_graph,
+    find_chordless_cycle,
+    interval_graph,
+    interval_representation,
+    intervals_overlap,
+    is_chordal,
+    is_interval_graph,
+    is_perfect_elimination_ordering,
+    lex_bfs,
+    maximal_cliques_chordal,
+    multiple_interval_graph,
+    nodes_online_at,
+    perfect_elimination_ordering,
+)
+
+
+class TestIntervalGraphConstruction:
+    def test_overlapping_intervals_connected(self):
+        g = interval_graph({"A": (0, 2), "B": (1, 3)})
+        assert g.has_edge("A", "B")
+
+    def test_disjoint_intervals_disconnected(self):
+        g = interval_graph({"A": (0, 1), "B": (2, 3)})
+        assert not g.has_edge("A", "B")
+
+    def test_touching_closed_intervals_connected(self):
+        g = interval_graph({"A": (0, 1), "B": (1, 2)})
+        assert g.has_edge("A", "B")
+
+    def test_paper_fig1_style_triple_overlap(self):
+        # Three users online simultaneously: pairwise edges appear.
+        g = interval_graph({"A": (0, 4), "C": (2, 6), "D": (3, 5)})
+        assert g.has_edge("A", "C")
+        assert g.has_edge("A", "D")
+        assert g.has_edge("C", "D")
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            interval_graph({"A": (3, 1)})
+
+    def test_intervals_stored_as_attr(self):
+        g = interval_graph({"A": (0.0, 2.0)})
+        assert g.node_attr("A", "intervals") == [(0.0, 2.0)]
+
+    def test_multiple_intervals_per_user(self):
+        # A user online twice connects with sessions in both windows.
+        g = multiple_interval_graph(
+            {"u": [(0, 1), (10, 11)], "v": [(0.5, 2)], "w": [(10.5, 12)]}
+        )
+        assert g.has_edge("u", "v")
+        assert g.has_edge("u", "w")
+        assert not g.has_edge("v", "w")
+
+    def test_empty_interval_list_isolated(self):
+        g = multiple_interval_graph({"u": [], "v": [(0, 1)]})
+        assert g.has_node("u")
+        assert g.degree("u") == 0
+
+    def test_nodes_online_at(self):
+        intervals = {"a": [(0, 2)], "b": [(1, 3)], "c": [(5, 6)]}
+        assert nodes_online_at(intervals, 1.5) == {"a", "b"}
+
+    def test_overlap_predicate(self):
+        assert intervals_overlap((0, 2), (2, 3))
+        assert not intervals_overlap((0, 1), (1.5, 2))
+
+    def test_interval_graph_always_interval(self, rng):
+        intervals = {
+            i: (float(a), float(a) + float(b))
+            for i, (a, b) in enumerate(
+                zip(rng.uniform(0, 10, 12), rng.uniform(0.1, 3, 12))
+            )
+        }
+        g = interval_graph(intervals)
+        assert is_chordal(g)
+        assert is_interval_graph(g)
+
+
+class TestChordality:
+    def test_cycle4_not_chordal(self):
+        assert not is_chordal(cycle_graph(4))
+
+    def test_cycle5_not_chordal(self):
+        assert not is_chordal(cycle_graph(5))
+
+    def test_triangle_chordal(self):
+        assert is_chordal(cycle_graph(3))
+
+    def test_tree_chordal(self):
+        assert is_chordal(path_graph(7))
+        assert is_chordal(star_graph(5))
+
+    def test_complete_chordal(self):
+        assert is_chordal(complete_graph(6))
+
+    def test_chorded_cycle_chordal(self):
+        g = cycle_graph(4)
+        g.add_edge(0, 2)
+        assert is_chordal(g)
+
+    def test_lex_bfs_is_permutation(self):
+        g = complete_graph(5)
+        order = lex_bfs(g)
+        assert sorted(order) == sorted(g.nodes())
+
+    def test_peo_check_positive(self):
+        g = path_graph(4)
+        peo = perfect_elimination_ordering(g)
+        assert peo is not None
+        assert is_perfect_elimination_ordering(g, peo)
+
+    def test_peo_none_for_cycle(self):
+        assert perfect_elimination_ordering(cycle_graph(5)) is None
+
+    def test_peo_check_wrong_permutation_raises(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            is_perfect_elimination_ordering(g, [0, 1])
+
+    def test_find_chordless_cycle_on_c5(self):
+        cycle = find_chordless_cycle(cycle_graph(5))
+        assert cycle is not None
+        assert len(cycle) == 5
+
+    def test_find_chordless_cycle_none_on_tree(self):
+        assert find_chordless_cycle(path_graph(6)) is None
+
+
+class TestRecognition:
+    def test_cycle_not_interval(self):
+        # "Time is linear, not circular": C_n (n >= 4) is never interval.
+        for n in (4, 5, 6):
+            assert not is_interval_graph(cycle_graph(n))
+
+    def test_path_is_interval(self):
+        assert is_interval_graph(path_graph(6))
+
+    def test_star_is_interval(self):
+        assert is_interval_graph(star_graph(6))
+
+    def test_chordal_but_not_interval(self):
+        # The "3-sun"-like witness: a claw subdivided via triangles is
+        # chordal yet has an asteroidal triple, so it is not interval.
+        g = Graph()
+        # central triangle
+        g.add_edge("x", "y")
+        g.add_edge("y", "z")
+        g.add_edge("x", "z")
+        # pendant on each corner
+        g.add_edge("x", "a")
+        g.add_edge("y", "b")
+        g.add_edge("z", "c")
+        assert is_chordal(g)
+        assert not is_interval_graph(g)
+
+    def test_maximal_cliques_of_path(self):
+        cliques = maximal_cliques_chordal(path_graph(4))
+        assert sorted(sorted(c) for c in cliques) == [[0, 1], [1, 2], [2, 3]]
+
+    def test_maximal_cliques_requires_chordal(self):
+        with pytest.raises(GraphClassError):
+            maximal_cliques_chordal(cycle_graph(5))
+
+    def test_representation_roundtrip(self):
+        g = interval_graph({"A": (0, 2), "B": (1, 3), "C": (2.5, 4)})
+        rep = interval_representation(g)
+        assert rep is not None
+        rebuilt = interval_graph(rep)
+        for u in g.nodes():
+            for v in g.nodes():
+                if u != v:
+                    assert g.has_edge(u, v) == rebuilt.has_edge(u, v)
+
+    def test_representation_none_for_cycle(self):
+        assert interval_representation(cycle_graph(5)) is None
+
+    def test_cycle_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)

@@ -1,0 +1,82 @@
+"""Interval hypergraphs and co-online structure (Sec. II-A, Fig. 1)."""
+
+import pytest
+
+from repro.graphs.interval import multiple_interval_graph
+from repro.graphs.interval_hypergraph import (
+    edge_density_profile,
+    interval_hypergraph,
+)
+
+
+class TestHyperedges:
+    def test_triple_overlap_yields_3_hyperedge(self):
+        # Fig. 1: A, C, D simultaneously online -> hyperedge {A, C, D}.
+        h = interval_hypergraph({"A": [(0, 4)], "C": [(2, 6)], "D": [(3, 5)]})
+        members = {frozenset(e.members) for e in h.hyperedges}
+        assert frozenset({"A", "C", "D"}) in members
+
+    def test_pairwise_only(self):
+        h = interval_hypergraph({"a": [(0, 2)], "b": [(1, 3)], "c": [(5, 6)]})
+        assert h.max_cardinality() == 2
+        assert len(h.hyperedges) == 1
+
+    def test_no_overlap_no_hyperedges(self):
+        h = interval_hypergraph({"a": [(0, 1)], "b": [(2, 3)]})
+        assert h.hyperedges == []
+
+    def test_cardinality_distribution(self):
+        h = interval_hypergraph(
+            {"a": [(0, 10)], "b": [(1, 9)], "c": [(2, 8)], "d": [(20, 21)], "e": [(20.5, 22)]}
+        )
+        dist = h.cardinality_distribution()
+        assert dist.get(3, 0) >= 1  # {a,b,c}
+        assert dist.get(2, 0) >= 1  # {d,e}
+
+    def test_subset_windows_dropped(self):
+        # The 2-member window {a,b} is inside the 3-member group's span
+        # and must not appear as a separate maximal hyperedge.
+        h = interval_hypergraph({"a": [(0, 10)], "b": [(1, 9)], "c": [(2, 8)]})
+        members = {frozenset(e.members) for e in h.hyperedges}
+        assert frozenset({"a", "b"}) not in members
+        assert frozenset({"a", "b", "c"}) in members
+
+    def test_edges_containing(self):
+        h = interval_hypergraph({"a": [(0, 3)], "b": [(1, 4)], "c": [(10, 11)]})
+        assert len(h.edges_containing("a")) == 1
+        assert h.edges_containing("c") == []
+
+    def test_two_section_matches_interval_graph(self):
+        intervals = {
+            "a": [(0, 3)],
+            "b": [(1, 4)],
+            "c": [(2, 5)],
+            "d": [(10, 12)],
+            "e": [(11, 13)],
+        }
+        hyper = interval_hypergraph(intervals)
+        section = hyper.two_section()
+        pairwise = multiple_interval_graph(intervals)
+        for u in intervals:
+            for v in intervals:
+                if u < v and pairwise.has_edge(u, v):
+                    # every pairwise edge appears in some hyperedge
+                    assert section.has_edge(u, v)
+
+    def test_multi_session_user(self):
+        h = interval_hypergraph({"u": [(0, 1), (5, 6)], "v": [(0.5, 5.5)]})
+        assert all(e.members == frozenset({"u", "v"}) for e in h.hyperedges)
+        assert len(h.hyperedges) >= 1
+
+
+class TestEdgeDensity:
+    def test_density_peaks_with_coonline_group(self):
+        intervals = {"a": [(0, 2)], "b": [(0, 2)], "c": [(0, 2)], "d": [(5, 6)]}
+        profile = edge_density_profile(intervals, [1.0, 5.5, 10.0])
+        # At t=1, three of four users online: 3 pairs of 6.
+        assert profile[1.0] == pytest.approx(0.5)
+        assert profile[5.5] == pytest.approx(0.0)
+        assert profile[10.0] == pytest.approx(0.0)
+
+    def test_density_empty_universe(self):
+        assert edge_density_profile({}, [0.0]) == {0.0: 0.0}

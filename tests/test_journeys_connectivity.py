@@ -1,0 +1,237 @@
+"""Journeys and temporal connectivity (Sec. II-B, Fig. 2)."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.temporal.connectivity import (
+    connection_start_times,
+    dynamic_diameter,
+    ever_snapshot_connected,
+    flooding_time,
+    is_connected_at,
+    is_time_i_connected,
+    reachable_set,
+)
+from repro.temporal.evolving import EvolvingGraph, paper_fig2_evolving_graph
+from repro.temporal.journeys import (
+    Journey,
+    earliest_arrival,
+    earliest_completion_journey,
+    fastest_journey,
+    foremost_tree,
+    is_valid_journey,
+    latest_departure,
+    minimum_hop_journey,
+    temporal_distance,
+)
+
+
+def chain_eg():
+    """a --1-- b --3-- c --2-- d: c->d contact is *before* b->c."""
+    eg = EvolvingGraph(horizon=5)
+    eg.add_contact("a", "b", 1)
+    eg.add_contact("b", "c", 3)
+    eg.add_contact("c", "d", 2)
+    return eg
+
+
+class TestEarliestArrival:
+    def test_respects_label_order(self):
+        eg = chain_eg()
+        arrival = earliest_arrival(eg, "a")
+        assert arrival["b"] == 1
+        assert arrival["c"] == 3
+        assert "d" not in arrival  # c->d happened before c was informed
+
+    def test_start_filters_contacts(self):
+        eg = chain_eg()
+        arrival = earliest_arrival(eg, "a", start=2)
+        assert "b" not in arrival
+
+    def test_contact_at_start_usable(self):
+        # "first edge label is larger than or equal to i"
+        eg = chain_eg()
+        arrival = earliest_arrival(eg, "a", start=1)
+        assert arrival["b"] == 1
+
+    def test_missing_source_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            earliest_arrival(chain_eg(), "zzz")
+
+
+class TestJourneyObjects:
+    def test_journey_properties(self):
+        j = Journey(source="a", hops=(("a", "b", 1), ("b", "c", 4)))
+        assert j.target == "c"
+        assert j.hop_count == 2
+        assert j.departure == 1
+        assert j.completion == 4
+        assert j.span == 3
+        assert j.nodes() == ["a", "b", "c"]
+
+    def test_empty_journey(self):
+        j = Journey(source="a", hops=())
+        assert j.target == "a"
+        assert j.departure is None
+        assert j.span == 0
+
+    def test_validity_checks(self):
+        eg = chain_eg()
+        good = Journey("a", (("a", "b", 1), ("b", "c", 3)))
+        assert is_valid_journey(eg, good)
+        decreasing = Journey("a", (("a", "b", 1), ("b", "c", 0)))
+        assert not is_valid_journey(eg, decreasing)
+        phantom = Journey("a", (("a", "c", 1),))
+        assert not is_valid_journey(eg, phantom)
+        broken_chain = Journey("a", (("b", "c", 3),))
+        assert not is_valid_journey(eg, broken_chain)
+
+    def test_validity_start_constraint(self):
+        eg = chain_eg()
+        j = Journey("a", (("a", "b", 1),))
+        assert not is_valid_journey(eg, j, start=2)
+
+
+class TestOptimalJourneys:
+    def test_earliest_completion_fig2(self):
+        eg = paper_fig2_evolving_graph()
+        j = earliest_completion_journey(eg, "A", "C", start=4)
+        assert j.hops == (("A", "B", 4), ("B", "C", 5))
+        assert j.completion == 5
+
+    def test_earliest_completion_unreachable(self):
+        eg = paper_fig2_evolving_graph()
+        assert earliest_completion_journey(eg, "A", "E") is None
+
+    def test_min_hop_vs_earliest(self):
+        # Earliest completion may use more hops than necessary.
+        eg = EvolvingGraph(horizon=10)
+        eg.add_contact("s", "m", 0)
+        eg.add_contact("m", "t", 1)   # 2 hops, completes at 1
+        eg.add_contact("s", "t", 5)   # 1 hop, completes at 5
+        early = earliest_completion_journey(eg, "s", "t")
+        short = minimum_hop_journey(eg, "s", "t")
+        assert early.completion == 1 and early.hop_count == 2
+        assert short.hop_count == 1 and short.completion == 5
+
+    def test_min_hop_time_feasibility(self):
+        eg = chain_eg()
+        j = minimum_hop_journey(eg, "a", "c")
+        assert is_valid_journey(eg, j)
+        assert minimum_hop_journey(eg, "a", "d") is None
+
+    def test_min_hop_same_node(self):
+        eg = chain_eg()
+        assert minimum_hop_journey(eg, "a", "a").hop_count == 0
+
+    def test_fastest_minimises_span(self):
+        # Starting later gives a tighter span than starting earliest.
+        eg = EvolvingGraph(horizon=12)
+        eg.add_contact("s", "m", 0)
+        eg.add_contact("m", "t", 9)   # span 9 via early departure
+        eg.add_contact("s", "x", 7)
+        eg.add_contact("x", "t", 8)   # span 1 via late departure
+        j = fastest_journey(eg, "s", "t")
+        assert j.span == 1
+        assert j.departure == 7
+
+    def test_fastest_validity(self):
+        eg = paper_fig2_evolving_graph()
+        j = fastest_journey(eg, "A", "C")
+        assert is_valid_journey(eg, j)
+
+    def test_foremost_tree_parents(self):
+        eg = chain_eg()
+        parent = foremost_tree(eg, "a")
+        assert parent["a"] is None
+        assert parent["b"] == ("a", "b", 1)
+
+    def test_latest_departure_dual(self):
+        eg = chain_eg()
+        departure = latest_departure(eg, "c")
+        # a must leave by its time-1 contact to reach c.
+        assert departure["a"] == 1
+        assert departure["b"] == 3
+
+    def test_temporal_distance(self):
+        eg = chain_eg()
+        assert temporal_distance(eg, "a", "c") == 3
+        assert temporal_distance(eg, "a", "d") is None
+        assert temporal_distance(eg, "a", "a") == 0
+
+
+class TestConnectivity:
+    def test_fig2_connection_start_times(self):
+        """The paper: A is connected to C at starting times 0..4."""
+        eg = paper_fig2_evolving_graph()
+        assert connection_start_times(eg, "A", "C") == [0, 1, 2, 3, 4]
+
+    def test_fig2_asymmetry(self):
+        eg = paper_fig2_evolving_graph()
+        # C -> A must go C --6?--: C's only contacts are (B,5),(B,2),(D,6).
+        times_ca = connection_start_times(eg, "C", "A")
+        assert times_ca != connection_start_times(eg, "A", "C")
+
+    def test_fig2_never_snapshot_connected(self):
+        """A and C are not connected at any particular time unit."""
+        eg = paper_fig2_evolving_graph()
+        assert not ever_snapshot_connected(eg, "A", "C")
+        assert ever_snapshot_connected(eg, "A", "B")
+
+    def test_is_connected_at(self):
+        eg = paper_fig2_evolving_graph()
+        assert is_connected_at(eg, "A", "C", 4)
+        assert not is_connected_at(eg, "A", "C", 5)
+
+    def test_reachable_set(self):
+        eg = paper_fig2_evolving_graph()
+        assert reachable_set(eg, "A", 0) == {"A", "B", "C", "D"}
+
+    def test_time_i_connected(self):
+        eg = EvolvingGraph(horizon=4)
+        eg.add_contact("a", "b", 0)
+        eg.add_contact("b", "c", 1)
+        eg.add_contact("a", "c", 2)
+        eg.add_contact("a", "b", 3)
+        assert is_time_i_connected(eg, 0)
+        # From start 3 only the a-b contact remains: c is cut off.
+        assert not is_time_i_connected(eg, 3)
+
+    def test_same_time_unit_chaining(self):
+        # Labels are non-decreasing, so two contacts in the same unit
+        # chain (instantaneous transmission).
+        eg = EvolvingGraph(horizon=2)
+        eg.add_contact("a", "b", 1)
+        eg.add_contact("b", "c", 1)
+        assert is_connected_at(eg, "a", "c", 1)
+        from repro.temporal.journeys import earliest_arrival
+
+        assert earliest_arrival(eg, "a", start=1)["c"] == 1
+
+    def test_flooding_time(self):
+        eg = EvolvingGraph(horizon=5)
+        eg.add_contact("a", "b", 1)
+        eg.add_contact("b", "c", 2)
+        assert flooding_time(eg, "a") == 2
+        assert flooding_time(eg, "c") is None  # c's contacts are in the past
+
+    def test_dynamic_diameter(self):
+        # a-b and b-c meet in the same units: the flood crosses both in
+        # one unit (instantaneous transmission, non-decreasing labels).
+        eg = EvolvingGraph(horizon=6)
+        for t in range(5):
+            eg.add_contact("a", "b", t)
+            eg.add_contact("b", "c", t)
+        assert dynamic_diameter(eg) == 0
+        # Staggered contacts (a-b at even units, b-c at odd) force waits:
+        # the worst flood is c -> b (unit 1) -> a (unit 2).
+        staggered = EvolvingGraph(horizon=6)
+        for t in (0, 2, 4):
+            staggered.add_contact("a", "b", t)
+        for t in (1, 3, 5):
+            staggered.add_contact("b", "c", t)
+        assert dynamic_diameter(staggered) == 2
+
+    def test_dynamic_diameter_none_when_disconnected(self):
+        eg = paper_fig2_evolving_graph()
+        assert dynamic_diameter(eg) is None

@@ -1,0 +1,167 @@
+"""Dynamic labels: Bellman-Ford, PageRank/HITS, Kleinberg routing
+(Sec. IV-B, Sec. I)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.graphs.generators import (
+    complete_graph,
+    grid_2d,
+    kleinberg_grid,
+    path_graph,
+    random_connected_graph,
+)
+from repro.graphs.graph import DiGraph
+from repro.graphs.traversal import bfs_distances
+from repro.labeling.bellman_ford import (
+    build_routing_network,
+    converge,
+    distances,
+    fail_link_and_reconverge,
+)
+from repro.labeling.kleinberg_routing import exponent_sweep, greedy_grid_route
+from repro.labeling.pagerank import hits, pagerank
+
+
+class TestBellmanFord:
+    def test_distances_match_bfs(self, rng):
+        g = random_connected_graph(30, 0.1, rng)
+        network = build_routing_network(g, 0)
+        converge(network)
+        truth = bfs_distances(g, 0)
+        computed = distances(network)
+        for node, d in truth.items():
+            assert computed[node] == d
+
+    def test_convergence_rounds_bounded_by_eccentricity(self):
+        g = path_graph(10)
+        network = build_routing_network(g, 0)
+        rounds = converge(network)
+        assert rounds <= 12
+
+    def test_next_hops_point_toward_destination(self, rng):
+        g = random_connected_graph(25, 0.15, rng)
+        network = build_routing_network(g, 0)
+        converge(network)
+        truth = bfs_distances(g, 0)
+        for node in g.nodes():
+            if node == 0:
+                continue
+            hop = network.state_of(node)["next_hop"]
+            assert truth[hop] == truth[node] - 1
+
+    def test_reconvergence_after_failure(self):
+        g = grid_2d(4, 4)
+        network = build_routing_network(g, (0, 0))
+        converge(network)
+        rounds = fail_link_and_reconverge(network, (0, 0), (0, 1))
+        assert rounds >= 1
+        assert distances(network)[(0, 1)] == 3.0
+
+    def test_unreachable_stays_infinite(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph()
+        g.add_edge("a", "b")
+        g.add_node("island")
+        network = build_routing_network(g, "a")
+        converge(network)
+        assert math.isinf(distances(network)["island"])
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self, rng):
+        g = DiGraph()
+        for u, v in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 0)]:
+            g.add_edge(u, v)
+        scores, iterations = pagerank(g)
+        assert sum(scores.values()) == pytest.approx(1.0)
+        assert iterations > 1
+
+    def test_authority_hub_on_known_shape(self):
+        # Two hubs pointing at one popular page.
+        g = DiGraph()
+        g.add_edge("hub1", "popular")
+        g.add_edge("hub2", "popular")
+        g.add_edge("popular", "hub1")
+        scores, _ = pagerank(g)
+        assert scores["popular"] == max(scores.values())
+
+    def test_dangling_nodes_handled(self):
+        g = DiGraph()
+        g.add_edge("a", "sink")
+        g.add_node("b")
+        scores, _ = pagerank(g)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_damping_validation(self):
+        g = DiGraph()
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            pagerank(g, damping=1.5)
+
+    def test_empty_graph(self):
+        scores, iterations = pagerank(DiGraph())
+        assert scores == {} and iterations == 0
+
+    def test_hits_hub_authority_split(self):
+        g = DiGraph()
+        for hub in ("h1", "h2"):
+            for authority in ("a1", "a2", "a3"):
+                g.add_edge(hub, authority)
+        hub_scores, authority_scores, _ = hits(g)
+        assert hub_scores["h1"] > hub_scores["a1"]
+        assert authority_scores["a1"] > authority_scores["h1"]
+
+    def test_hits_converges(self, rng):
+        g = DiGraph()
+        for _ in range(60):
+            u, v = int(rng.integers(15)), int(rng.integers(15))
+            if u != v:
+                g.add_edge(u, v)
+        hub, auth, iterations = hits(g)
+        assert iterations < 10_000
+
+
+class TestKleinbergRouting:
+    def test_greedy_always_delivers_on_grid(self, rng):
+        g = kleinberg_grid(10, 2.0, rng)
+        for _ in range(20):
+            s = (int(rng.integers(10)), int(rng.integers(10)))
+            t = (int(rng.integers(10)), int(rng.integers(10)))
+            route = greedy_grid_route(g, s, t)
+            assert route.delivered
+
+    def test_hops_bounded_by_manhattan(self, rng):
+        # Greedy strictly reduces Manhattan distance every hop.
+        g = kleinberg_grid(12, 2.0, rng)
+        s, t = (0, 0), (11, 11)
+        route = greedy_grid_route(g, s, t)
+        assert route.hops <= 22
+
+    def test_long_range_links_speed_up_routing(self, rng):
+        lattice_only = kleinberg_grid(16, 2.0, rng, long_range_links=0)
+        small_world = kleinberg_grid(16, 2.0, rng, long_range_links=2)
+        pairs = [((0, 0), (15, 15)), ((0, 15), (15, 0)), ((3, 2), (14, 13))]
+        lattice_hops = sum(greedy_grid_route(lattice_only, s, t).hops for s, t in pairs)
+        sw_hops = sum(greedy_grid_route(small_world, s, t).hops for s, t in pairs)
+        assert sw_hops <= lattice_hops
+
+    def test_exponent_sweep_shape(self, rng):
+        """The inverse-square side of the optimum: r = 2 beats every
+        larger exponent, and its advantage *grows* with the grid (the
+        r < 2 side of Kleinberg's curve only separates at grid sizes far
+        beyond laptop scale — see the Text-4 benchmark notes)."""
+        small = {p.r: p.mean_hops for p in exponent_sweep(10, [2.0, 3.0, 4.0], 150, rng)}
+        large = {p.r: p.mean_hops for p in exponent_sweep(30, [2.0, 3.0, 4.0], 150, rng)}
+        assert large[2.0] < large[3.0] < large[4.0] * 1.05
+        # Growth rate: r=2 scales polylog, r=4 near-linearly.
+        assert large[2.0] / small[2.0] < large[4.0] / small[4.0]
+
+    def test_sweep_point_fields(self, rng):
+        points = exponent_sweep(8, [1.0], trials=10, rng=rng)
+        assert points[0].r == 1.0
+        assert points[0].trials == 10

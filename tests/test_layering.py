@@ -1,0 +1,321 @@
+"""Structural layering: NSF, pub/sub, link reversal, max-flow (Sec. III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphClassError
+from repro.graphs.generators import (
+    barabasi_albert,
+    complete_graph,
+    grid_2d,
+    path_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.graphs.graph import DiGraph, Graph
+from repro.layering.link_reversal import (
+    Orientation,
+    binary_label_reversal,
+    break_link,
+    full_link_reversal,
+    initial_heights,
+    orientation_from_heights,
+    paper_fig4_graph,
+    partial_link_reversal,
+)
+from repro.layering.maxflow import (
+    edmonds_karp_max_flow,
+    flow_is_feasible,
+    push_relabel_max_flow,
+)
+from repro.layering.nsf import (
+    degree_levels,
+    local_lowest_degree_nodes,
+    nested_subgraphs,
+    nsf_levels,
+    nsf_report,
+    paper_fig7_graph,
+    peel_once,
+    peel_to_fraction,
+    top_level_nodes,
+)
+from repro.layering.pubsub import HierarchicalPubSub
+
+
+class TestNSFPeeling:
+    def test_local_lowest_degree_star_leaves(self):
+        star = star_graph(4)
+        lows = local_lowest_degree_nodes(star)
+        assert 0 not in lows
+        assert lows == {1, 2, 3, 4}
+
+    def test_peel_once_removes_lows(self):
+        star = star_graph(4)
+        peeled = peel_once(star)
+        assert set(peeled.nodes()) == {0}
+
+    def test_nested_subgraphs_shrink(self, rng):
+        g = barabasi_albert(400, 3, rng)
+        family = nested_subgraphs(g, min_nodes=20)
+        sizes = [sub.num_nodes for sub in family]
+        assert sizes == sorted(sizes, reverse=True)
+        assert len(family) >= 3
+
+    def test_peel_to_fraction(self, rng):
+        g = barabasi_albert(600, 3, rng)
+        half = peel_to_fraction(g, 0.5)
+        assert half.num_nodes <= 0.55 * g.num_nodes
+
+    def test_peel_fraction_validation(self, rng):
+        g = barabasi_albert(50, 2, rng)
+        with pytest.raises(ValueError):
+            peel_to_fraction(g, 0.0)
+
+    def test_ba_graph_is_nsf(self, rng):
+        """Fig. 3's claim on a scale-free P2P-like topology."""
+        g = barabasi_albert(2000, 3, rng)
+        report = nsf_report(g, kmin=3)
+        assert report.is_scale_free
+        assert report.is_nsf
+        assert report.exponent_std < 0.35
+
+    def test_grid_not_nsf(self):
+        report = nsf_report(grid_2d(20, 20), kmin=2, min_nodes=50)
+        assert not report.is_nsf
+
+
+class TestNSFLevels:
+    def test_fig7_more_levels_than_degree_ranking(self):
+        g = paper_fig7_graph()
+        nested = nsf_levels(g)
+        plain = degree_levels(g)
+        assert max(nested.values()) > max(plain.values())
+
+    def test_fig7_single_top_node(self):
+        g = paper_fig7_graph()
+        assert top_level_nodes(nsf_levels(g)) == {"H"}
+
+    def test_every_node_assigned(self, rng):
+        g = random_connected_graph(40, 0.1, rng)
+        levels = nsf_levels(g)
+        assert set(levels) == set(g.nodes())
+        assert min(levels.values()) == 1
+
+    def test_complete_graph_levels_distinct(self):
+        levels = nsf_levels(complete_graph(4))
+        # With all degrees tied, ID tie-breaks peel one node per wave.
+        assert sorted(levels.values()) == [1, 2, 3, 4]
+
+    def test_isolated_node_level_one(self):
+        g = Graph()
+        g.add_node("x")
+        assert nsf_levels(g) == {"x": 1}
+
+
+class TestPubSub:
+    def test_subscribe_publish_delivers(self, rng):
+        g = barabasi_albert(150, 2, rng)
+        broker = HierarchicalPubSub(g)
+        broker.subscribe(10, "topic")
+        broker.subscribe(20, "topic")
+        delivered = broker.publish(100, "topic")
+        assert delivered == {10, 20}
+
+    def test_no_subscribers_no_delivery(self, rng):
+        g = barabasi_albert(80, 2, rng)
+        broker = HierarchicalPubSub(g)
+        assert broker.publish(3, "silent") == set()
+
+    def test_unsubscribe_stops_delivery(self, rng):
+        g = barabasi_albert(80, 2, rng)
+        broker = HierarchicalPubSub(g)
+        broker.subscribe(7, "news")
+        broker.unsubscribe(7, "news")
+        assert broker.publish(50, "news") == set()
+
+    def test_publish_cheaper_than_flooding(self, rng):
+        g = barabasi_albert(300, 3, rng)
+        broker = HierarchicalPubSub(g)
+        broker.subscribe(42, "t")
+        broker.publish(7, "t")
+        assert broker.stats.publish_hops < broker.flood_cost()
+
+    def test_subscribers_listing(self, rng):
+        g = barabasi_albert(60, 2, rng)
+        broker = HierarchicalPubSub(g)
+        broker.subscribe(1, "a")
+        broker.subscribe(2, "a")
+        assert broker.subscribers("a") == {1, 2}
+
+    def test_topic_isolation(self, rng):
+        g = barabasi_albert(60, 2, rng)
+        broker = HierarchicalPubSub(g)
+        broker.subscribe(1, "a")
+        assert broker.publish(5, "b") == set()
+
+
+def anti_oriented_path(n):
+    """Path 0-..-(n-1), destination n-1, all links pointing away from it."""
+    graph = path_graph(n)
+    heights = {i: (i + 1, i) for i in range(n)}
+    heights[n - 1] = (0, 0)
+    return graph, n - 1, heights
+
+
+class TestLinkReversal:
+    def test_initial_heights_destination_oriented(self, rng):
+        g = random_connected_graph(30, 0.1, rng)
+        heights = initial_heights(g, 0)
+        orientation = orientation_from_heights(g, heights)
+        assert orientation.is_destination_oriented(0)
+
+    def test_initial_heights_disconnected_raises(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(GraphClassError):
+            initial_heights(g, 0)
+
+    def test_fig4_a_reverses_twice(self):
+        """Fig. 4: node A is involved in multiple rounds of reversals."""
+        graph, destination, heights = paper_fig4_graph()
+        result = full_link_reversal(graph, destination, heights=heights)
+        assert result.node_reversals["A"] == 2
+        assert result.node_reversals["B"] == 1
+        assert result.orientation.is_destination_oriented(destination)
+
+    def test_full_reversal_quadratic_on_path(self):
+        """The O(n^2) worst case the paper warns about."""
+        for n in (6, 10, 14):
+            graph, destination, heights = anti_oriented_path(n)
+            result = full_link_reversal(graph, destination, heights=heights)
+            k = n - 2  # nodes that must climb
+            assert result.steps == k * (k + 1) // 2
+            assert result.orientation.is_destination_oriented(destination)
+
+    def test_partial_reversal_repairs(self):
+        graph, destination, heights = anti_oriented_path(8)
+        result = partial_link_reversal(
+            graph, destination, heights={k: (v[0], v[1]) for k, v in heights.items()}
+        )
+        assert result.orientation.is_destination_oriented(destination)
+
+    def test_binary_all_ones_equals_full(self):
+        """[24]: all-1 labels reproduce full reversal step counts."""
+        graph, destination, heights = anti_oriented_path(9)
+        full = full_link_reversal(graph, destination, heights=heights)
+        binary = binary_label_reversal(
+            graph, destination, initial_label=1, heights=heights
+        )
+        assert binary.steps == full.steps
+        assert binary.orientation.is_destination_oriented(destination)
+
+    def test_binary_all_zeros_repairs_cheaper_here(self):
+        graph, destination, heights = anti_oriented_path(9)
+        full = full_link_reversal(graph, destination, heights=heights)
+        binary = binary_label_reversal(
+            graph, destination, initial_label=0, heights=heights
+        )
+        assert binary.orientation.is_destination_oriented(destination)
+        assert binary.steps <= full.steps
+
+    def test_break_link_then_repair(self, rng):
+        g = random_connected_graph(25, 0.15, rng)
+        heights = initial_heights(g, 0)
+        orientation = orientation_from_heights(g, heights)
+        # Find a node whose only outgoing link can be broken.
+        target_edge = None
+        for node in g.nodes():
+            outs = orientation.out_neighbors(node)
+            if node != 0 and len(outs) == 1:
+                other = next(iter(outs))
+                if g.degree(node) > 1:
+                    target_edge = (node, other)
+                    break
+        if target_edge is None:
+            pytest.skip("no suitable single-out node in this instance")
+        broken = break_link(orientation, *target_edge)
+        result = full_link_reversal(
+            broken.graph, 0, orientation=broken,
+            heights={n: heights[n] for n in broken.graph.nodes()},
+        )
+        assert result.orientation.is_destination_oriented(0)
+
+    def test_bad_initial_label(self):
+        graph, destination, heights = anti_oriented_path(5)
+        with pytest.raises(ValueError):
+            binary_label_reversal(graph, destination, initial_label=2, heights=heights)
+
+    def test_orientation_helpers(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        o = Orientation(g)
+        o.orient("a", "b", toward="b")
+        assert o.out_neighbors("a") == {"b"}
+        assert o.in_neighbors("b") == {"a"}
+        assert o.is_sink("b")
+        o.reverse("a", "b")
+        assert o.is_sink("a")
+
+
+def random_flow_network(n, rng, p=0.35, max_capacity=10):
+    g = DiGraph()
+    for node in range(n):
+        g.add_node(node)
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                g.add_edge(u, v, capacity=float(rng.integers(1, max_capacity)))
+    return g
+
+
+class TestMaxFlow:
+    def test_push_relabel_matches_edmonds_karp(self, rng):
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            g = random_flow_network(12, local)
+            pr = push_relabel_max_flow(g, 0, 11)
+            ek = edmonds_karp_max_flow(g, 0, 11)
+            assert pr.value == pytest.approx(ek.value)
+
+    def test_flows_feasible(self, rng):
+        g = random_flow_network(10, rng)
+        pr = push_relabel_max_flow(g, 0, 9)
+        ek = edmonds_karp_max_flow(g, 0, 9)
+        assert flow_is_feasible(g, 0, 9, pr)
+        assert flow_is_feasible(g, 0, 9, ek)
+
+    def test_known_small_instance(self):
+        g = DiGraph()
+        g.add_edge("s", "a", capacity=3)
+        g.add_edge("s", "b", capacity=2)
+        g.add_edge("a", "b", capacity=1)
+        g.add_edge("a", "t", capacity=2)
+        g.add_edge("b", "t", capacity=3)
+        assert push_relabel_max_flow(g, "s", "t").value == 5
+        assert edmonds_karp_max_flow(g, "s", "t").value == 5
+
+    def test_disconnected_zero_flow(self):
+        g = DiGraph()
+        g.add_edge("s", "a", capacity=1)
+        g.add_node("t")
+        assert push_relabel_max_flow(g, "s", "t").value == 0
+
+    def test_source_equals_sink_rejected(self):
+        g = DiGraph()
+        g.add_edge("s", "t", capacity=1)
+        with pytest.raises(ValueError):
+            push_relabel_max_flow(g, "s", "s")
+
+    def test_negative_capacity_rejected(self):
+        g = DiGraph()
+        g.add_edge("s", "t", capacity=-2)
+        with pytest.raises(ValueError):
+            push_relabel_max_flow(g, "s", "t")
+
+    def test_work_counters_populated(self, rng):
+        g = random_flow_network(10, rng)
+        pr = push_relabel_max_flow(g, 0, 9)
+        ek = edmonds_karp_max_flow(g, 0, 9)
+        assert pr.pushes > 0
+        assert ek.augmenting_paths >= 1

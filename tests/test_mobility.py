@@ -1,0 +1,176 @@
+"""Mobility models and contact detection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mobility.base import Arena
+from repro.mobility.community import (
+    CommunityMobility,
+    feature_distance,
+    profile_home_cell,
+    random_profiles,
+)
+from repro.mobility.random_walk import RandomWalk
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.trace import collect_contact_trace
+
+
+class TestArena:
+    def test_clamp(self):
+        arena = Arena(10, 5)
+        assert arena.clamp((-1, 7)) == (0, 5)
+        assert arena.contains((3, 3))
+        assert not arena.contains((11, 0))
+
+    def test_invalid_arena(self):
+        with pytest.raises(ValueError):
+            Arena(0, 5)
+
+
+class TestRandomWaypoint:
+    def test_positions_inside_arena(self, rng):
+        arena = Arena(10, 10)
+        model = RandomWaypoint(20, arena, rng)
+        for positions in model.run(30):
+            for point in positions.values():
+                assert arena.contains(point)
+
+    def test_speed_bound_respected(self, rng):
+        arena = Arena(20, 20)
+        model = RandomWaypoint(10, arena, rng, v_min=0.5, v_max=1.0, dt=1.0)
+        previous = model.positions()
+        for _ in range(20):
+            current = model.step()
+            for node in current:
+                dx = math.hypot(
+                    current[node][0] - previous[node][0],
+                    current[node][1] - previous[node][1],
+                )
+                assert dx <= 1.0 + 1e-9
+            previous = current
+
+    def test_pausing_nodes_stand_still_sometimes(self, rng):
+        arena = Arena(5, 5)
+        model = RandomWaypoint(5, arena, rng, pause_max=10.0)
+        stationary_steps = 0
+        previous = model.positions()
+        for _ in range(50):
+            current = model.step()
+            for node in current:
+                if current[node] == previous[node]:
+                    stationary_steps += 1
+            previous = current
+        assert stationary_steps > 0
+
+    def test_validation(self, rng):
+        arena = Arena(5, 5)
+        with pytest.raises(ValueError):
+            RandomWaypoint(0, arena, rng)
+        with pytest.raises(ValueError):
+            RandomWaypoint(5, arena, rng, v_min=2.0, v_max=1.0)
+
+
+class TestRandomWalk:
+    def test_positions_inside_arena(self, rng):
+        arena = Arena(8, 8)
+        model = RandomWalk(15, arena, rng, speed=2.0)
+        for positions in model.run(40):
+            for point in positions.values():
+                assert arena.contains(point)
+
+    def test_movement_happens(self, rng):
+        arena = Arena(8, 8)
+        model = RandomWalk(5, arena, rng, speed=1.0)
+        start = model.positions()
+        model.step()
+        moved = sum(1 for n in start if model.positions()[n] != start[n])
+        assert moved == 5
+
+
+class TestCommunityMobility:
+    def test_same_profile_same_home(self, rng):
+        arena = Arena(20, 20)
+        home1 = profile_home_cell((0, 1, 2), (2, 2, 3), arena)
+        home2 = profile_home_cell((0, 1, 2), (2, 2, 3), arena)
+        assert home1 == home2
+
+    def test_different_profiles_different_homes(self):
+        arena = Arena(20, 20)
+        homes = {
+            profile_home_cell((a, b), (2, 2), arena)
+            for a in range(2)
+            for b in range(2)
+        }
+        assert len(homes) == 4
+
+    def test_feature_distance(self):
+        assert feature_distance((0, 1, 2), (0, 1, 2)) == 0
+        assert feature_distance((0, 1, 2), (1, 1, 0)) == 2
+        with pytest.raises(ValueError):
+            feature_distance((0,), (0, 1))
+
+    def test_random_profiles_in_range(self, rng):
+        profiles = random_profiles(50, (2, 3, 4), rng)
+        assert len(profiles) == 50
+        for profile in profiles.values():
+            assert all(0 <= v < r for v, r in zip(profile, (2, 3, 4)))
+
+    def test_profile_validation(self, rng):
+        arena = Arena(10, 10)
+        with pytest.raises(ValueError):
+            CommunityMobility({0: (5, 0)}, (2, 2), arena, rng)
+
+    def test_contact_frequency_decays_with_feature_distance(self, rng):
+        """The empirical law of [21], reproduced by construction."""
+        arena = Arena(24, 24)
+        profiles = random_profiles(36, (2, 2, 3), rng)
+        model = CommunityMobility(profiles, (2, 2, 3), arena, rng)
+        trace = collect_contact_trace(model, 250, radius=2.0)
+        by_distance = {}
+        counts = trace.pair_contact_counts()
+        nodes = list(profiles)
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                d = feature_distance(profiles[u], profiles[v])
+                by_distance.setdefault(d, []).append(
+                    counts.get(frozenset((u, v)), 0)
+                )
+        means = {
+            d: sum(vals) / len(vals) for d, vals in by_distance.items() if vals
+        }
+        assert means[0] > means[max(means)]
+
+
+class TestContactDetection:
+    def test_static_nodes_single_long_contact(self, rng):
+        class Static(RandomWalk):
+            def step(self):
+                return self.positions()
+
+        arena = Arena(5, 5)
+        model = Static(2, arena, rng, speed=0.0001)
+        # Force both nodes close together.
+        model._pos = {0: (1.0, 1.0), 1: (1.5, 1.0)}
+        trace = collect_contact_trace(model, 10, radius=1.0)
+        assert trace.num_contacts == 1
+        record = trace.records[0]
+        assert record.duration >= 10
+
+    def test_out_of_range_no_contacts(self, rng):
+        class Static(RandomWalk):
+            def step(self):
+                return self.positions()
+
+        arena = Arena(50, 50)
+        model = Static(2, arena, rng, speed=0.0001)
+        model._pos = {0: (1.0, 1.0), 1: (40.0, 40.0)}
+        trace = collect_contact_trace(model, 5, radius=1.0)
+        assert trace.num_contacts == 0
+
+    def test_bad_radius(self, rng):
+        arena = Arena(5, 5)
+        model = RandomWalk(3, arena, rng)
+        with pytest.raises(ValueError):
+            collect_contact_trace(model, 5, radius=0.0)

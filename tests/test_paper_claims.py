@@ -1,0 +1,216 @@
+"""Integration tests: every quantitative claim the paper narrates,
+checked end-to-end against the corresponding figure fixture.
+
+One test class per figure/claim; see DESIGN.md's per-experiment index.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.properties import preserves_completion_times
+from repro.graphs.hypercube import parse_address
+from repro.graphs.interval import cycle_graph, is_chordal, is_interval_graph
+from repro.graphs.interval_hypergraph import interval_hypergraph
+from repro.graphs.unit_disk import star_k16, is_unit_disk_realization
+from repro.labeling.cds import paper_fig8_graph, wu_dai_cds, is_connected_dominating_set
+from repro.labeling.mis import compute_mis, is_maximal_independent_set
+from repro.labeling.safety import (
+    compute_safety_levels,
+    paper_fig9_faults,
+    safety_guided_route,
+)
+from repro.layering.link_reversal import full_link_reversal, paper_fig4_graph
+from repro.layering.nsf import nsf_levels, nsf_report, paper_fig7_graph, top_level_nodes
+from repro.temporal.connectivity import (
+    connection_start_times,
+    ever_snapshot_connected,
+)
+from repro.temporal.evolving import paper_fig2_evolving_graph
+from repro.temporal.journeys import earliest_completion_journey
+from repro.trimming.static_rules import id_priority, link_ignorable, trim_nodes
+
+
+class TestSectionII:
+    """Graph-model claims of Sec. II."""
+
+    def test_star_k16_not_unit_disk(self):
+        """'A star graph with one center node and six or more leaves' is
+        not a unit disk graph."""
+        import math
+
+        star = star_k16()
+        # The best possible placement (leaves evenly spread on the unit
+        # circle) still forces a leaf-leaf edge.
+        positions = {"center": (0.0, 0.0)}
+        for k in range(6):
+            angle = 2 * math.pi * k / 6
+            positions[f"leaf{k + 1}"] = (math.cos(angle), math.sin(angle))
+        assert not is_unit_disk_realization(star, positions, 1.0)
+
+    def test_interval_graphs_are_chordal(self):
+        """'If G is an interval graph, it must be a chordal graph.'"""
+        rng = np.random.default_rng(0)
+        from repro.graphs.interval import interval_graph
+
+        intervals = {
+            i: (float(a), float(a + w))
+            for i, (a, w) in enumerate(
+                zip(rng.uniform(0, 20, 15), rng.uniform(0.1, 5, 15))
+            )
+        }
+        assert is_chordal(interval_graph(intervals))
+
+    def test_cycles_cannot_be_interval(self):
+        """'Time is linear, not circular.'"""
+        for n in (4, 5, 6, 7):
+            assert not is_interval_graph(cycle_graph(n))
+
+    def test_fig1_hyperedge(self):
+        """Fig. 1: A, C, D intersect at one moment → hyperedge {A, C, D}."""
+        hyper = interval_hypergraph(
+            {"A": [(0, 4)], "B": [(5, 7)], "C": [(2, 6)], "D": [(3, 5)]}
+        )
+        members = {e.members for e in hyper.hyperedges}
+        assert frozenset({"A", "C", "D"}) in members
+
+
+class TestFig2:
+    """The VANET time-evolving graph."""
+
+    def test_path_a4_b5_c_exists(self):
+        eg = paper_fig2_evolving_graph()
+        journey = earliest_completion_journey(eg, "A", "C", start=4)
+        assert journey.hops == (("A", "B", 4), ("B", "C", 5))
+
+    def test_a_connected_to_c_at_0_through_4(self):
+        eg = paper_fig2_evolving_graph()
+        assert connection_start_times(eg, "A", "C") == [0, 1, 2, 3, 4]
+
+    def test_a_c_never_connected_in_a_snapshot(self):
+        eg = paper_fig2_evolving_graph()
+        assert not ever_snapshot_connected(eg, "A", "C")
+
+
+class TestFig2Trimming:
+    """Sec. III-A on the Fig. 2 graph."""
+
+    def test_a_can_ignore_neighbor_d(self):
+        eg = paper_fig2_evolving_graph()
+        assert link_ignorable(eg, "A", "D", id_priority(eg))
+
+    def test_specific_replacement_pair(self):
+        """A --3--> D --6--> C is replaced by A --4--> B --5--> C:
+        the replacement departs later (4 >= 3) and arrives earlier
+        (5 <= 6)."""
+        eg = paper_fig2_evolving_graph()
+        assert eg.has_contact("A", "D", 3)
+        assert eg.has_contact("C", "D", 6)
+        assert eg.has_contact("A", "B", 4)
+        assert eg.has_contact("B", "C", 5)
+
+    def test_trimming_preserves_completion_times(self):
+        eg = paper_fig2_evolving_graph()
+        trimmed, _ = trim_nodes(eg)
+        assert preserves_completion_times(eg, trimmed)
+
+
+class TestFig3:
+    """NSF on a Gnutella-like snapshot."""
+
+    def test_snapshot_and_half_peel_both_scale_free_similar_exponent(self):
+        from repro.datasets.gnutella import gnutella_largest_scc
+        from repro.graphs.metrics import degree_sequence, fit_power_law
+        from repro.layering.nsf import peel_to_fraction
+
+        rng = np.random.default_rng(3)
+        g = gnutella_largest_scc(3000, rng)
+        half = peel_to_fraction(g, 0.5)
+        full_fit = fit_power_law(degree_sequence(g), kmin=4)
+        half_fit = fit_power_law(degree_sequence(half), kmin=4)
+        assert abs(full_fit.alpha - half_fit.alpha) < 0.5
+
+    def test_nsf_condition_2_small_exponent_std(self):
+        from repro.datasets.gnutella import gnutella_largest_scc
+
+        rng = np.random.default_rng(4)
+        g = gnutella_largest_scc(2500, rng)
+        report = nsf_report(g, kmin=3)
+        assert report.is_nsf
+        assert report.exponent_std < 0.35
+
+
+class TestFig4:
+    """Full link reversal after a broken link."""
+
+    def test_process_terminates_in_destination_oriented_dag(self):
+        graph, destination, heights = paper_fig4_graph()
+        result = full_link_reversal(graph, destination, heights=heights)
+        assert result.orientation.is_destination_oriented(destination)
+
+    def test_node_a_involved_in_multiple_rounds(self):
+        graph, destination, heights = paper_fig4_graph()
+        result = full_link_reversal(graph, destination, heights=heights)
+        assert result.node_reversals["A"] >= 2
+
+
+class TestFig7:
+    """Degree vs nested-degree labeling."""
+
+    def test_single_top_level_node(self):
+        levels = nsf_levels(paper_fig7_graph())
+        assert len(top_level_nodes(levels)) == 1
+
+
+class TestFig8:
+    """Static labels: marking, trimming, MIS."""
+
+    def test_marking_then_trimming_preserves_cds(self):
+        g = paper_fig8_graph()
+        marked, trimmed = wu_dai_cds(g)
+        assert trimmed < marked
+        assert is_connected_dominating_set(g, trimmed)
+
+    def test_mis_is_valid_and_disjoint_from_neighbors(self):
+        g = paper_fig8_graph()
+        mis, rounds = compute_mis(g)
+        assert is_maximal_independent_set(g, mis)
+        assert rounds <= 3
+
+
+class TestFig9:
+    """Safety-level routing in the 4-cube with 3 faults."""
+
+    def test_1101_selects_0101_with_level_2(self):
+        n, faults = paper_fig9_faults()
+        s = compute_safety_levels(n, faults)
+        assert s.levels[parse_address("0101")] == 2
+        route = safety_guided_route(s, parse_address("1101"), parse_address("0001"))
+        assert route.path[1] == parse_address("0101")
+        assert route.delivered and route.optimal
+
+    def test_at_most_n_minus_1_rounds(self):
+        n, faults = paper_fig9_faults()
+        s = compute_safety_levels(n, faults)
+        assert s.rounds <= n - 1
+
+
+class TestSectionI:
+    """The small-world opening claim."""
+
+    def test_localized_greedy_routing_finds_short_paths(self):
+        from repro.labeling.kleinberg_routing import greedy_grid_route
+        from repro.graphs.generators import kleinberg_grid
+
+        rng = np.random.default_rng(11)
+        g = kleinberg_grid(20, 2.0, rng)
+        hops = []
+        for _ in range(40):
+            s = (int(rng.integers(20)), int(rng.integers(20)))
+            t = (int(rng.integers(20)), int(rng.integers(20)))
+            if s == t:
+                continue
+            route = greedy_grid_route(g, s, t)
+            assert route.delivered
+            hops.append(route.hops)
+        # Short paths: well under the lattice diameter (38).
+        assert sum(hops) / len(hops) < 19

@@ -1,0 +1,312 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+from repro.graphs.interval import (
+    interval_graph,
+    is_chordal,
+    is_interval_graph,
+    multiple_interval_graph,
+)
+from repro.graphs.interval_hypergraph import interval_hypergraph
+from repro.graphs.hypercube import (
+    GeneralizedHypercube,
+    hamming_distance,
+    paths_are_node_disjoint,
+)
+from repro.graphs.traversal import (
+    bfs_distances,
+    connected_components,
+    dijkstra,
+    is_connected,
+    minimum_spanning_tree,
+)
+from repro.graphs.unit_disk import unit_disk_graph
+from repro.labeling.cds import is_connected_dominating_set, marking_process
+from repro.labeling.mis import compute_mis, is_maximal_independent_set
+from repro.labeling.safety import (
+    compute_safety_levels,
+    optimally_reachable_set,
+)
+from repro.temporal.evolving import EvolvingGraph
+from repro.temporal.journeys import (
+    earliest_arrival,
+    earliest_completion_journey,
+    fastest_journey,
+    is_valid_journey,
+    minimum_hop_journey,
+)
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def edge_lists(draw, max_nodes=10, max_edges=20):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    count = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.append((u, v))
+    return n, edges
+
+
+@st.composite
+def contact_lists(draw, max_nodes=7, horizon=8, max_contacts=24):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    count = draw(st.integers(min_value=0, max_value=max_contacts))
+    contacts = []
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        t = draw(st.integers(min_value=0, max_value=horizon - 1))
+        if u != v:
+            contacts.append((u, v, t))
+    return n, horizon, contacts
+
+
+@st.composite
+def interval_families(draw, max_nodes=8):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    families = {}
+    for i in range(n):
+        count = draw(st.integers(min_value=0, max_value=3))
+        intervals = []
+        for _ in range(count):
+            left = draw(st.floats(min_value=0, max_value=50, allow_nan=False))
+            width = draw(st.floats(min_value=0.0, max_value=10, allow_nan=False))
+            intervals.append((left, left + width))
+        families[i] = intervals
+    return families
+
+
+def build_graph(n, edges):
+    g = Graph()
+    for node in range(n):
+        g.add_node(node)
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+def build_eg(n, horizon, contacts):
+    eg = EvolvingGraph(horizon=horizon, nodes=range(n))
+    for u, v, t in contacts:
+        eg.add_contact(u, v, t)
+    return eg
+
+
+# ----------------------------------------------------------------------
+# graph invariants
+# ----------------------------------------------------------------------
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_components_partition_nodes(data):
+    n, edges = data
+    g = build_graph(n, edges)
+    comps = connected_components(g)
+    union = set()
+    total = 0
+    for comp in comps:
+        assert not (union & comp)
+        union |= comp
+        total += len(comp)
+    assert union == set(g.nodes())
+    assert total == g.num_nodes
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_bfs_distances_triangle_inequality_on_edges(data):
+    n, edges = data
+    g = build_graph(n, edges)
+    dist = bfs_distances(g, 0)
+    for u, v in g.edges():
+        if u in dist and v in dist:
+            assert abs(dist[u] - dist[v]) <= 1
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_dijkstra_unit_weights_equals_bfs(data):
+    n, edges = data
+    g = build_graph(n, edges)
+    bfs = bfs_distances(g, 0)
+    weighted, _ = dijkstra(g, 0)
+    assert set(bfs) == set(weighted)
+    for node, d in bfs.items():
+        assert weighted[node] == float(d)
+
+
+@given(edge_lists(max_nodes=9, max_edges=25))
+@settings(max_examples=60, deadline=None)
+def test_mst_has_component_count_edges(data):
+    n, edges = data
+    g = build_graph(n, edges)
+    tree = minimum_spanning_tree(g)
+    comps = connected_components(g)
+    assert tree.num_edges == g.num_nodes - len(comps)
+
+
+# ----------------------------------------------------------------------
+# interval invariants
+# ----------------------------------------------------------------------
+
+@given(interval_families())
+@settings(max_examples=60, deadline=None)
+def test_multiple_interval_graphs_of_single_intervals_are_interval(families):
+    single = {k: v[:1] for k, v in families.items()}
+    g = multiple_interval_graph(single)
+    assert is_chordal(g)
+    assert is_interval_graph(g)
+
+
+@given(interval_families())
+@settings(max_examples=50, deadline=None)
+def test_hypergraph_members_pairwise_overlap(families):
+    hyper = interval_hypergraph(families)
+    for edge in hyper.hyperedges:
+        window_lo, window_hi = edge.window
+        for member in edge.members:
+            assert any(
+                lo <= window_hi and window_lo <= hi
+                for lo, hi in families[member]
+            )
+
+
+@given(interval_families())
+@settings(max_examples=50, deadline=None)
+def test_hypergraph_two_section_subgraph_of_interval_graph(families):
+    hyper = interval_hypergraph(families)
+    pairwise = multiple_interval_graph(families)
+    section = hyper.two_section()
+    for u, v in section.edges():
+        assert pairwise.has_edge(u, v)
+
+
+# ----------------------------------------------------------------------
+# temporal invariants
+# ----------------------------------------------------------------------
+
+@given(contact_lists())
+@settings(max_examples=60, deadline=None)
+def test_earliest_arrival_monotone_in_start(data):
+    n, horizon, contacts = data
+    eg = build_eg(n, horizon, contacts)
+    early = earliest_arrival(eg, 0, start=0)
+    late = earliest_arrival(eg, 0, start=2)
+    # Starting later can only reach fewer nodes, never earlier.
+    assert set(late) <= set(early)
+    for node, t in late.items():
+        if node != 0:
+            assert t >= early[node]
+
+
+@given(contact_lists())
+@settings(max_examples=60, deadline=None)
+def test_optimal_journeys_are_valid(data):
+    n, horizon, contacts = data
+    eg = build_eg(n, horizon, contacts)
+    for target in range(1, n):
+        journey = earliest_completion_journey(eg, 0, target)
+        if journey is not None:
+            assert is_valid_journey(eg, journey)
+        hops = minimum_hop_journey(eg, 0, target)
+        if hops is not None:
+            assert is_valid_journey(eg, hops)
+        fast = fastest_journey(eg, 0, target)
+        if fast is not None:
+            assert is_valid_journey(eg, fast)
+
+
+@given(contact_lists())
+@settings(max_examples=60, deadline=None)
+def test_journey_optimality_relations(data):
+    n, horizon, contacts = data
+    eg = build_eg(n, horizon, contacts)
+    for target in range(1, n):
+        early = earliest_completion_journey(eg, 0, target)
+        hops = minimum_hop_journey(eg, 0, target)
+        fast = fastest_journey(eg, 0, target)
+        if early is None:
+            assert hops is None
+            continue
+        # Reachability agrees across the three variants.
+        assert hops is not None
+        if target != 0 and early.hops:
+            assert fast is not None
+            assert hops.hop_count <= early.hop_count
+            assert fast.span <= early.span
+
+
+# ----------------------------------------------------------------------
+# hypercube and labeling invariants
+# ----------------------------------------------------------------------
+
+@given(
+    st.lists(st.integers(min_value=2, max_value=4), min_size=1, max_size=4),
+    st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_generalized_hypercube_disjoint_paths(radices, data):
+    gh = GeneralizedHypercube(radices)
+    a = tuple(data.draw(st.integers(0, r - 1)) for r in radices)
+    b = tuple(data.draw(st.integers(0, r - 1)) for r in radices)
+    paths = gh.disjoint_paths(a, b)
+    d = hamming_distance(a, b)
+    if d == 0:
+        assert paths == [[a]]
+        return
+    assert len(paths) == d
+    assert paths_are_node_disjoint(paths)
+    for path in paths:
+        assert len(path) - 1 == d
+        for x, y in zip(path, path[1:]):
+            assert hamming_distance(x, y) == 1
+
+
+@given(edge_lists(max_nodes=9, max_edges=20))
+@settings(max_examples=60, deadline=None)
+def test_mis_always_maximal_independent(data):
+    n, edges = data
+    g = build_graph(n, edges)
+    mis, _ = compute_mis(g)
+    assert is_maximal_independent_set(g, mis)
+
+
+@given(edge_lists(max_nodes=9, max_edges=24))
+@settings(max_examples=60, deadline=None)
+def test_marking_is_cds_on_connected_graphs(data):
+    n, edges = data
+    g = build_graph(n, edges)
+    if not is_connected(g) or g.num_nodes < 3:
+        return
+    black = marking_process(g)
+    if black:
+        assert is_connected_dominating_set(g, black)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=15), max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_safety_levels_sound_for_any_fault_set(fault_ints):
+    from repro.graphs.hypercube import address_from_int, binary_addresses
+
+    faults = frozenset(address_from_int(i, 4) for i in fault_ints)
+    s = compute_safety_levels(4, faults)
+    for u in binary_addresses(4):
+        if u in faults:
+            assert s.levels[u] == 0
+            continue
+        reach = optimally_reachable_set(4, faults, u)
+        for v in binary_addresses(4):
+            if v not in faults and hamming_distance(u, v) <= s.levels[u]:
+                assert v in reach

@@ -1,0 +1,257 @@
+"""Structural remapping: geo routing, hyperbolic, feature space (Sec. III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError, NodeNotFoundError
+from repro.graphs.generators import path_graph, random_tree, star_graph
+from repro.graphs.traversal import connected_components
+from repro.graphs.unit_disk import unit_disk_graph
+from repro.mobility.community import random_profiles
+from repro.remapping.feature_space import (
+    FeatureSpace,
+    contact_frequency_by_feature_distance,
+    simulate_delivery,
+)
+from repro.remapping.geo_routing import (
+    crescent_hole_positions,
+    delivery_rate,
+    greedy_route,
+    grid_with_holes,
+)
+from repro.remapping.hyperbolic import (
+    embed_tree,
+    greedy_route_hyperbolic,
+    hyperbolic_distance,
+)
+from repro.temporal.evolving import EvolvingGraph
+
+
+def holey_deployment(rng, n=350):
+    positions = crescent_hole_positions(n, 20, 20, rng)
+    graph = unit_disk_graph(positions, 1.8)
+    giant = graph.subgraph(connected_components(graph)[0])
+    return giant, {node: positions[node] for node in giant.nodes()}
+
+
+class TestGreedyGeoRouting:
+    def test_delivers_on_clear_field(self, rng):
+        positions = {i: (float(x), float(y)) for i, (x, y) in enumerate(
+            zip(rng.uniform(0, 10, 150), rng.uniform(0, 10, 150)))}
+        graph = unit_disk_graph(positions, 2.5)
+        giant = graph.subgraph(connected_components(graph)[0])
+        nodes = sorted(giant.nodes())
+        route = greedy_route(giant, nodes[0], nodes[-1])
+        # A dense clear field rarely has local minima between two nodes.
+        assert route.delivered or route.stuck_at is not None
+
+    def test_stuck_at_hole(self, rng):
+        """Fig. 5(a): greedy gets stuck at a non-convex hole."""
+        giant, positions = holey_deployment(rng)
+        nodes = sorted(giant.nodes())
+        pairs = []
+        while len(pairs) < 150:
+            s = nodes[int(rng.integers(len(nodes)))]
+            t = nodes[int(rng.integers(len(nodes)))]
+            if s != t:
+                pairs.append((s, t))
+        rate = delivery_rate(giant, pairs, positions)
+        assert rate < 1.0  # some packets must get stuck
+
+    def test_route_result_shape(self, rng):
+        giant, positions = holey_deployment(rng, n=200)
+        nodes = sorted(giant.nodes())
+        route = greedy_route(giant, nodes[0], nodes[0])
+        assert route.delivered and route.hops == 0
+
+    def test_missing_node_raises(self, rng):
+        giant, _ = holey_deployment(rng, n=150)
+        with pytest.raises(NodeNotFoundError):
+            greedy_route(giant, "ghost", sorted(giant.nodes())[0])
+
+    def test_strict_progress_no_loops(self, rng):
+        giant, positions = holey_deployment(rng, n=200)
+        nodes = sorted(giant.nodes())
+        for _ in range(30):
+            s = nodes[int(rng.integers(len(nodes)))]
+            t = nodes[int(rng.integers(len(nodes)))]
+            route = greedy_route(giant, s, t)
+            assert len(set(route.path)) == len(route.path)
+
+    def test_grid_with_holes_removes_nodes(self, rng):
+        full = grid_with_holes(10, 1.6, holes=[], rng=rng)
+        holed = grid_with_holes(10, 1.6, holes=[((5, 5), 2.0)], rng=rng)
+        assert holed.num_nodes < full.num_nodes
+
+
+class TestHyperbolicRemap:
+    def test_distance_properties(self):
+        a, b = (0.0, 1.0), (2.0, 1.0)
+        assert hyperbolic_distance(a, a) == 0.0
+        assert hyperbolic_distance(a, b) == hyperbolic_distance(b, a)
+        assert hyperbolic_distance(a, b) > 0
+
+    def test_distance_requires_upper_half_plane(self):
+        with pytest.raises(ValueError):
+            hyperbolic_distance((0.0, -1.0), (0.0, 1.0))
+
+    def test_embedding_distance_symmetric(self, rng):
+        tree = random_tree(40, rng)
+        embedding = embed_tree(tree)
+        assert embedding.distance(3, 17) == pytest.approx(
+            embedding.distance(17, 3), rel=1e-9
+        )
+
+    def test_embedding_tree_edge_length_tau(self, rng):
+        tree = path_graph(5)
+        embedding = embed_tree(tree, certify=False, tau=3.0)
+        assert embedding.distance(0, 1) == pytest.approx(3.0, rel=1e-6)
+
+    def test_certified_trees(self, rng):
+        for n in (10, 60, 150):
+            tree = random_tree(n, rng)
+            embedding = embed_tree(tree)
+            # Certification succeeded: greedy delivers on the tree itself.
+            nodes = sorted(tree.nodes())
+            for _ in range(15):
+                s = nodes[int(rng.integers(n))]
+                t = nodes[int(rng.integers(n))]
+                assert greedy_route_hyperbolic(tree, embedding, s, t).delivered
+
+    def test_star_embedding(self):
+        star = star_graph(8)
+        embedding = embed_tree(star)
+        assert greedy_route_hyperbolic(star, embedding, 3, 7).delivered
+
+    def test_guaranteed_delivery_where_euclid_fails(self, rng):
+        """Fig. 5(b): hyperbolic remap delivers 100% on the holey field."""
+        giant, positions = holey_deployment(rng)
+        embedding = embed_tree(giant)
+        nodes = sorted(giant.nodes())
+        euclid_failures = 0
+        for _ in range(120):
+            s = nodes[int(rng.integers(len(nodes)))]
+            t = nodes[int(rng.integers(len(nodes)))]
+            if s == t:
+                continue
+            if not greedy_route(giant, s, t, positions).delivered:
+                euclid_failures += 1
+            assert greedy_route_hyperbolic(giant, embedding, s, t).delivered
+        assert euclid_failures > 0
+
+    def test_distance_table_matches_pairwise(self, rng):
+        tree = random_tree(25, rng)
+        embedding = embed_tree(tree, certify=False)
+        table = embedding.distance_table(7)
+        for node in tree.nodes():
+            assert table[node] == pytest.approx(embedding.distance(node, 7), rel=1e-6)
+
+    def test_disconnected_graph_rejected(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        with pytest.raises(AlgorithmError):
+            embed_tree(g)
+
+    def test_empty_graph_rejected(self):
+        from repro.graphs.graph import Graph
+
+        with pytest.raises(ValueError):
+            embed_tree(Graph())
+
+
+def synthetic_eg_and_space(rng, n=24, radices=(2, 2, 3)):
+    profiles = random_profiles(n, radices, rng)
+    space = FeatureSpace(profiles, radices)
+    eg = EvolvingGraph(horizon=60, nodes=list(profiles))
+    # Dense contacts between feature-close pairs, sparse otherwise.
+    nodes = list(profiles)
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            distance = space.feature_distance(u, v)
+            period = 3 + 6 * distance
+            phase = int(rng.integers(period))
+            eg.add_periodic_contact(u, v, phase=phase, period=period)
+    return eg, space, profiles
+
+
+class TestFeatureSpace:
+    def test_profile_lookup_and_communities(self, rng):
+        profiles = {0: (0, 1), 1: (0, 1), 2: (1, 0)}
+        space = FeatureSpace(profiles, (2, 2))
+        assert space.profile_of(1) == (0, 1)
+        assert space.community((0, 1)) == {0, 1}
+        assert space.occupied_profiles() == {(0, 1), (1, 0)}
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSpace({0: (5, 0)}, (2, 2))
+
+    def test_strong_link_definition(self):
+        space = FeatureSpace({0: (0, 0), 1: (0, 1), 2: (1, 1)}, (2, 2))
+        assert space.is_strong_link(0, 1)
+        assert not space.is_strong_link(0, 2)
+
+    def test_shortest_profile_path(self):
+        space = FeatureSpace({0: (0, 0, 0), 1: (1, 1, 2)}, (2, 2, 3))
+        path = space.shortest_profile_path(0, 1)
+        assert len(path) - 1 == 3
+
+    def test_disjoint_profile_paths(self):
+        space = FeatureSpace({0: (0, 0, 0), 1: (1, 1, 2)}, (2, 2, 3))
+        paths = space.disjoint_profile_paths(0, 1)
+        assert len(paths) == 3
+
+    def test_direct_vs_epidemic_vs_fspace(self, rng):
+        eg, space, profiles = synthetic_eg_and_space(rng)
+        nodes = list(profiles)
+        delivered = {"direct": 0, "epidemic": 0, "fspace-greedy": 0}
+        delays = {"direct": [], "epidemic": [], "fspace-greedy": []}
+        for t_index in range(1, 13):
+            target = nodes[t_index]
+            for policy in delivered:
+                result = simulate_delivery(eg, space, nodes[0], target, policy)
+                if result.delivered:
+                    delivered[policy] += 1
+                    delays[policy].append(result.delivery_time)
+        # Epidemic is the delay lower bound; fspace must beat direct-ish.
+        assert delivered["epidemic"] >= delivered["fspace-greedy"]
+        assert delivered["fspace-greedy"] >= 1
+
+    def test_epidemic_uses_many_copies_fspace_one(self, rng):
+        eg, space, profiles = synthetic_eg_and_space(rng)
+        nodes = list(profiles)
+        epidemic = simulate_delivery(eg, space, nodes[0], nodes[5], "epidemic")
+        greedy = simulate_delivery(eg, space, nodes[0], nodes[5], "fspace-greedy")
+        assert greedy.copies == 1
+        if epidemic.delivered:
+            assert epidemic.copies >= greedy.copies
+
+    def test_multipath_delivers(self, rng):
+        eg, space, profiles = synthetic_eg_and_space(rng)
+        nodes = list(profiles)
+        ok = 0
+        for target in nodes[1:8]:
+            result = simulate_delivery(eg, space, nodes[0], target, "fspace-multipath")
+            ok += result.delivered
+        assert ok >= 1
+
+    def test_same_node_trivial(self, rng):
+        eg, space, profiles = synthetic_eg_and_space(rng, n=6)
+        result = simulate_delivery(eg, space, 0, 0, "direct")
+        assert result.delivered and result.delivery_time == 0
+
+    def test_unknown_policy(self, rng):
+        eg, space, profiles = synthetic_eg_and_space(rng, n=6)
+        with pytest.raises(ValueError):
+            simulate_delivery(eg, space, 0, 1, "warp")
+
+    def test_contact_frequency_decays(self, rng):
+        eg, space, profiles = synthetic_eg_and_space(rng)
+        freq = contact_frequency_by_feature_distance(eg, space)
+        distances = sorted(freq)
+        assert all(
+            freq[a] >= freq[b] for a, b in zip(distances, distances[1:])
+        )

@@ -1,0 +1,174 @@
+"""The synchronous message-passing engine and view oracles (Sec. IV)."""
+
+import pytest
+
+from repro.errors import ConvergenceError, NodeNotFoundError
+from repro.graphs.generators import grid_2d, path_graph
+from repro.graphs.graph import Graph
+from repro.runtime.engine import Network, NodeAlgorithm
+from repro.runtime.views import (
+    DelayedViewOracle,
+    MultiViewOracle,
+    inconsistency_rate,
+    k_hop_view,
+    view_inconsistency,
+)
+
+
+class Flood(NodeAlgorithm):
+    """Reference flooding algorithm used across engine tests."""
+
+    def __init__(self, source):
+        self.source = source
+
+    def init(self, ctx):
+        ctx.state["informed"] = ctx.node == self.source
+        if ctx.state["informed"]:
+            ctx.broadcast("token")
+
+    def step(self, ctx):
+        if ctx.inbox and not ctx.state["informed"]:
+            ctx.state["informed"] = True
+            ctx.broadcast("token")
+        ctx.halt()
+
+    def on_topology_change(self, ctx):
+        # An informed node re-offers the token to (possibly new) neighbors.
+        if ctx.state.get("informed"):
+            ctx.broadcast("token")
+
+
+class Spinner(NodeAlgorithm):
+    """Never halts: used to exercise the convergence guard."""
+
+    def step(self, ctx):
+        ctx.broadcast("spin")
+
+
+class TestEngine:
+    def test_flood_informs_everyone(self):
+        net = Network(grid_2d(4, 4), lambda n: Flood((0, 0)))
+        stats = net.run()
+        assert all(net.states("informed").values())
+        # BFS depth of a 4x4 grid from a corner is 6; +1 halting round slack.
+        assert stats.rounds <= 8
+
+    def test_message_accounting(self):
+        net = Network(path_graph(3), lambda n: Flood(0))
+        stats = net.run()
+        assert stats.messages_sent >= 2
+        assert len(stats.messages_per_round) >= stats.rounds
+
+    def test_send_to_non_neighbor_rejected(self):
+        class Bad(NodeAlgorithm):
+            def init(self, ctx):
+                ctx.send("not-a-neighbor", "x")
+
+        net = Network(path_graph(2), lambda n: Bad())
+        with pytest.raises(ValueError):
+            net.initialize()
+
+    def test_convergence_guard(self):
+        net = Network(path_graph(3), lambda n: Spinner())
+        with pytest.raises(ConvergenceError):
+            net.run(max_rounds=10)
+
+    def test_halted_node_wakes_on_message(self):
+        net = Network(path_graph(4), lambda n: Flood(0))
+        net.run()
+        assert net.states("informed")[3] is True
+
+    def test_states_snapshot(self):
+        net = Network(path_graph(3), lambda n: Flood(0))
+        net.run()
+        snapshot = net.states("informed", default=False)
+        assert set(snapshot) == {0, 1, 2}
+
+    def test_state_of_missing_node(self):
+        net = Network(path_graph(2), lambda n: Flood(0))
+        with pytest.raises(NodeNotFoundError):
+            net.state_of("ghost")
+
+    def test_add_edge_midway_wakes_nodes(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)  # isolated: flooding cannot reach it
+        net = Network(g, lambda n: Flood(0))
+        net.run()
+        assert net.states("informed")[2] is False
+        net.add_edge(1, 2)
+        net.run()
+        assert net.states("informed")[2] is True
+
+    def test_add_node_installs_algorithm(self):
+        net = Network(path_graph(2), lambda n: Flood(0))
+        net.run()
+        net.add_node(99)
+        net.add_edge(1, 99)
+        net.run()
+        assert net.states("informed")[99] is True
+
+    def test_remove_node_cleans_state(self):
+        net = Network(path_graph(3), lambda n: Flood(0))
+        net.run()
+        net.remove_node(2)
+        assert 2 not in net.states("informed")
+
+
+class TestViews:
+    def test_k_hop_view(self):
+        g = path_graph(5)
+        assert k_hop_view(g, 0, 2) == {1, 2}
+
+    def test_delayed_oracle_serves_stale_view(self):
+        g1 = path_graph(3)          # 0-1-2
+        g2 = path_graph(3)
+        g2.remove_edge(1, 2)        # link breaks
+        oracle = DelayedViewOracle(k=1, delay=1)
+        oracle.observe(g1)
+        oracle.observe(g2)
+        # Node 1 still believes 2 is a neighbor (stale by one snapshot).
+        assert oracle.view(1) == {0, 2}
+        missing, stale = view_inconsistency(g2, oracle.view(1), 1, 1)
+        assert stale == {2}
+        assert missing == set()
+
+    def test_zero_delay_consistent(self):
+        g = path_graph(4)
+        oracle = DelayedViewOracle(k=2, delay=0)
+        oracle.observe(g)
+        missing, stale = view_inconsistency(g, oracle.view(0), 0, 2)
+        assert not missing and not stale
+
+    def test_oracle_requires_snapshot(self):
+        oracle = DelayedViewOracle(k=1, delay=0)
+        with pytest.raises(ValueError):
+            oracle.view(0)
+
+    def test_inconsistency_rate_zero_when_static(self):
+        snapshots = [path_graph(5) for _ in range(5)]
+        assert inconsistency_rate(snapshots, k=1, delay=2) == 0.0
+
+    def test_inconsistency_rate_positive_when_changing(self):
+        snapshots = []
+        for i in range(6):
+            g = path_graph(5)
+            if i % 2 == 0:
+                g.remove_edge(2, 3)
+            snapshots.append(g)
+        assert inconsistency_rate(snapshots, k=1, delay=1) > 0.0
+
+    def test_multi_view_conservative_vs_optimistic(self):
+        g1 = path_graph(3)
+        g2 = path_graph(3)
+        g2.remove_edge(1, 2)
+        oracle = MultiViewOracle(k=1, window=2)
+        oracle.observe(g1)
+        oracle.observe(g2)
+        assert oracle.conservative_view(1) == {0}
+        assert oracle.optimistic_view(1) == {0, 2}
+
+    def test_multi_view_missing_node(self):
+        oracle = MultiViewOracle(k=1, window=2)
+        with pytest.raises(NodeNotFoundError):
+            oracle.conservative_view("ghost")

@@ -1,0 +1,225 @@
+"""Hypercube safety levels and vectors (Sec. IV-C, Fig. 9, [32])."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.graphs.hypercube import (
+    binary_addresses,
+    format_address,
+    hamming_distance,
+    parse_address,
+)
+from repro.labeling.safety import (
+    compute_safety_levels,
+    compute_safety_vectors,
+    optimally_reachable_set,
+    paper_fig9_faults,
+    safety_guided_broadcast,
+    safety_guided_route,
+    vector_guided_route,
+)
+
+
+def random_fault_sets(n, max_faults, count, rng):
+    nodes = list(binary_addresses(n))
+    for _ in range(count):
+        k = int(rng.integers(1, max_faults + 1))
+        picks = rng.choice(len(nodes), size=k, replace=False)
+        yield frozenset(nodes[i] for i in picks)
+
+
+class TestSafetyLevels:
+    def test_no_faults_all_safe(self):
+        s = compute_safety_levels(4, [])
+        assert all(level == 4 for level in s.levels.values())
+        assert s.rounds == 0
+
+    def test_faulty_nodes_level_zero(self):
+        faults = [(0, 0, 0), (1, 1, 1)]
+        s = compute_safety_levels(3, faults)
+        for fault in faults:
+            assert s.levels[fault] == 0
+
+    def test_rounds_at_most_n_minus_one(self, rng):
+        for faults in random_fault_sets(4, 6, 10, rng):
+            s = compute_safety_levels(4, faults)
+            assert s.rounds <= 3
+
+    def test_level_i_decided_at_round_i(self, rng):
+        """The paper: if the safety level of a node is i, the level of
+        this node is decided exactly in round i."""
+        for faults in random_fault_sets(4, 5, 12, rng):
+            s = compute_safety_levels(4, faults)
+            for node, level in s.levels.items():
+                if node in s.faulty:
+                    continue
+                if level < 4:
+                    assert s.decided_at_round[node] == level
+
+    def test_level_semantics_vs_ground_truth(self, rng):
+        """level(u) = i ⇒ every node within i hops is optimally reachable."""
+        for faults in random_fault_sets(4, 5, 8, rng):
+            s = compute_safety_levels(4, faults)
+            for u in binary_addresses(4):
+                if u in s.faulty:
+                    continue
+                reach = optimally_reachable_set(4, s.faulty, u)
+                for v in binary_addresses(4):
+                    if v in s.faulty:
+                        continue
+                    if hamming_distance(u, v) <= s.levels[u]:
+                        assert v in reach
+
+    def test_safe_node_reaches_everyone(self, rng):
+        for faults in random_fault_sets(5, 4, 5, rng):
+            s = compute_safety_levels(5, faults)
+            for u in binary_addresses(5):
+                if u in s.faulty or not s.is_safe(u):
+                    continue
+                reach = optimally_reachable_set(5, s.faulty, u)
+                healthy = {v for v in binary_addresses(5) if v not in s.faulty}
+                assert healthy <= reach
+                break  # one safe node per fault set is enough
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            compute_safety_levels(0, [])
+        with pytest.raises(ValueError):
+            compute_safety_levels(3, [(0, 1)])
+
+
+class TestFig9:
+    def test_narrated_facts(self):
+        """1101 routes to 0001 via 0101 (level 2); 1001 is faulty."""
+        n, faults = paper_fig9_faults()
+        s = compute_safety_levels(n, faults)
+        assert s.levels[parse_address("0101")] == 2
+        assert parse_address("1001") in s.faulty
+        route = safety_guided_route(
+            s, parse_address("1101"), parse_address("0001")
+        )
+        assert route.delivered and route.optimal
+        assert route.path[1] == parse_address("0101")
+
+    def test_three_faults(self):
+        n, faults = paper_fig9_faults()
+        assert n == 4 and len(faults) == 3
+
+
+class TestGuidedRouting:
+    def test_guarantee_when_level_covers_distance(self, rng):
+        """If level(source) >= Hamming distance, optimal delivery."""
+        for faults in random_fault_sets(4, 5, 10, rng):
+            s = compute_safety_levels(4, faults)
+            for source in binary_addresses(4):
+                if source in s.faulty:
+                    continue
+                for target in binary_addresses(4):
+                    if target in s.faulty or target == source:
+                        continue
+                    distance = hamming_distance(source, target)
+                    if s.levels[source] >= distance:
+                        route = safety_guided_route(s, source, target)
+                        assert route.delivered, (faults, source, target)
+                        assert route.optimal
+
+    def test_route_to_self(self):
+        s = compute_safety_levels(3, [])
+        route = safety_guided_route(s, (0, 0, 0), (0, 0, 0))
+        assert route.delivered and route.hops == 0
+
+    def test_route_fails_gracefully_when_walled_off(self):
+        # Surround 000 by faults on all neighbors.
+        faults = [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+        s = compute_safety_levels(3, faults)
+        route = safety_guided_route(s, (0, 0, 0), (1, 1, 1))
+        assert not route.delivered
+
+
+class TestBroadcast:
+    def test_reaches_all_reachable_healthy_nodes(self, rng):
+        for faults in random_fault_sets(4, 4, 8, rng):
+            s = compute_safety_levels(4, faults)
+            sources = [a for a in binary_addresses(4) if a not in s.faulty]
+            result = safety_guided_broadcast(s, sources[0])
+            # Everyone connected in the healthy subcube must be covered.
+            from repro.graphs.hypercube import binary_hypercube
+            from repro.graphs.traversal import bfs_distances
+
+            cube = binary_hypercube(4)
+            for fault in s.faulty:
+                cube.remove_node(fault)
+            expected = set(bfs_distances(cube, sources[0]))
+            assert result.reached == expected
+
+    def test_safe_source_broadcast_time_n(self):
+        s = compute_safety_levels(4, [])
+        result = safety_guided_broadcast(s, (0, 0, 0, 0))
+        assert result.steps == 4
+        assert len(result.reached) == 16
+
+    def test_faulty_source_rejected(self):
+        faults = [(0, 0, 0)]
+        s = compute_safety_levels(3, faults)
+        with pytest.raises(AlgorithmError):
+            safety_guided_broadcast(s, (0, 0, 0))
+
+
+class TestSafetyVectors:
+    def test_faulty_vectors_zero(self):
+        vectors = compute_safety_vectors(3, [(0, 1, 0)])
+        assert vectors[(0, 1, 0)] == (0, 0, 0)
+
+    def test_no_faults_all_ones(self):
+        vectors = compute_safety_vectors(3, [])
+        for address in binary_addresses(3):
+            assert vectors[address] == (1, 1, 1)
+
+    def test_vector_bit_guarantee(self, rng):
+        """bit_k(u) = 1 ⇒ every healthy node at distance k optimally
+        reachable (checked against exhaustive ground truth)."""
+        for faults in random_fault_sets(4, 5, 8, rng):
+            vectors = compute_safety_vectors(4, faults)
+            for u in binary_addresses(4):
+                if u in faults:
+                    continue
+                reach = optimally_reachable_set(4, frozenset(faults), u)
+                for v in binary_addresses(4):
+                    if v in faults or v == u:
+                        continue
+                    d = hamming_distance(u, v)
+                    if vectors[u][d - 1] == 1:
+                        assert v in reach
+
+    def test_vector_routing_succeeds_when_bit_set(self, rng):
+        for faults in random_fault_sets(4, 4, 6, rng):
+            vectors = compute_safety_vectors(4, faults)
+            fault_set = frozenset(faults)
+            for u in binary_addresses(4):
+                if u in fault_set:
+                    continue
+                for v in binary_addresses(4):
+                    if v in fault_set or v == u:
+                        continue
+                    d = hamming_distance(u, v)
+                    if vectors[u][d - 1] == 1:
+                        route = vector_guided_route(vectors, fault_set, u, v)
+                        assert route.delivered and route.optimal
+
+    def test_vectors_sometimes_more_permissive_than_levels(self, rng):
+        """Levels and vectors are incomparable sufficient conditions,
+        but the vector's per-distance bits are finer-grained: across
+        random fault sets we must find nodes whose level forbids a
+        distance the vector certifies (the [32] follow-up's motivation)."""
+        found = 0
+        for faults in random_fault_sets(4, 5, 25, rng):
+            s = compute_safety_levels(4, faults)
+            vectors = compute_safety_vectors(4, faults)
+            for u in binary_addresses(4):
+                if u in s.faulty:
+                    continue
+                for k in range(s.levels[u] + 1, 5):
+                    if vectors[u][k - 1] == 1:
+                        found += 1
+        assert found > 0

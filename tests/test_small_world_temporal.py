@@ -1,0 +1,105 @@
+"""Temporal small-world analysis ([15], Sec. III-B)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mobility import Arena, CommunityMobility, collect_contact_trace, random_profiles
+from repro.temporal.evolving import EvolvingGraph
+from repro.temporal.small_world import (
+    characteristic_temporal_path_length,
+    randomize_contact_times,
+    temporal_correlation_coefficient,
+    temporal_small_world_report,
+)
+
+
+def periodic_eg(n=10, horizon=12):
+    """Fully persistent ring: every edge present at every unit (C = 1)."""
+    eg = EvolvingGraph(horizon=horizon, nodes=range(n))
+    for t in range(horizon):
+        for i in range(n):
+            eg.add_contact(i, (i + 1) % n, t)
+    return eg
+
+
+class TestTemporalCorrelation:
+    def test_persistent_network_full_correlation(self):
+        assert temporal_correlation_coefficient(periodic_eg()) == pytest.approx(1.0)
+
+    def test_single_snapshot_zero(self):
+        eg = EvolvingGraph(horizon=1)
+        eg.add_contact("a", "b", 0)
+        assert temporal_correlation_coefficient(eg) == 0.0
+
+    def test_alternating_network_zero_correlation(self):
+        # Neighborhood flips completely every unit.
+        eg = EvolvingGraph(horizon=6, nodes=["a", "b", "c"])
+        for t in range(6):
+            if t % 2 == 0:
+                eg.add_contact("a", "b", t)
+            else:
+                eg.add_contact("a", "c", t)
+        assert temporal_correlation_coefficient(eg) == pytest.approx(0.0)
+
+    def test_randomization_reduces_correlation(self, rng):
+        profiles = random_profiles(20, (2, 2), rng)
+        mobility = CommunityMobility(profiles, (2, 2), Arena(15, 15), rng)
+        eg = collect_contact_trace(mobility, 80, radius=2.0).to_evolving(1.0)
+        null = randomize_contact_times(eg, rng)
+        assert temporal_correlation_coefficient(null) < (
+            temporal_correlation_coefficient(eg)
+        )
+
+
+class TestTemporalPathLength:
+    def test_persistent_ring_distances(self):
+        eg = periodic_eg(n=6, horizon=8)
+        length, reachability = characteristic_temporal_path_length(eg)
+        # Everything reachable instantly (same-unit chaining around the ring).
+        assert reachability == 1.0
+        assert length == 0.0
+
+    def test_staggered_chain(self):
+        eg = EvolvingGraph(horizon=5, nodes=["a", "b", "c"])
+        eg.add_contact("a", "b", 0)
+        eg.add_contact("b", "c", 2)
+        length, reachability = characteristic_temporal_path_length(eg)
+        assert 0 < reachability < 1
+        assert length > 0
+
+    def test_empty_unreachable(self):
+        eg = EvolvingGraph(horizon=3, nodes=["a", "b"])
+        length, reachability = characteristic_temporal_path_length(eg)
+        assert math.isinf(length)
+        assert reachability == 0.0
+
+
+class TestNullModel:
+    def test_preserves_footprint_and_counts(self, rng):
+        eg = EvolvingGraph(horizon=10, nodes=range(8))
+        for u in range(8):
+            for v in range(u + 1, 8):
+                if rng.random() < 0.4:
+                    for t in sorted({int(x) for x in rng.integers(0, 10, 3)}):
+                        eg.add_contact(u, v, t)
+        null = randomize_contact_times(eg, rng)
+        assert set(null.edges()) == set(eg.edges())
+        assert null.num_contacts == eg.num_contacts
+        for u, v in eg.edges():
+            assert len(null.labels(u, v)) == len(eg.labels(u, v))
+
+    def test_report_fields(self, rng):
+        profiles = random_profiles(16, (2, 2), rng)
+        mobility = CommunityMobility(profiles, (2, 2), Arena(12, 12), rng)
+        eg = collect_contact_trace(mobility, 60, radius=2.0).to_evolving(1.0)
+        report = temporal_small_world_report(eg, rng, null_samples=2)
+        assert report.correlation > report.null_correlation
+        assert 0 <= report.reachability <= 1
+        assert report.correlation_ratio > 1
+
+    def test_null_samples_validated(self, rng):
+        eg = periodic_eg()
+        with pytest.raises(ValueError):
+            temporal_small_world_report(eg, rng, null_samples=0)

@@ -1,0 +1,199 @@
+"""Unit tests for traversals, shortest paths, components, diameter, MST."""
+
+import math
+
+import pytest
+
+from repro.errors import AlgorithmError, NodeNotFoundError
+from repro.graphs.graph import DiGraph, Graph
+from repro.graphs.generators import complete_graph, grid_2d, path_graph, star_graph
+from repro.graphs.traversal import (
+    bfs_distances,
+    bfs_order,
+    bfs_tree,
+    connected_components,
+    dfs_order,
+    diameter,
+    dijkstra,
+    eccentricity,
+    is_connected,
+    largest_strongly_connected_component,
+    minimum_spanning_tree,
+    reconstruct_path,
+    shortest_path,
+    strongly_connected_components,
+)
+
+
+class TestBFS:
+    def test_distances_on_path(self):
+        g = path_graph(5)
+        dist = bfs_distances(g, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_unreachable_absent(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        assert 3 not in bfs_distances(g, 1)
+
+    def test_order_starts_at_source(self):
+        g = grid_2d(3, 3)
+        order = bfs_order(g, (0, 0))
+        assert order[0] == (0, 0)
+        assert len(order) == 9
+
+    def test_tree_parents(self):
+        g = path_graph(4)
+        parent = bfs_tree(g, 0)
+        assert parent[0] is None
+        assert parent[3] == 2
+
+    def test_missing_source_raises(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(g, "nope")
+
+    def test_shortest_path_endpoints(self):
+        g = grid_2d(4, 4)
+        path = shortest_path(g, (0, 0), (3, 3))
+        assert path[0] == (0, 0) and path[-1] == (3, 3)
+        assert len(path) - 1 == 6
+
+    def test_shortest_path_unreachable_none(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        assert shortest_path(g, 1, 3) is None
+
+    def test_directed_bfs_respects_orientation(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert bfs_distances(g, "a") == {"a": 0, "b": 1}
+        assert bfs_distances(g, "b") == {"b": 0}
+
+
+class TestDFS:
+    def test_preorder_covers_component(self):
+        g = grid_2d(3, 3)
+        assert len(dfs_order(g, (0, 0))) == 9
+
+    def test_starts_at_source(self):
+        g = path_graph(3)
+        assert dfs_order(g, 1)[0] == 1
+
+
+class TestDijkstra:
+    def test_weighted_distances(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=1.0)
+        g.add_edge("b", "c", weight=1.0)
+        g.add_edge("a", "c", weight=5.0)
+        dist, parent = dijkstra(g, "a")
+        assert dist["c"] == 2.0
+        assert reconstruct_path(parent, "c") == ["a", "b", "c"]
+
+    def test_default_weight(self):
+        g = path_graph(4)
+        dist, _ = dijkstra(g, 0)
+        assert dist[3] == 3.0
+
+    def test_callable_weight(self):
+        g = path_graph(3)
+        dist, _ = dijkstra(g, 0, weight=lambda u, v: 10.0)
+        assert dist[2] == 20.0
+
+    def test_negative_weight_rejected(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=-1.0)
+        with pytest.raises(AlgorithmError):
+            dijkstra(g, "a")
+
+    def test_reconstruct_missing_target(self):
+        assert reconstruct_path({"a": None}, "z") is None
+
+
+class TestComponents:
+    def test_two_components(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        g.add_edge(4, 5)
+        comps = connected_components(g)
+        assert len(comps) == 2
+        assert comps[0] == {3, 4, 5}  # largest first
+
+    def test_is_connected_empty(self):
+        assert is_connected(Graph())
+
+    def test_is_connected_false(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        assert not is_connected(g)
+
+    def test_scc_cycle(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(3, 1)
+        g.add_edge(3, 4)
+        comps = strongly_connected_components(g)
+        assert {1, 2, 3} in comps
+        assert {4} in comps
+
+    def test_scc_dag_all_singletons(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        comps = strongly_connected_components(g)
+        assert all(len(c) == 1 for c in comps)
+        assert len(comps) == 3
+
+    def test_largest_scc_subgraph(self):
+        g = DiGraph()
+        for u, v in [(1, 2), (2, 1), (2, 3)]:
+            g.add_edge(u, v)
+        scc = largest_strongly_connected_component(g)
+        assert set(scc.nodes()) == {1, 2}
+
+
+class TestDiameterAndMST:
+    def test_diameter_path(self):
+        assert diameter(path_graph(6)) == 5
+
+    def test_diameter_complete(self):
+        assert diameter(complete_graph(5)) == 1
+
+    def test_diameter_disconnected_raises(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(AlgorithmError):
+            diameter(g)
+
+    def test_eccentricity_center_of_star(self):
+        g = star_graph(5)
+        assert eccentricity(g, 0) == 1
+        assert eccentricity(g, 1) == 2
+
+    def test_mst_tree_edge_count(self):
+        g = complete_graph(6)
+        tree = minimum_spanning_tree(g)
+        assert tree.num_edges == 5
+        assert is_connected(tree)
+
+    def test_mst_picks_light_edges(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=1)
+        g.add_edge("b", "c", weight=1)
+        g.add_edge("a", "c", weight=10)
+        tree = minimum_spanning_tree(g)
+        assert not tree.has_edge("a", "c")
+
+    def test_mst_forest_on_disconnected(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        tree = minimum_spanning_tree(g)
+        assert tree.num_edges == 2

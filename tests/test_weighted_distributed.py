@@ -1,0 +1,201 @@
+"""Weighted-EG journeys and the distributed protocol variants."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import path_graph, random_connected_graph
+from repro.labeling.safety import compute_safety_levels
+from repro.labeling.safety_distributed import distributed_safety_levels
+from repro.layering.link_reversal import full_link_reversal, initial_heights
+from repro.layering.link_reversal_distributed import distributed_full_reversal
+from repro.temporal.evolving import EvolvingGraph
+from repro.temporal.journeys import is_valid_journey
+from repro.temporal.weighted_journeys import (
+    journey_bottleneck,
+    journey_delay,
+    max_bandwidth_journey,
+    min_delay_journey,
+    most_reliable_journey,
+)
+
+
+def weighted_eg():
+    """Two routes a→c: fast-but-late direct vs early relay."""
+    eg = EvolvingGraph(horizon=12)
+    eg.add_contact("a", "b", 1, weight=2.0)
+    eg.add_contact("b", "c", 4, weight=1.0)   # relay arrives at 5
+    eg.add_contact("a", "c", 6, weight=0.5)   # direct arrives at 6.5
+    return eg
+
+
+class TestMinDelay:
+    def test_prefers_earlier_total_arrival(self):
+        eg = weighted_eg()
+        journey = min_delay_journey(eg, "a", "c")
+        assert journey.hops == (("a", "b", 1), ("b", "c", 4))
+        assert journey_delay(eg, journey) == 5.0
+
+    def test_delay_blocks_tight_connections(self):
+        # b->c contact at time 2 is unusable: a->b finishes at 3.
+        eg = EvolvingGraph(horizon=10)
+        eg.add_contact("a", "b", 1, weight=2.0)
+        eg.add_contact("b", "c", 2, weight=1.0)
+        assert min_delay_journey(eg, "a", "c") is None
+
+    def test_unweighted_defaults_to_unit_delay(self):
+        eg = EvolvingGraph(horizon=10)
+        eg.add_contact("a", "b", 0)
+        eg.add_contact("b", "c", 5)
+        journey = min_delay_journey(eg, "a", "c")
+        assert journey_delay(eg, journey) == 6.0
+
+    def test_same_node(self):
+        eg = weighted_eg()
+        assert min_delay_journey(eg, "a", "a").hop_count == 0
+
+    def test_journey_delay_validates_readiness(self):
+        eg = weighted_eg()
+        from repro.temporal.journeys import Journey
+
+        bogus = Journey("a", (("a", "c", 6), ("a", "b", 1)))
+        with pytest.raises(ValueError):
+            journey_delay(eg, bogus)
+
+
+class TestReliability:
+    def test_prefers_product_over_hops(self):
+        eg = EvolvingGraph(horizon=10)
+        eg.add_contact("a", "b", 1, weight=0.9)
+        eg.add_contact("b", "c", 2, weight=0.9)   # product 0.81
+        eg.add_contact("a", "c", 3, weight=0.5)   # single hop, worse
+        journey, reliability = most_reliable_journey(eg, "a", "c")
+        assert reliability == pytest.approx(0.81)
+        assert journey.hop_count == 2
+
+    def test_journey_is_temporally_valid(self, rng):
+        eg = EvolvingGraph(horizon=12, nodes=range(8))
+        for u in range(8):
+            for v in range(u + 1, 8):
+                if rng.random() < 0.4:
+                    eg.add_contact(
+                        u, v, int(rng.integers(12)), weight=float(rng.uniform(0.3, 1.0))
+                    )
+        for target in range(1, 8):
+            result = most_reliable_journey(eg, 0, target)
+            if result is not None:
+                journey, reliability = result
+                assert is_valid_journey(eg, journey)
+                assert 0 < reliability <= 1
+
+    def test_rejects_bad_weights(self):
+        eg = EvolvingGraph(horizon=5)
+        eg.add_contact("a", "b", 0, weight=1.5)
+        with pytest.raises(ValueError):
+            most_reliable_journey(eg, "a", "b")
+
+    def test_unreachable(self):
+        eg = EvolvingGraph(horizon=5, nodes=["a", "z"])
+        eg.add_contact("a", "b", 0, weight=0.9)
+        assert most_reliable_journey(eg, "a", "z") is None
+
+
+class TestBandwidth:
+    def test_maximises_bottleneck(self):
+        eg = EvolvingGraph(horizon=10)
+        eg.add_contact("a", "b", 1, weight=10.0)
+        eg.add_contact("b", "c", 2, weight=10.0)   # bottleneck 10
+        eg.add_contact("a", "c", 0, weight=3.0)    # direct, bottleneck 3
+        journey, bandwidth = max_bandwidth_journey(eg, "a", "c")
+        assert bandwidth == 10.0
+        assert journey_bottleneck(eg, journey) == 10.0
+
+    def test_falls_back_to_thinner_pipes(self):
+        eg = EvolvingGraph(horizon=10)
+        eg.add_contact("a", "c", 0, weight=3.0)
+        journey, bandwidth = max_bandwidth_journey(eg, "a", "c")
+        assert bandwidth == 3.0
+
+    def test_respects_time_order_per_threshold(self):
+        # The fat pipes exist but in the wrong temporal order.
+        eg = EvolvingGraph(horizon=10)
+        eg.add_contact("b", "c", 1, weight=10.0)
+        eg.add_contact("a", "b", 5, weight=10.0)
+        eg.add_contact("a", "c", 7, weight=2.0)
+        journey, bandwidth = max_bandwidth_journey(eg, "a", "c")
+        assert bandwidth == 2.0
+
+    def test_unreachable(self):
+        eg = EvolvingGraph(horizon=5, nodes=["a", "z"])
+        assert max_bandwidth_journey(eg, "a", "z") is None
+
+
+def anti_oriented_path(n):
+    graph = path_graph(n)
+    heights = {i: (i + 1, i) for i in range(n)}
+    heights[n - 1] = (0, 0)
+    return graph, n - 1, heights
+
+
+class TestDistributedLinkReversal:
+    def test_reaches_destination_oriented_fixpoint(self):
+        graph, destination, heights = anti_oriented_path(8)
+        orientation, _, _, rounds = distributed_full_reversal(
+            graph, destination, heights
+        )
+        assert orientation.is_destination_oriented(destination)
+
+    def test_total_reversals_match_centralized(self):
+        """Concurrency reorders but does not change total full-reversal
+        work on a chain."""
+        graph, destination, heights = anti_oriented_path(9)
+        central = full_link_reversal(graph, destination, heights=dict(heights))
+        _, _, reversals, _ = distributed_full_reversal(graph, destination, heights)
+        assert sum(reversals.values()) == central.steps
+
+    def test_random_graphs(self, rng):
+        for seed in range(3):
+            local = np.random.default_rng(seed)
+            graph = random_connected_graph(20, 0.12, local)
+            heights = initial_heights(graph, 0)
+            # Corrupt the orientation: push node with highest id to a pit.
+            victim = max(
+                (n for n in graph.nodes() if n != 0), key=lambda n: heights[n]
+            )
+            heights[victim] = (-1, heights[victim][1])
+            orientation, _, _, _ = distributed_full_reversal(graph, 0, heights)
+            assert orientation.is_destination_oriented(0)
+
+    def test_already_oriented_is_quiet(self, rng):
+        graph = random_connected_graph(15, 0.2, rng)
+        heights = initial_heights(graph, 0)
+        _, _, reversals, _ = distributed_full_reversal(graph, 0, heights)
+        assert sum(reversals.values()) == 0
+
+
+class TestDistributedSafetyLevels:
+    def test_agrees_with_centralized(self, rng):
+        from repro.graphs.hypercube import binary_addresses
+
+        nodes = list(binary_addresses(4))
+        for trial in range(4):
+            picks = rng.choice(len(nodes), size=int(rng.integers(1, 6)), replace=False)
+            faults = [nodes[i] for i in picks]
+            central = compute_safety_levels(4, faults)
+            distributed, rounds = distributed_safety_levels(4, faults)
+            assert distributed == central.levels
+
+    def test_round_bound(self, rng):
+        from repro.graphs.hypercube import binary_addresses
+
+        nodes = list(binary_addresses(5))
+        picks = rng.choice(len(nodes), size=6, replace=False)
+        faults = [nodes[i] for i in picks]
+        _, rounds = distributed_safety_levels(5, faults)
+        # n - 1 refinement waves + the initial exchange + halting round.
+        assert rounds <= (5 - 1) + 2
+
+    def test_no_faults_zero_refinements(self):
+        levels, rounds = distributed_safety_levels(3, [])
+        assert all(level == 3 for level in levels.values())
