@@ -1,17 +1,57 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark regenerates one figure/claim of the paper (see the
-per-experiment index in DESIGN.md) and emits a plain-text table both to
-stdout and to ``benchmarks/out/<experiment>.txt`` so EXPERIMENTS.md can
-quote the measured numbers.
+per-experiment index in DESIGN.md) and emits one experiment table in
+three forms:
+
+* the plain-text table, to stdout and ``benchmarks/out/<experiment>.txt``
+  (quoted by EXPERIMENTS.md);
+* a machine-readable sibling ``benchmarks/out/<experiment>.json``
+  following the ``repro.bench/v1`` schema (experiment, header, raw
+  rows, metrics snapshot, timings);
+* the top-level ``BENCH_<experiment>.json`` perf-trajectory feed.
+
+All writes are atomic (temp file + rename), so an interrupted run never
+leaves truncated artifacts.  :func:`emit_table` returns a
+:class:`TableResult` carrying the *structured* rows, not just the
+formatted string — downstream checks should consume ``result.rows``.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Sequence
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.observability import BENCH_SCHEMA, BenchReport, get_registry, write_atomic
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+TOP_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@dataclass
+class TableResult:
+    """Structured outcome of one :func:`emit_table` call.
+
+    ``rows`` are the caller's raw (uncast) cells; ``formatted_rows``
+    are the string cells as printed.  ``str(result)`` is the plain-text
+    table, preserving the old return-value contract.
+    """
+
+    experiment: str
+    title: str
+    header: List[str]
+    rows: List[Tuple[Any, ...]]
+    formatted_rows: List[Tuple[str, ...]]
+    notes: str
+    text: str
+    txt_path: str
+    json_path: str
+    bench_path: str
+
+    def __str__(self) -> str:
+        return self.text
 
 
 def emit_table(
@@ -20,11 +60,30 @@ def emit_table(
     header: Sequence[str],
     rows: Iterable[Sequence[object]],
     notes: str = "",
-) -> str:
-    """Format, print, and persist one experiment table."""
-    rows = [tuple(str(cell) for cell in row) for row in rows]
+    timings: Optional[Mapping[str, float]] = None,
+    metrics: Optional[Mapping[str, Any]] = None,
+    out_dir: Optional[str] = None,
+    top_dir: Optional[str] = TOP_DIR,
+) -> TableResult:
+    """Format, print, and persist one experiment table (txt + JSON).
+
+    ``metrics`` defaults to a snapshot of the global metrics registry
+    at emission time; pass an explicit mapping (e.g. a per-run
+    ``network.metrics.snapshot()``) to scope it.  ``timings`` are
+    caller-measured wall times in seconds; the emission cost is always
+    added as ``emit_s``.
+    """
+    t0 = time.perf_counter()
+    raw_rows = [tuple(row) for row in rows]
+    for i, row in enumerate(raw_rows):
+        if len(row) != len(header):
+            raise ValueError(
+                f"{experiment}: row {i} has {len(row)} cells, header has "
+                f"{len(header)} — would emit a document violating {BENCH_SCHEMA}"
+            )
+    formatted = [tuple(str(cell) for cell in row) for row in raw_rows]
     widths = [len(h) for h in header]
-    for row in rows:
+    for row in formatted:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
 
@@ -33,13 +92,39 @@ def emit_table(
 
     lines: List[str] = [f"== {experiment}: {title} ==", fmt(list(header))]
     lines.append(fmt(["-" * w for w in widths]))
-    lines.extend(fmt(list(row)) for row in rows)
+    lines.extend(fmt(list(row)) for row in formatted)
     if notes:
         lines.append("")
         lines.append(notes)
     text = "\n".join(lines)
     print("\n" + text)
-    os.makedirs(OUT_DIR, exist_ok=True)
-    with open(os.path.join(OUT_DIR, f"{experiment}.txt"), "w") as handle:
-        handle.write(text + "\n")
-    return text
+
+    destination = out_dir if out_dir is not None else OUT_DIR
+    txt_path = write_atomic(os.path.join(destination, f"{experiment}.txt"), text + "\n")
+
+    all_timings = dict(timings or {})
+    all_timings["emit_s"] = time.perf_counter() - t0
+    report = BenchReport(
+        experiment=experiment,
+        title=title,
+        header=list(header),
+        rows=raw_rows,
+        notes=notes,
+        metrics=dict(metrics) if metrics is not None else get_registry().snapshot(),
+        timings=all_timings,
+    )
+    paths = report.write(destination, top_dir=top_dir)
+    json_path = paths[0]
+    bench_path = paths[1] if len(paths) > 1 else ""
+    return TableResult(
+        experiment=experiment,
+        title=title,
+        header=list(header),
+        rows=raw_rows,
+        formatted_rows=formatted,
+        notes=notes,
+        text=text,
+        txt_path=txt_path,
+        json_path=json_path,
+        bench_path=bench_path,
+    )

@@ -33,12 +33,14 @@ from repro.graphs.metrics import (
 )
 from repro.graphs.traversal import diameter, is_connected
 from repro.graphs.unit_disk import POSITION_ATTR
+from repro.observability.instrument import timed
 from repro.temporal.evolving import EvolvingGraph
 
 Node = Hashable
 AnyNetwork = Union[Graph, EvolvingGraph]
 
 
+@timed("repro.core.trim")
 def trim(
     network: AnyNetwork,
     method: str = "auto",
@@ -138,6 +140,7 @@ def trim(
     raise ValueError(f"unknown trimming method {method!r}")
 
 
+@timed("repro.core.layer")
 def layer(
     network: Graph,
     method: str = "nsf",
@@ -196,6 +199,7 @@ def layer(
     raise ValueError(f"unknown layering method {method!r}")
 
 
+@timed("repro.core.remap")
 def remap(
     network: Graph,
     method: str = "hyperbolic",

@@ -30,6 +30,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.observability import tracing
+from repro.observability.metrics import MetricsRegistry
 from repro.temporal.evolving import EvolvingGraph
 
 Node = Hashable
@@ -108,23 +110,36 @@ class DeliveryStats:
     copies: List[int]
     hops: List[int]
 
+    @staticmethod
+    def _mean(values: Sequence[float], empty: float) -> float:
+        """Mean with an explicit degenerate-case value (no division by
+        zero on empty-delivery runs)."""
+        if not values:
+            return empty
+        return sum(values) / len(values)
+
     @property
     def delivery_ratio(self) -> float:
-        return self.delivered / self.created if self.created else 0.0
+        if self.created <= 0:
+            return 0.0
+        return self.delivered / self.created
 
     @property
     def mean_latency(self) -> float:
-        return sum(self.latencies) / len(self.latencies) if self.latencies else math.inf
+        # No deliveries: latency is unbounded, not zero.
+        return self._mean(self.latencies, empty=math.inf)
 
     @property
     def mean_copies(self) -> float:
-        return sum(self.copies) / len(self.copies) if self.copies else 0.0
+        return self._mean(self.copies, empty=0.0)
 
     @property
     def mean_hops(self) -> float:
-        return sum(self.hops) / len(self.hops) if self.hops else 0.0
+        return self._mean(self.hops, empty=0.0)
 
     def latency_percentile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile q must be in [0, 1], got {q}")
         if not self.latencies:
             return math.inf
         ordered = sorted(self.latencies)
@@ -140,6 +155,8 @@ class DTNSimulation:
         eg: EvolvingGraph,
         router: Router,
         buffer_size: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[tracing.Tracer] = None,
     ) -> None:
         if buffer_size is not None and buffer_size < 1:
             raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
@@ -149,6 +166,20 @@ class DTNSimulation:
         self.messages: Dict[str, MessageState] = {}
         # Per-node FIFO buffers: message identifiers in arrival order.
         self._buffers: Dict[Node, List[str]] = {node: [] for node in eg.nodes()}
+        self.metrics = registry if registry is not None else MetricsRegistry("dtn")
+        self.tracer = tracer if tracer is not None else tracing.get_tracer()
+        self._created = self.metrics.counter("repro.dtn.messages_created")
+        self._delivered = self.metrics.counter("repro.dtn.delivered")
+        self._contacts = self.metrics.counter("repro.dtn.contacts")
+        self._replications = self.metrics.counter("repro.dtn.replications")
+        self._handovers = self.metrics.counter("repro.dtn.handovers")
+        self._drops = self.metrics.counter("repro.dtn.buffer_drops")
+        self._latency = self.metrics.histogram("repro.dtn.latency")
+
+    def _buffer_gauge(self, node: Node) -> None:
+        self.metrics.gauge("repro.dtn.buffer_occupancy", {"node": node}).set(
+            len(self._buffers[node])
+        )
 
     # ------------------------------------------------------------------
     def add_message(self, spec: MessageSpec) -> MessageState:
@@ -159,10 +190,16 @@ class DTNSimulation:
         state = MessageState(spec=spec, holders={spec.source})
         self.router.on_create(state)
         self.messages[spec.identifier] = state
+        self._created.inc()
         self._buffer_add(spec.source, spec.identifier)
         if spec.source == spec.destination:
             state.delivered_at = spec.created
+            self._record_delivery(state)
         return state
+
+    def _record_delivery(self, message: MessageState) -> None:
+        self._delivered.inc()
+        self._latency.observe(message.delivered_at - message.spec.created)
 
     def _buffer_add(self, node: Node, identifier: str) -> None:
         buffer = self._buffers[node]
@@ -172,19 +209,32 @@ class DTNSimulation:
         if self.buffer_size is not None and len(buffer) > self.buffer_size:
             evicted = buffer.pop(0)
             self.messages[evicted].holders.discard(node)
+            self._drops.inc()
+            self.tracer.event("dtn.drop", node=node, message=evicted)
+        self._buffer_gauge(node)
 
     def _buffer_remove(self, node: Node, identifier: str) -> None:
         buffer = self._buffers[node]
         if identifier in buffer:
             buffer.remove(identifier)
+            self._buffer_gauge(node)
 
     # ------------------------------------------------------------------
     def run(self) -> DeliveryStats:
         """Process the whole trace; returns aggregate statistics."""
-        for time, u, v in self.eg.all_contacts():
-            self.router.on_contact(u, v, time)
-            self._exchange(u, v, time)
-            self._exchange(v, u, time)
+        with self.tracer.span(
+            "dtn.run", router=self.router.name, messages=len(self.messages)
+        ) as span:
+            contacts = 0
+            for time, u, v in self.eg.all_contacts():
+                contacts += 1
+                if self.tracer.enabled:
+                    self.tracer.event("dtn.contact", u=u, v=v, t=time)
+                self.router.on_contact(u, v, time)
+                self._exchange(u, v, time)
+                self._exchange(v, u, time)
+            self._contacts.inc(contacts)
+            span.set_attribute("contacts", contacts)
         return self.stats()
 
     def _exchange(self, holder: Node, peer: Node, time: int) -> None:
@@ -199,6 +249,11 @@ class DTNSimulation:
             if peer == message.spec.destination:
                 message.delivered_at = time
                 message.hops += 1
+                self._record_delivery(message)
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "dtn.delivered", message=identifier, at=peer, t=time
+                    )
                 continue
             decision = self.router.decide(message, holder, peer, time)
             if decision is Decision.CARRY:
@@ -206,6 +261,19 @@ class DTNSimulation:
             message.holders.add(peer)
             message.copies_made += decision is Decision.REPLICATE
             message.hops += 1
+            if decision is Decision.REPLICATE:
+                self._replications.inc()
+            else:
+                self._handovers.inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "dtn.exchange",
+                    message=identifier,
+                    holder=holder,
+                    peer=peer,
+                    t=time,
+                    decision=decision.value,
+                )
             self._buffer_add(peer, identifier)
             if decision is Decision.HANDOVER:
                 message.holders.discard(holder)
@@ -215,14 +283,23 @@ class DTNSimulation:
     def stats(self) -> DeliveryStats:
         created = len(self.messages)
         delivered = [m for m in self.messages.values() if m.delivered]
+        # Sync the end-of-run sample metrics idempotently: these are
+        # rebuilt (not appended) so stats() may be called repeatedly.
+        copies_hist = self.metrics.histogram("repro.dtn.copies")
+        hops_hist = self.metrics.histogram("repro.dtn.hops")
+        copies_hist.values[:] = [m.copies_made + 1 for m in self.messages.values()]
+        hops_hist.values[:] = [m.hops for m in delivered]
+        self.metrics.gauge("repro.dtn.delivery_ratio").set(
+            len(delivered) / created if created else 0.0
+        )
         return DeliveryStats(
             created=created,
             delivered=len(delivered),
             latencies=[
                 m.delivered_at - m.spec.created for m in delivered
             ],
-            copies=[m.copies_made + 1 for m in self.messages.values()],
-            hops=[m.hops for m in delivered],
+            copies=list(copies_hist.values),
+            hops=list(hops_hist.values),
         )
 
 

@@ -51,8 +51,30 @@ class AlgorithmError(ReproError, RuntimeError):
 
 
 class ConvergenceError(AlgorithmError):
-    """An iterative process exceeded its round/iteration budget."""
+    """An iterative process exceeded its round/iteration budget.
 
-    def __init__(self, what: str, rounds: int) -> None:
-        super().__init__(f"{what} did not converge within {rounds} rounds")
+    ``rounds`` is the budget that was exhausted.  Callers that track
+    execution cost attach it as context — ``rounds_completed`` and
+    ``messages_sent`` so far — which is folded into the message so a
+    bare traceback already tells how far the run got.
+    """
+
+    def __init__(
+        self,
+        what: str,
+        rounds: int,
+        rounds_completed: "int | None" = None,
+        messages_sent: "int | None" = None,
+    ) -> None:
+        message = f"{what} did not converge within {rounds} rounds"
+        context = []
+        if rounds_completed is not None:
+            context.append(f"rounds completed: {rounds_completed}")
+        if messages_sent is not None:
+            context.append(f"messages sent so far: {messages_sent}")
+        if context:
+            message += " (" + ", ".join(context) + ")"
+        super().__init__(message)
         self.rounds = rounds
+        self.rounds_completed = rounds_completed
+        self.messages_sent = messages_sent

@@ -28,6 +28,8 @@ from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Set, Tup
 
 from repro.errors import AlgorithmError, ConvergenceError, GraphClassError, NodeNotFoundError
 from repro.graphs.graph import Graph
+from repro.observability import tracing
+from repro.observability.metrics import get_registry
 
 Node = Hashable
 Height = Tuple
@@ -183,22 +185,42 @@ def _run_reversal(
     heights: Dict[Node, Height],
     act_on_sink: Callable[[Node], None],
     max_steps: int,
+    algorithm: str = "full",
 ) -> ReversalResult:
     """Drive sinks one at a time (deterministic ID order) until done."""
     result = ReversalResult(orientation=orientation, heights=heights)
-    for _ in range(max_steps):
-        sinks = orientation.sinks(excluding={destination})
-        if not sinks:
-            return result
-        sink = min(sinks, key=repr)
-        before = orientation.out_neighbors(sink)
-        act_on_sink(sink)
-        after = orientation.out_neighbors(sink)
-        reversed_links = len(after - before)
-        result.node_reversals[sink] = result.node_reversals.get(sink, 0) + 1
-        result.link_reversals += reversed_links
-        result.steps += 1
-    raise ConvergenceError("link reversal", max_steps)
+    with tracing.get_tracer().span(
+        "layering.link_reversal", algorithm=algorithm, nodes=graph.num_nodes
+    ) as span:
+        for _ in range(max_steps):
+            sinks = orientation.sinks(excluding={destination})
+            if not sinks:
+                _record_reversal_metrics(algorithm, result)
+                span.set_attribute("steps", result.steps)
+                span.set_attribute("link_reversals", result.link_reversals)
+                return result
+            sink = min(sinks, key=repr)
+            before = orientation.out_neighbors(sink)
+            act_on_sink(sink)
+            after = orientation.out_neighbors(sink)
+            reversed_links = len(after - before)
+            result.node_reversals[sink] = result.node_reversals.get(sink, 0) + 1
+            result.link_reversals += reversed_links
+            result.steps += 1
+    raise ConvergenceError(
+        "link reversal", max_steps, rounds_completed=result.steps
+    )
+
+
+def _record_reversal_metrics(algorithm: str, result: ReversalResult) -> None:
+    """Fold one completed run into the global ``repro.layering.*`` series."""
+    registry = get_registry()
+    labels = {"algorithm": algorithm}
+    registry.counter("repro.layering.node_reversals", labels).inc(
+        result.total_node_reversals
+    )
+    registry.counter("repro.layering.link_reversals", labels).inc(result.link_reversals)
+    registry.histogram("repro.layering.steps", labels).observe(result.steps)
 
 
 def full_link_reversal(
@@ -229,7 +251,9 @@ def full_link_reversal(
             if heights[sink] > heights[neighbor]:
                 orientation.orient(sink, neighbor, toward=neighbor)
 
-    return _run_reversal(graph, destination, orientation, heights, act, max_steps)
+    return _run_reversal(
+        graph, destination, orientation, heights, act, max_steps, algorithm="full"
+    )
 
 
 def partial_link_reversal(
@@ -289,7 +313,9 @@ def partial_link_reversal(
                 toward=neighbor if heights[sink] > heights[neighbor] else sink,
             )
 
-    return _run_reversal(graph, destination, orientation, heights, act, max_steps)
+    return _run_reversal(
+        graph, destination, orientation, heights, act, max_steps, algorithm="partial"
+    )
 
 
 def binary_label_reversal(
@@ -340,7 +366,9 @@ def binary_label_reversal(
                 u, v = tuple(link)
                 orientation.reverse(u, v)
 
-    return _run_reversal(graph, destination, orientation, heights, act, max_steps)
+    return _run_reversal(
+        graph, destination, orientation, heights, act, max_steps, algorithm="binary"
+    )
 
 
 def break_link(orientation: Orientation, u: Node, v: Node) -> Orientation:

@@ -21,6 +21,8 @@ from typing import Dict, Hashable, Optional, Tuple
 
 from repro.graphs.graph import Graph
 from repro.layering.link_reversal import Orientation
+from repro.observability import tracing
+from repro.observability.metrics import get_registry
 from repro.runtime.engine import Network, NodeAlgorithm, NodeContext
 
 Node = Hashable
@@ -86,7 +88,10 @@ def distributed_full_reversal(
             is_destination=node == destination, height=heights[node]
         ),
     )
-    stats = network.run(max_rounds=max_rounds)
+    with tracing.get_tracer().span(
+        "layering.distributed_reversal", nodes=graph.num_nodes
+    ):
+        stats = network.run(max_rounds=max_rounds)
     final_heights: Dict[Node, Height] = {
         node: tuple(network.state_of(node)["height"]) for node in graph.nodes()
     }
@@ -98,4 +103,10 @@ def distributed_full_reversal(
     reversals = {
         node: network.state_of(node).get("reversals", 0) for node in graph.nodes()
     }
+    labels = {"algorithm": "distributed-full"}
+    registry = get_registry()
+    registry.counter("repro.layering.node_reversals", labels).inc(
+        sum(reversals.values())
+    )
+    registry.histogram("repro.layering.steps", labels).observe(stats.rounds)
     return orientation, final_heights, reversals, stats.rounds

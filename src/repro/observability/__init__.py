@@ -1,0 +1,68 @@
+"""Observability: metrics, tracing spans, and exporters (dependency-free).
+
+The paper's claims are measured quantities — rounds, messages,
+reversals, delivery ratios — so measurement is a first-class facility
+here rather than per-module ad-hoc counters:
+
+* :mod:`repro.observability.metrics` — :class:`MetricsRegistry` of
+  counters / gauges / histograms with labeled series and percentile
+  summaries.  Metric names follow ``repro.<module>.<name>``.
+* :mod:`repro.observability.tracing` — lightweight nested spans
+  (``trace.span("engine.round", ...)``) with a near-zero-overhead
+  no-op mode while disabled (the default).
+* :mod:`repro.observability.export` — JSONL event logs, Prometheus
+  text exposition, and the :class:`BenchReport` writer behind every
+  ``benchmarks/out/<experiment>.json`` / ``BENCH_<experiment>.json``.
+
+Import the tracing module as ``trace`` for the idiomatic spelling::
+
+    from repro.observability import trace
+    trace.enable()
+    with trace.span("my.workload", n=100):
+        ...
+"""
+
+from repro.observability import tracing as trace
+from repro.observability.instrument import timed
+from repro.observability.export import (
+    BENCH_SCHEMA,
+    BenchReport,
+    parse_prometheus,
+    read_jsonl,
+    to_jsonl,
+    to_prometheus,
+    validate_bench_report,
+    write_atomic,
+    write_jsonl,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.observability.tracing import Tracer, get_tracer
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchReport",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "parse_prometheus",
+    "read_jsonl",
+    "set_registry",
+    "timed",
+    "to_jsonl",
+    "to_prometheus",
+    "trace",
+    "validate_bench_report",
+    "write_atomic",
+    "write_jsonl",
+]

@@ -1,0 +1,271 @@
+"""Exporters: JSONL event logs, Prometheus text, benchmark reports.
+
+Three consumers, three formats:
+
+* **JSONL** (:func:`write_jsonl`) — the tracer's span/event records,
+  one JSON object per line, for replay and offline analysis;
+* **Prometheus text** (:func:`to_prometheus`) — the registry snapshot
+  in the exposition format scrapers expect (dots become underscores,
+  histograms render as summaries with quantile labels);
+* **benchmark reports** (:class:`BenchReport`) — the machine-readable
+  sibling of every ``benchmarks/out/<experiment>.txt`` table, plus the
+  top-level ``BENCH_<experiment>.json`` perf-trajectory feed the
+  ROADMAP expects.  :func:`validate_bench_report` checks a document
+  against the ``repro.bench/v1`` schema and returns the list of
+  violations (empty = valid).
+
+All writes are atomic (temp file in the destination directory, then
+``os.replace``) so an interrupted benchmark run never leaves a
+truncated artifact behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+
+# ----------------------------------------------------------------------
+# atomic file output
+# ----------------------------------------------------------------------
+def write_atomic(path: str, text: str) -> str:
+    """Write ``text`` to ``path`` atomically; returns the path."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return path
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def _jsonl_default(value: Any) -> Any:
+    """Best-effort encoder for attribute payloads (nodes may be tuples,
+    frozensets, numpy scalars...)."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value, key=repr)
+    if hasattr(value, "item"):  # numpy scalar
+        try:
+            return value.item()
+        except Exception:  # pragma: no cover - defensive
+            pass
+    return repr(value)
+
+
+def to_jsonl(records: Iterable[Mapping[str, Any]]) -> str:
+    """Render records (tracer output, metric snapshots...) as JSONL."""
+    return "\n".join(
+        json.dumps(record, default=_jsonl_default, sort_keys=True)
+        for record in records
+    )
+
+
+def write_jsonl(path: str, records: Iterable[Mapping[str, Any]]) -> str:
+    """Atomically write one JSON object per line; returns the path."""
+    text = to_jsonl(records)
+    return write_atomic(path, text + ("\n" if text else ""))
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL file back into a list of dicts (round-trip test aid)."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_labels(labels: Mapping[str, Any], extra: Optional[Mapping[str, Any]] = None) -> str:
+    merged: Dict[str, Any] = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    rendered = ",".join(
+        f'{_prom_name(str(key))}="{str(value)}"' for key, value in sorted(merged.items())
+    )
+    return "{" + rendered + "}"
+
+
+def to_prometheus(
+    registry: MetricsRegistry, quantiles: Sequence[float] = (0.5, 0.9, 0.99)
+) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Counters and gauges map directly; histograms render as summaries
+    (``quantile`` labels plus ``_count`` / ``_sum`` series).
+    """
+    lines: List[str] = []
+    typed: set = set()
+    for metric in registry.metrics():
+        name = _prom_name(metric.name)
+        if isinstance(metric, Counter):
+            if name not in typed:
+                lines.append(f"# TYPE {name} counter")
+                typed.add(name)
+            lines.append(f"{name}{_prom_labels(metric.label_dict)} {metric.value}")
+        elif isinstance(metric, Gauge):
+            if name not in typed:
+                lines.append(f"# TYPE {name} gauge")
+                typed.add(name)
+            lines.append(f"{name}{_prom_labels(metric.label_dict)} {metric.value}")
+        elif isinstance(metric, Histogram):
+            if name not in typed:
+                lines.append(f"# TYPE {name} summary")
+                typed.add(name)
+            for q in quantiles:
+                if metric.count:
+                    value: Any = metric.percentile(q)
+                    lines.append(
+                        f"{name}{_prom_labels(metric.label_dict, {'quantile': q})} {value}"
+                    )
+            lines.append(f"{name}_count{_prom_labels(metric.label_dict)} {metric.count}")
+            lines.append(f"{name}_sum{_prom_labels(metric.label_dict)} {metric.sum}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Minimal parser for the exposition format (round-trip test aid).
+
+    Returns ``rendered-series-name -> value`` for every sample line.
+    """
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        samples[series] = float(value)
+    return samples
+
+
+# ----------------------------------------------------------------------
+# benchmark reports
+# ----------------------------------------------------------------------
+class BenchReport:
+    """Machine-readable record of one benchmark experiment.
+
+    Collects what the plain-text table shows (header + rows) together
+    with what it cannot show: the metrics snapshot at emission time,
+    wall-clock timings, and trace statistics.  ``write`` produces the
+    per-experiment JSON next to the ``.txt`` table and the top-level
+    ``BENCH_<experiment>.json`` feed.
+    """
+
+    def __init__(
+        self,
+        experiment: str,
+        title: str = "",
+        header: Sequence[str] = (),
+        rows: Sequence[Sequence[Any]] = (),
+        notes: str = "",
+        metrics: Optional[Mapping[str, Any]] = None,
+        timings: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.experiment = experiment
+        self.title = title
+        self.header = list(header)
+        self.rows = [list(row) for row in rows]
+        self.notes = notes
+        self.metrics = dict(metrics or {})
+        self.timings = dict(timings or {})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": BENCH_SCHEMA,
+            "experiment": self.experiment,
+            "title": self.title,
+            "header": self.header,
+            "rows": self.rows,
+            "notes": self.notes,
+            "metrics": self.metrics,
+            "timings": self.timings,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), default=_jsonl_default, indent=2, sort_keys=True)
+
+    def write(self, out_dir: str, top_dir: Optional[str] = None) -> List[str]:
+        """Write ``<out_dir>/<experiment>.json`` (and, when ``top_dir``
+        is given, ``<top_dir>/BENCH_<experiment>.json``); returns the
+        written paths."""
+        text = self.to_json() + "\n"
+        paths = [write_atomic(os.path.join(out_dir, f"{self.experiment}.json"), text)]
+        if top_dir is not None:
+            paths.append(
+                write_atomic(os.path.join(top_dir, f"BENCH_{self.experiment}.json"), text)
+            )
+        return paths
+
+
+def validate_bench_report(document: Mapping[str, Any]) -> List[str]:
+    """Validate one report dict against ``repro.bench/v1``.
+
+    Returns a list of human-readable violations; empty means valid.
+    """
+    problems: List[str] = []
+    if not isinstance(document, Mapping):
+        return ["document is not a JSON object"]
+    if document.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema must be {BENCH_SCHEMA!r}, got {document.get('schema')!r}")
+    experiment = document.get("experiment")
+    if not isinstance(experiment, str) or not experiment:
+        problems.append("experiment must be a non-empty string")
+    header = document.get("header")
+    if not isinstance(header, list) or not all(isinstance(h, str) for h in header):
+        problems.append("header must be a list of strings")
+    rows = document.get("rows")
+    if not isinstance(rows, list):
+        problems.append("rows must be a list")
+        rows = []
+    for index, row in enumerate(rows):
+        if not isinstance(row, list):
+            problems.append(f"rows[{index}] must be a list")
+        elif isinstance(header, list) and header and len(row) != len(header):
+            problems.append(
+                f"rows[{index}] has {len(row)} cells, header has {len(header)}"
+            )
+    for field, kind in (("metrics", Mapping), ("timings", Mapping)):
+        if not isinstance(document.get(field, {}), kind):
+            problems.append(f"{field} must be an object")
+    timings = document.get("timings", {})
+    if isinstance(timings, Mapping):
+        for key, value in timings.items():
+            if not isinstance(value, (int, float)):
+                problems.append(f"timings[{key!r}] must be a number")
+    if "generated_at" in document and not isinstance(document["generated_at"], str):
+        problems.append("generated_at must be a string timestamp")
+    return problems

@@ -1,0 +1,47 @@
+"""Function-level instrumentation helpers.
+
+:func:`timed` is the one-line way to give a library entry point a
+duration histogram and a tracing span without touching its body::
+
+    @timed("repro.trimming.gabriel_graph")
+    def gabriel_graph(...):
+        ...
+
+Every call observes its wall time into the global registry's
+``<name>.duration_s`` histogram and, when tracing is enabled, records
+a span named ``<name>``.  The decorator is meant for *entry points*
+(one call per workload), not per-message hot paths — those are
+instrumented inline by their engines.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Mapping, Optional, TypeVar
+
+from repro.observability import tracing
+from repro.observability.metrics import get_registry
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def timed(name: str, labels: Optional[Mapping[str, Any]] = None) -> Callable[[F], F]:
+    """Decorate a callable with a duration histogram + optional span."""
+
+    def decorator(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            tracer = tracing.get_tracer()
+            with tracer.span(name):
+                t0 = time.perf_counter()
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    get_registry().histogram(f"{name}.duration_s", labels).observe(
+                        time.perf_counter() - t0
+                    )
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorator

@@ -32,6 +32,7 @@ from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Sequence,
 
 from repro.errors import AlgorithmError, NodeNotFoundError
 from repro.graphs.hypercube import GeneralizedHypercube, hamming_distance
+from repro.observability.instrument import timed
 from repro.temporal.evolving import EvolvingGraph
 
 Node = Hashable
@@ -119,6 +120,7 @@ class DeliveryResult:
     copies: int
 
 
+@timed("repro.remapping.simulate_delivery")
 def simulate_delivery(
     eg: EvolvingGraph,
     space: FeatureSpace,

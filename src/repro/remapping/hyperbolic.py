@@ -42,6 +42,7 @@ from repro.errors import AlgorithmError, NodeNotFoundError
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs_tree
 from repro.remapping.geo_routing import RouteResult
+from repro.observability.instrument import timed
 
 Node = Hashable
 
@@ -280,6 +281,7 @@ def _greedy_property_holds(graph: Graph, embedding: HyperbolicEmbedding) -> bool
     return True
 
 
+@timed("repro.remapping.embed_tree")
 def embed_tree(
     graph: Graph,
     root: Optional[Node] = None,

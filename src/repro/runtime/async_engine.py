@@ -30,6 +30,8 @@ import numpy as np
 
 from repro.errors import ConvergenceError
 from repro.graphs.graph import Graph
+from repro.observability import tracing
+from repro.observability.metrics import MetricsRegistry
 from repro.runtime.engine import Message, NodeAlgorithm, NodeContext, RunStats
 
 Node = Hashable
@@ -44,6 +46,8 @@ class AsyncNetwork:
         algorithm_factory: Callable[[Node], NodeAlgorithm],
         rng: np.random.Generator,
         max_delay: int = 3,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[tracing.Tracer] = None,
     ) -> None:
         if max_delay < 1:
             raise ValueError(f"max_delay must be >= 1, got {max_delay}")
@@ -56,7 +60,9 @@ class AsyncNetwork:
         # (deliver_at_tick, message)
         self._in_flight: List[Tuple[int, Message]] = []
         self._tick = 0
-        self.stats = RunStats()
+        self.metrics = registry if registry is not None else MetricsRegistry("async-network")
+        self.tracer = tracer if tracer is not None else tracing.get_tracer()
+        self.stats = RunStats(registry=self.metrics)
         self._initialized = False
         for node in self.graph.nodes():
             self._algorithms[node] = algorithm_factory(node)
@@ -113,6 +119,7 @@ class AsyncNetwork:
             self.initialize()
         self._tick += 1
         self.stats.rounds = self._tick
+        self.metrics.gauge("repro.runtime.in_flight").set(len(self._in_flight))
         due: Dict[Node, List[Message]] = {}
         remaining: List[Tuple[int, Message]] = []
         for deliver_at, message in self._in_flight:
@@ -138,11 +145,22 @@ class AsyncNetwork:
 
     def run(self, max_ticks: int = 50_000) -> RunStats:
         """Run until quiescent: everyone halted and nothing in flight."""
-        self.initialize()
-        for _ in range(max_ticks):
-            if all(self._halted.values()) and not self._in_flight:
-                return self.stats
-            self.step_tick()
-        if all(self._halted.values()) and not self._in_flight:
-            return self.stats
-        raise ConvergenceError("asynchronous execution", max_ticks)
+        with self.tracer.span(
+            "engine.async_run", nodes=self.graph.num_nodes, max_ticks=max_ticks
+        ) as span:
+            self.initialize()
+            for _ in range(max_ticks):
+                if all(self._halted.values()) and not self._in_flight:
+                    break
+                self.step_tick()
+            else:
+                if not (all(self._halted.values()) and not self._in_flight):
+                    raise ConvergenceError(
+                        "asynchronous execution",
+                        max_ticks,
+                        rounds_completed=self.stats.rounds,
+                        messages_sent=self.stats.messages_sent,
+                    )
+            span.set_attribute("ticks", self.stats.rounds)
+            span.set_attribute("messages_sent", self.stats.messages_sent)
+        return self.stats

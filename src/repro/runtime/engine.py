@@ -26,7 +26,7 @@ re-activated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
@@ -41,8 +41,18 @@ from typing import (
 
 from repro.errors import ConvergenceError, NodeNotFoundError
 from repro.graphs.graph import Graph
+from repro.observability import tracing
+from repro.observability.metrics import MetricsRegistry
 
 Node = Hashable
+
+
+def _payload_size(payload: Any) -> int:
+    """Approximate wire size of a payload, in bytes (repr length)."""
+    try:
+        return len(payload)  # bytes/str-like payloads
+    except TypeError:
+        return len(repr(payload))
 
 
 @dataclass
@@ -126,31 +136,125 @@ class NodeAlgorithm:
         """Called when an incident edge or neighbor changes; default wakes."""
 
 
-@dataclass
 class RunStats:
-    """Accounting of one distributed execution."""
+    """Accounting of one distributed execution.
 
-    rounds: int = 0
-    messages_sent: int = 0
-    messages_per_round: List[int] = field(default_factory=list)
+    Historically a plain dataclass; now a thin view over a
+    :class:`~repro.observability.metrics.MetricsRegistry`, so the
+    engine's round/message accounting and the observability snapshot
+    are the same numbers by construction.  The constructor signature,
+    field names, mutation patterns (``stats.messages_sent += n``,
+    ``stats.messages_per_round.append(k)``) and equality semantics of
+    the old dataclass are preserved.
+    """
+
+    __slots__ = ("_registry", "_rounds", "_messages", "_per_round")
+
+    def __init__(
+        self,
+        rounds: int = 0,
+        messages_sent: int = 0,
+        messages_per_round: Optional[List[int]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry("runstats")
+        self._rounds = self._registry.counter("repro.runtime.rounds")
+        self._messages = self._registry.counter("repro.runtime.messages_sent")
+        self._per_round = self._registry.histogram("repro.runtime.messages_per_round")
+        if rounds:
+            self._rounds.set(rounds)
+        if messages_sent:
+            self._messages.set(messages_sent)
+        for count in messages_per_round or ():
+            self._per_round.observe(count)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The backing registry (``repro.runtime.*`` series)."""
+        return self._registry
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds.value
+
+    @rounds.setter
+    def rounds(self, value: int) -> None:
+        self._rounds.set(value)
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages.value
+
+    @messages_sent.setter
+    def messages_sent(self, value: int) -> None:
+        self._messages.set(value)
+
+    @property
+    def messages_per_round(self) -> List[int]:
+        # The live histogram sample list: appending to it IS observing.
+        return self._per_round.values
+
+    def __repr__(self) -> str:
+        return (
+            f"RunStats(rounds={self.rounds}, messages_sent={self.messages_sent}, "
+            f"messages_per_round={self.messages_per_round})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunStats):
+            return NotImplemented
+        return (
+            self.rounds == other.rounds
+            and self.messages_sent == other.messages_sent
+            and self.messages_per_round == other.messages_per_round
+        )
 
 
 class Network:
-    """A topology plus per-node algorithm instances and state."""
+    """A topology plus per-node algorithm instances and state.
 
-    def __init__(self, graph: Graph, algorithm_factory: Callable[[Node], NodeAlgorithm]) -> None:
+    Observability: each network owns a
+    :class:`~repro.observability.metrics.MetricsRegistry` (exposed as
+    :attr:`metrics`) backing :attr:`stats`, so two networks never mix
+    their accounting; pass a shared ``registry`` to aggregate runs
+    deliberately.  ``tracer`` defaults to the process-global tracer,
+    which is disabled (no-op spans) unless the caller enables it.
+    Per-round observer callbacks can be attached with
+    :meth:`add_round_hook`; ``measure_message_sizes=True`` adds a
+    ``repro.runtime.message_bytes`` counter (approximate payload
+    bytes), at the cost of one ``repr`` per delivered message.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        algorithm_factory: Callable[[Node], NodeAlgorithm],
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[tracing.Tracer] = None,
+        measure_message_sizes: bool = False,
+    ) -> None:
         self.graph = graph.copy()
         self._algorithms: Dict[Node, NodeAlgorithm] = {}
         self._state: Dict[Node, Dict[str, Any]] = {}
         self._halted: Dict[Node, bool] = {}
         self._inboxes: Dict[Node, List[Message]] = {}
         self._pending: List[Message] = []
-        self.stats = RunStats()
+        self.metrics = registry if registry is not None else MetricsRegistry("network")
+        self.tracer = tracer if tracer is not None else tracing.get_tracer()
+        self.measure_message_sizes = measure_message_sizes
+        self.stats = RunStats(registry=self.metrics)
+        self._round_hooks: List[Callable[[int, int], None]] = []
         self._round = 0
         self._initialized = False
         self._factory = algorithm_factory
         for node in self.graph.nodes():
             self._install(node)
+
+    def add_round_hook(self, hook: Callable[[int, int], None]) -> None:
+        """Register ``hook(round_number, messages_delivered)``, called
+        after every synchronous round (observer only — it must not
+        mutate the network)."""
+        self._round_hooks.append(hook)
 
     def _install(self, node: Node) -> None:
         self._algorithms[node] = self._factory(node)
@@ -200,16 +304,23 @@ class Network:
         self._halted[node] = ctx.halted
         return outbox
 
-    def _deliver(self, messages: Iterable[Message]) -> None:
+    def _deliver(self, messages: Iterable[Message]) -> int:
         for inbox in self._inboxes.values():
             inbox.clear()
         count = 0
+        size = 0
+        measure = self.measure_message_sizes
         for message in messages:
             if message.receiver in self._inboxes:
                 self._inboxes[message.receiver].append(message)
                 count += 1
+                if measure:
+                    size += _payload_size(message.payload)
         self.stats.messages_sent += count
         self.stats.messages_per_round.append(count)
+        if measure:
+            self.metrics.counter("repro.runtime.message_bytes").inc(size)
+        return count
 
     def initialize(self) -> None:
         """Run every node's :meth:`NodeAlgorithm.init` (round 0)."""
@@ -231,23 +342,45 @@ class Network:
             self.initialize()
         self._round += 1
         self.stats.rounds = self._round
-        outgoing: List[Message] = []
-        for node in sorted(self.graph.nodes(), key=repr):
-            if self._halted[node] and not self._inboxes[node]:
-                continue
-            outgoing.extend(self._run_node(node, "step"))
-        self._deliver(outgoing)
+        with self.tracer.span("engine.round", round=self._round) as span:
+            outgoing: List[Message] = []
+            active = 0
+            for node in sorted(self.graph.nodes(), key=repr):
+                if self._halted[node] and not self._inboxes[node]:
+                    continue
+                active += 1
+                outgoing.extend(self._run_node(node, "step"))
+            delivered = self._deliver(outgoing)
+            span.set_attribute("active_nodes", active)
+            span.set_attribute("messages", delivered)
+        if self._round_hooks:
+            for hook in self._round_hooks:
+                hook(self._round, delivered)
 
     def run(self, max_rounds: int = 10_000) -> RunStats:
         """Run until every node halts and no message is in flight."""
-        self.initialize()
-        for _ in range(max_rounds):
-            if self.all_halted() and not any(self._inboxes[n] for n in self._inboxes):
-                return self.stats
-            self.step_round()
-        if self.all_halted() and not any(self._inboxes[n] for n in self._inboxes):
-            return self.stats
-        raise ConvergenceError("distributed execution", max_rounds)
+        with self.tracer.span(
+            "engine.run", nodes=self.graph.num_nodes, max_rounds=max_rounds
+        ) as span:
+            self.initialize()
+            for _ in range(max_rounds):
+                if self.all_halted() and not any(self._inboxes[n] for n in self._inboxes):
+                    break
+                self.step_round()
+            else:
+                if not (
+                    self.all_halted()
+                    and not any(self._inboxes[n] for n in self._inboxes)
+                ):
+                    raise ConvergenceError(
+                        "distributed execution",
+                        max_rounds,
+                        rounds_completed=self.stats.rounds,
+                        messages_sent=self.stats.messages_sent,
+                    )
+            span.set_attribute("rounds", self.stats.rounds)
+            span.set_attribute("messages_sent", self.stats.messages_sent)
+        return self.stats
 
     # ------------------------------------------------------------------
     # dynamics (Sec. IV-C: integrating structure with topology change)

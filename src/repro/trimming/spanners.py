@@ -15,10 +15,12 @@ from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import dijkstra
+from repro.observability.instrument import timed
 
 Node = Hashable
 
 
+@timed("repro.trimming.greedy_spanner")
 def greedy_spanner(
     graph: Graph,
     t: float,

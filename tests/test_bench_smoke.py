@@ -1,0 +1,38 @@
+"""Tier-1 wiring for the benchmark smoke harness.
+
+Runs one tiny instance of every figure benchmark (benchmarks/smoke.py)
+with tracing enabled, against a temp directory, and checks the emitted
+JSON validates against the ``repro.bench/v1`` schema — so a schema or
+instrumentation regression fails the plain test suite, not just the
+(slower) benchmark pass.
+"""
+
+import json
+import os
+import sys
+
+BENCH_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks")
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+import smoke  # noqa: E402  (benchmarks/smoke.py)
+from repro.observability import BENCH_SCHEMA, validate_bench_report  # noqa: E402
+
+
+def test_smoke_runs_every_figure_and_validates(tmp_path):
+    results = smoke.run_all(out_dir=str(tmp_path), top_dir=str(tmp_path))
+    assert set(results) == set(smoke.SMOKE_RUNNERS)
+    # Every figure of the paper plus the DTN application table is covered.
+    assert {f"fig{i}" for i in range(1, 10)} | {"dtn"} <= set(results)
+    for name, result in results.items():
+        assert os.path.dirname(result.json_path) == str(tmp_path)
+        document = json.loads(open(result.json_path).read())
+        assert document["schema"] == BENCH_SCHEMA
+        assert validate_bench_report(document) == []
+        # The BENCH_* perf-trajectory feed is byte-identical to the sibling.
+        assert open(result.bench_path).read() == open(result.json_path).read()
+
+
+def test_smoke_artifacts_are_atomic_no_leftover_temp_files(tmp_path):
+    smoke.run_all(out_dir=str(tmp_path), top_dir=str(tmp_path))
+    assert not [name for name in os.listdir(tmp_path) if name.endswith(".tmp")]

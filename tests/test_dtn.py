@@ -232,3 +232,45 @@ class TestPaperRouters:
         assert results["epidemic"].mean_latency <= results["fspace-greedy"].mean_latency
         assert results["fspace-greedy"].mean_latency <= results["direct"].mean_latency
         assert results["epidemic"].mean_copies > results["fspace-greedy"].mean_copies
+
+
+class TestDeliveryStatsDegenerateCases:
+    """Empty-delivery and zero-creation runs must yield well-defined
+    stats, never a ZeroDivisionError."""
+
+    @staticmethod
+    def _stats(**overrides):
+        from repro.dtn.simulator import DeliveryStats
+
+        defaults = dict(created=0, delivered=0, latencies=[], copies=[], hops=[])
+        defaults.update(overrides)
+        return DeliveryStats(**defaults)
+
+    def test_zero_created_delivery_ratio(self):
+        assert self._stats().delivery_ratio == 0.0
+
+    def test_empty_means(self):
+        stats = self._stats(created=3)
+        assert math.isinf(stats.mean_latency)
+        assert stats.mean_copies == 0.0
+        assert stats.mean_hops == 0.0
+        assert stats.delivery_ratio == 0.0
+
+    def test_empty_latency_percentile_is_inf(self):
+        assert math.isinf(self._stats().latency_percentile(0.5))
+
+    def test_latency_percentile_validates_q(self):
+        stats = self._stats(created=1, delivered=1, latencies=[2], copies=[1], hops=[1])
+        with pytest.raises(ValueError):
+            stats.latency_percentile(1.01)
+        with pytest.raises(ValueError):
+            stats.latency_percentile(-0.5)
+        assert stats.latency_percentile(0.0) == 2.0
+        assert stats.latency_percentile(1.0) == 2.0
+
+    def test_no_messages_simulation_end_to_end(self):
+        sim = DTNSimulation(chain_eg(), EpidemicRouter())
+        stats = sim.run()
+        assert stats.delivery_ratio == 0.0
+        assert math.isinf(stats.latency_percentile(0.9))
+        assert stats.mean_copies == 0.0

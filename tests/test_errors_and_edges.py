@@ -46,6 +46,37 @@ class TestErrorHierarchy:
         error = ConvergenceError("thing", 42)
         assert error.rounds == 42
         assert "42" in str(error)
+        assert error.rounds_completed is None
+        assert error.messages_sent is None
+
+    def test_convergence_error_folds_context_into_message(self):
+        error = ConvergenceError(
+            "distributed execution", 10, rounds_completed=10, messages_sent=137
+        )
+        assert error.rounds_completed == 10
+        assert error.messages_sent == 137
+        assert "rounds completed: 10" in str(error)
+        assert "messages sent so far: 137" in str(error)
+
+    def test_engine_attaches_execution_context(self):
+        from repro.runtime.engine import Network, NodeAlgorithm
+
+        class NeverHalts(NodeAlgorithm):
+            def init(self, ctx):
+                ctx.broadcast("ping")
+
+            def step(self, ctx):
+                ctx.broadcast("ping")
+
+        net = Network(path_graph(3), lambda n: NeverHalts())
+        with pytest.raises(ConvergenceError) as excinfo:
+            net.run(max_rounds=5)
+        error = excinfo.value
+        assert error.rounds == 5
+        assert error.rounds_completed == 5
+        assert error.messages_sent == net.stats.messages_sent
+        assert error.messages_sent > 0
+        assert "messages sent so far" in str(error)
 
     def test_catching_base_catches_all(self):
         g = Graph()
