@@ -20,14 +20,65 @@ formatted string — downstream checks should consume ``result.rows``.
 from __future__ import annotations
 
 import os
+import statistics
 import time
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.observability import BENCH_SCHEMA, BenchReport, get_registry, write_atomic
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 TOP_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@dataclass(frozen=True)
+class RepeatTiming:
+    """Median-of-k wall-clock timing for one measured callable.
+
+    ``median_s`` is the headline number (robust to one slow outlier
+    pass); ``min_s``/``max_s`` record the spread so the JSON feed shows
+    how noisy the run was.
+    """
+
+    median_s: float
+    min_s: float
+    max_s: float
+    repeats: int
+
+    def as_timings(self, name: str) -> "dict[str, float]":
+        """Flatten into ``emit_table``-compatible scalar timing keys."""
+        return {
+            f"{name}_median_s": self.median_s,
+            f"{name}_min_s": self.min_s,
+            f"{name}_max_s": self.max_s,
+            f"{name}_repeats": float(self.repeats),
+        }
+
+
+def time_repeated(
+    fn: Callable[[], Any], repeats: int = 3, warmup: int = 1
+) -> Tuple[Any, RepeatTiming]:
+    """Run ``fn`` ``warmup`` + ``repeats`` times; median-of-k wall time.
+
+    Returns the last run's result (so callers can assert on the output
+    they just paid to measure) alongside the :class:`RepeatTiming`.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    result: Any = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return result, RepeatTiming(
+        median_s=statistics.median(samples),
+        min_s=min(samples),
+        max_s=max(samples),
+        repeats=repeats,
+    )
 
 
 @dataclass

@@ -1,0 +1,171 @@
+"""CSR fast-path benchmark: pure-Python reference vs FrozenGraph kernels.
+
+Times each whole-graph kernel on Gnutella-like largest-SCC workloads
+(the paper's Fig. 3 substrate) at increasing sizes, on both substrates:
+
+* the dict-of-sets reference path (``*_reference`` functions — the
+  ground truth the library falls back to below
+  :data:`~repro.graphs.csr.FROZEN_MIN_NODES`), and
+* the frozen CSR snapshot (:class:`~repro.graphs.csr.FrozenGraph`).
+
+Every measured pair is also checked for *exact* output equality — a
+speedup that changes answers is a bug, not an optimization.  The full
+run asserts the PR's acceptance target: >= 5x median speedup on the
+NSF peel and the all-pairs BFS at the largest size.
+
+    PYTHONPATH=src python benchmarks/bench_perf_csr.py
+
+writes ``benchmarks/out/perf-csr.{txt,json}`` plus the top-level
+``BENCH_perf-csr.json`` feed; ``tests/test_bench_perf.py`` runs the
+same harness at toy scale inside tier-1.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import numpy as np
+
+from _util import OUT_DIR, TOP_DIR, TableResult, emit_table, time_repeated
+
+EXPERIMENT = "perf-csr"
+
+#: The acceptance-criterion kernels and floor (>= 5x at the largest size).
+TARGET_SPEEDUP = 5.0
+TARGET_KERNELS = ("all-pairs-bfs", "nsf-levels")
+
+
+def _kernel_pairs(
+    graph, fg
+) -> List[Tuple[str, Callable[[], object], Callable[[], object]]]:
+    """(name, reference runner, CSR runner) for every measured kernel."""
+    from repro.graphs.metrics import (
+        average_clustering_reference,
+        closeness_centrality_reference,
+    )
+    from repro.graphs.traversal import (
+        bfs_distances_reference,
+        connected_components_reference,
+    )
+    from repro.layering.nsf import nsf_levels_reference
+
+    def ref_all_pairs():
+        return {
+            node: sum(bfs_distances_reference(graph, node).values())
+            for node in graph.nodes()
+        }
+
+    def csr_all_pairs():
+        sums = fg.all_pairs_distance_sums()
+        return {node: int(sums[i]) for i, node in enumerate(fg.node_list)}
+
+    return [
+        ("all-pairs-bfs", ref_all_pairs, csr_all_pairs),
+        ("nsf-levels", lambda: nsf_levels_reference(graph), fg.nsf_levels),
+        (
+            "closeness",
+            lambda: closeness_centrality_reference(graph),
+            fg.closeness_centrality,
+        ),
+        (
+            "components",
+            lambda: connected_components_reference(graph),
+            fg.connected_components,
+        ),
+        (
+            "avg-clustering",
+            lambda: average_clustering_reference(graph),
+            fg.average_clustering,
+        ),
+    ]
+
+
+def run(
+    sizes: Sequence[int] = (600, 2000, 5000),
+    repeats: int = 3,
+    out_dir: Optional[str] = None,
+    top_dir: Optional[str] = TOP_DIR,
+    require_speedup: Optional[float] = None,
+) -> TableResult:
+    """Benchmark every kernel at every size; assert exact equivalence.
+
+    ``require_speedup`` (the full run passes :data:`TARGET_SPEEDUP`)
+    additionally asserts the floor on :data:`TARGET_KERNELS` at the
+    largest size.  Raises ``AssertionError`` on any CSR/reference
+    output mismatch regardless.
+    """
+    from repro.datasets.gnutella import gnutella_largest_scc
+
+    rows: List[Tuple[object, ...]] = []
+    timings = {}
+    largest = max(sizes)
+    for size in sizes:
+        rng = np.random.default_rng(size)
+        graph = gnutella_largest_scc(size, rng)
+        start = time.perf_counter()
+        fg = graph.frozen()
+        timings[f"freeze_n{size}_s"] = time.perf_counter() - start
+        for name, ref_fn, csr_fn in _kernel_pairs(graph, fg):
+            ref_result, ref_timing = time_repeated(ref_fn, repeats=repeats, warmup=0)
+            csr_result, csr_timing = time_repeated(csr_fn, repeats=repeats, warmup=1)
+            if ref_result != csr_result:
+                raise AssertionError(
+                    f"{name}: CSR output diverges from the reference at "
+                    f"n={graph.num_nodes}"
+                )
+            speedup = (
+                ref_timing.median_s / csr_timing.median_s
+                if csr_timing.median_s > 0
+                else float("inf")
+            )
+            timings.update(ref_timing.as_timings(f"{name}_n{size}_ref"))
+            timings.update(csr_timing.as_timings(f"{name}_n{size}_csr"))
+            rows.append(
+                (
+                    size,
+                    graph.num_nodes,
+                    graph.num_edges,
+                    name,
+                    round(ref_timing.median_s, 4),
+                    round(csr_timing.median_s, 4),
+                    round(speedup, 2),
+                )
+            )
+            if (
+                require_speedup
+                and size == largest
+                and name in TARGET_KERNELS
+                and speedup < require_speedup
+            ):
+                raise AssertionError(
+                    f"{name} at n={graph.num_nodes}: speedup {speedup:.2f}x "
+                    f"below the {require_speedup:g}x target"
+                )
+    return emit_table(
+        EXPERIMENT,
+        "dict-of-sets reference vs frozen CSR kernels (median of "
+        f"{repeats}, exact output equality asserted)",
+        ["requested n", "n", "m", "kernel", "ref median s", "csr median s", "speedup"],
+        rows,
+        notes=(
+            "Workload: gnutella_largest_scc(n, rng).  Every row's CSR output "
+            "was asserted equal to the pure-Python reference before timing "
+            "was recorded; freeze_n*_s timings record the one-off snapshot "
+            "build cost the fast path amortizes."
+        ),
+        timings=timings,
+        out_dir=out_dir,
+        top_dir=top_dir,
+    )
+
+
+if __name__ == "__main__":
+    result = run(
+        out_dir=OUT_DIR, top_dir=TOP_DIR, require_speedup=TARGET_SPEEDUP
+    )
+    print(f"\nperf-csr: emitted {result.bench_path}")

@@ -26,12 +26,8 @@ from repro.core.structures import Strategy, Structure, StructureKind, StructureR
 from repro.errors import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.graphs.interval import is_chordal, is_interval_graph
-from repro.graphs.metrics import (
-    average_clustering,
-    degree_sequence,
-    fit_power_law,
-)
-from repro.graphs.traversal import diameter, is_connected
+from repro.graphs.metrics import degree_sequence, fit_power_law
+from repro.graphs.traversal import is_connected
 from repro.graphs.unit_disk import POSITION_ATTR
 from repro.observability.instrument import timed
 from repro.temporal.evolving import EvolvingGraph
@@ -355,7 +351,11 @@ class StructureAnalyzer:
             alpha: Optional[float] = fit.alpha
         except ValueError:
             alpha = None
-        clustering = average_clustering(graph) if graph.num_nodes <= 3000 else None
+        # One frozen snapshot backs the clustering / connectivity /
+        # diameter sweeps; the CSR kernels lift the old n <= 3000
+        # clustering cutoff by an order of magnitude.
+        fg = graph.frozen()
+        clustering = fg.average_clustering() if graph.num_nodes <= 30000 else None
         evidence: Dict[str, Any] = {"power_law_alpha": alpha}
         if clustering is not None:
             evidence["average_clustering"] = round(clustering, 4)
@@ -363,8 +363,8 @@ class StructureAnalyzer:
             clustering is not None
             and clustering >= self.small_world_clustering
             and graph.num_nodes >= 8
-            and is_connected(graph)
-            and diameter(graph) <= max(6, 2 * int(np.log2(graph.num_nodes)))
+            and fg.is_connected()
+            and fg.diameter() <= max(6, 2 * int(np.log2(graph.num_nodes)))
         )
         evidence["small_world"] = small_world
         report.add(

@@ -8,6 +8,7 @@ generators, and structural metrics (degree distributions, power-law
 fits, centralities).
 """
 
+from repro.graphs.csr import FROZEN_MIN_NODES, FrozenGraph
 from repro.graphs.graph import DiGraph, Graph
 from repro.graphs.intersection import (
     common_elements,
@@ -93,6 +94,8 @@ from repro.graphs.traversal import (
 
 __all__ = [
     "DiGraph",
+    "FROZEN_MIN_NODES",
+    "FrozenGraph",
     "Graph",
     "GeneralizedHypercube",
     "Hyperedge",

@@ -1,0 +1,616 @@
+"""Frozen CSR snapshots: the vectorized fast path for whole-graph sweeps.
+
+Every structure-uncovering strategy of the paper (trimming, layering,
+remapping; Sec. III) is built from repeated whole-graph sweeps — BFS
+per node for diameter/closeness/betweenness, neighbor-pair scans for
+clustering, and the iterative local-lowest-degree peel behind the NSF
+check (Sec. III-B).  On the dict-of-sets substrate each of those sweeps
+pays Python interpreter cost per edge *and* a set copy per neighborhood
+access.
+
+:class:`FrozenGraph` is an immutable compressed-sparse-row (CSR)
+snapshot of a :class:`~repro.graphs.graph.Graph` or
+:class:`~repro.graphs.graph.DiGraph`: node↔index interning plus two
+NumPy arrays (``indptr``/``indices``, neighbor indices sorted per row),
+so degrees are O(1) array reads and frontier expansion is a handful of
+vectorized gathers.  Obtain one through ``graph.frozen()`` — the
+snapshot is cached on the graph and reused until the topology mutates
+(see the generation counter in :mod:`repro.graphs.graph`) — and the
+dict-of-sets API remains the ground truth: every kernel here is
+output-equivalent to its pure-Python reference (asserted by
+``tests/test_csr.py`` and the ``perf-csr`` benchmark).
+
+Determinism caveat: the peel kernels reproduce the library's
+repr-order tie-break, which assumes distinct nodes have distinct
+``repr`` strings (the same assumption ``bfs_order``'s
+``sorted(key=repr)`` already makes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.errors import AlgorithmError, NodeNotFoundError
+from repro.observability.instrument import timed
+
+Node = Hashable
+
+#: Below this node count the constant costs of freezing outweigh the
+#: vectorization win; routed entry points fall back to the dict-of-sets
+#: reference path.
+FROZEN_MIN_NODES = 32
+
+_UNREACHABLE = -1
+_INT64_MAX = np.iinfo(np.int64).max
+
+#: Sources per bit-parallel BFS batch (multiples of 64 pack evenly into
+#: uint64 frontier words).
+_BITSET_BATCH = 256
+
+
+class FrozenGraph:
+    """An immutable CSR snapshot of a graph, with vectorized kernels.
+
+    Build via ``graph.frozen()`` (cached) rather than directly.  The
+    snapshot captures topology only — node and edge *attributes* stay
+    on the source graph and are not invalidation-relevant.
+
+    >>> from repro.graphs.graph import Graph
+    >>> g = Graph([("a", "b"), ("b", "c")])
+    >>> fg = g.frozen()
+    >>> fg.degree("b")
+    2
+    >>> fg.bfs_distances("a")["c"]
+    2
+    """
+
+    def __init__(self, graph) -> None:
+        directed = bool(getattr(graph, "directed", False))
+        adj = graph._succ if directed else graph._adj
+        nodes: List[Node] = list(adj)
+        index = {node: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for i, node in enumerate(nodes):
+            indptr[i + 1] = indptr[i] + len(adj[node])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for i, node in enumerate(nodes):
+            row = sorted(index[v] for v in adj[node])
+            indices[int(indptr[i]) : int(indptr[i + 1])] = row
+        self.directed = directed
+        self.node_list = nodes
+        self.index = index
+        self.indptr = indptr
+        self.indices = indices
+        self.n = n
+        self.degrees = np.diff(indptr)
+        self.generation = getattr(graph, "_generation", -1)
+        self._edge_src: Optional[np.ndarray] = None
+        self._repr_rank: Optional[np.ndarray] = None
+        self._segments: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        m = int(self.indices.shape[0])
+        return m if self.directed else m // 2
+
+    def index_of(self, node: Node) -> int:
+        try:
+            return self.index[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def degree(self, node: Node) -> int:
+        return int(self.degrees[self.index_of(node)])
+
+    def neighbor_indices(self, i: int) -> np.ndarray:
+        """The (sorted, read-only) neighbor-index row of node index ``i``."""
+        return self.indices[int(self.indptr[i]) : int(self.indptr[i + 1])]
+
+    def __repr__(self) -> str:
+        return (
+            f"FrozenGraph(n={self.n}, m={self.num_edges}, "
+            f"directed={self.directed}, generation={self.generation})"
+        )
+
+    # ------------------------------------------------------------------
+    # internal vector helpers
+    # ------------------------------------------------------------------
+    def _edge_sources(self) -> np.ndarray:
+        """Row (source) index of every CSR entry, cached."""
+        if self._edge_src is None:
+            self._edge_src = np.repeat(
+                np.arange(self.n, dtype=np.int64), self.degrees
+            )
+        return self._edge_src
+
+    def _repr_ranks(self) -> np.ndarray:
+        """Dense rank of each node in repr order (the peel tie-break)."""
+        if self._repr_rank is None:
+            order = sorted(range(self.n), key=lambda i: repr(self.node_list[i]))
+            rank = np.empty(self.n, dtype=np.int64)
+            rank[np.asarray(order, dtype=np.int64)] = np.arange(
+                self.n, dtype=np.int64
+            )
+            self._repr_rank = rank
+        return self._repr_rank
+
+    def _neighbors_flat(self, frontier: np.ndarray) -> np.ndarray:
+        """Concatenated neighbor indices of every frontier node."""
+        starts = self.indptr[frontier]
+        counts = self.indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        cum = np.cumsum(counts)
+        bases = np.repeat(starts - (cum - counts), counts)
+        return self.indices[bases + np.arange(total, dtype=np.int64)]
+
+    def _row_segments(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(rows with degree > 0, their CSR segment starts), cached.
+
+        ``np.*.reduceat`` over these starts folds the flat edge array
+        back into per-row aggregates in one call.
+        """
+        if self._segments is None:
+            nonzero = np.flatnonzero(self.degrees)
+            self._segments = (nonzero, self.indptr[nonzero])
+        return self._segments
+
+    # ------------------------------------------------------------------
+    # BFS family
+    # ------------------------------------------------------------------
+    def bfs_levels(self, sources: Union[int, Sequence[int], np.ndarray]) -> np.ndarray:
+        """Multi-source BFS: hop level per node index, -1 if unreachable."""
+        level = np.full(self.n, _UNREACHABLE, dtype=np.int64)
+        frontier = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        level[frontier] = 0
+        depth = 0
+        while frontier.size:
+            nbrs = self._neighbors_flat(frontier)
+            if nbrs.size == 0:
+                break
+            fresh = nbrs[level[nbrs] < 0]
+            if fresh.size == 0:
+                break
+            depth += 1
+            frontier = np.unique(fresh)
+            level[frontier] = depth
+        return level
+
+    def bfs_distances(self, source: Node) -> Dict[Node, int]:
+        """Hop distances from ``source`` (reachable nodes only), by node."""
+        level = self.bfs_levels(self.index_of(source))
+        nodes = self.node_list
+        return {nodes[i]: int(level[i]) for i in np.flatnonzero(level >= 0)}
+
+    def k_hop_indices(self, source: int, k: int) -> np.ndarray:
+        """Indices of all nodes within ``k`` hops of ``source`` (excluded)."""
+        level = np.full(self.n, _UNREACHABLE, dtype=np.int64)
+        frontier = np.atleast_1d(np.asarray(source, dtype=np.int64))
+        level[frontier] = 0
+        for depth in range(1, k + 1):
+            nbrs = self._neighbors_flat(frontier)
+            if nbrs.size == 0:
+                break
+            fresh = nbrs[level[nbrs] < 0]
+            if fresh.size == 0:
+                break
+            frontier = np.unique(fresh)
+            level[frontier] = depth
+        reached = np.flatnonzero(level > 0)
+        return reached
+
+    def k_hop_neighbors(self, source: Node, k: int) -> Set[Node]:
+        """Node-facing wrapper over :meth:`k_hop_indices`."""
+        nodes = self.node_list
+        return {nodes[i] for i in self.k_hop_indices(self.index_of(source), k)}
+
+    def eccentricity_of(self, i: int) -> int:
+        """Max hop distance from node index ``i`` to any reachable node."""
+        return int(self.bfs_levels(i).max())
+
+    def _bitset_sweep(
+        self, sources: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Bit-parallel BFS from a batch of (distinct) source indices.
+
+        One frontier bit per source, packed into uint64 words: each
+        level costs one gather of the frontier rows over the flat edge
+        array plus one segment-OR (``bitwise_or.reduceat``) fold back
+        per node — all 64·words sources advance together, so the
+        per-level NumPy call overhead is amortized across the batch.
+        Undirected snapshots only (the segment-OR walks edges backwards,
+        which is only equivalent when edges are symmetric).
+
+        Returns per-source ``(distance sums, reached counts including
+        the source, eccentricities over the reachable set)``.
+        """
+        batch = sources.shape[0]
+        words = (batch + 63) // 64
+        n = self.n
+        cols = np.arange(batch, dtype=np.int64)
+        frontier = np.zeros((n, words), dtype=np.uint64)
+        bits = np.left_shift(np.uint64(1), (cols % 64).astype(np.uint64))
+        np.bitwise_or.at(frontier, (sources, cols // 64), bits)
+        visited = frontier.copy()
+        sums = np.zeros(batch, dtype=np.int64)
+        reached = np.ones(batch, dtype=np.int64)
+        ecc = np.zeros(batch, dtype=np.int64)
+        rows, starts = self._row_segments()
+        indices = self.indices
+        depth = 0
+        while True:
+            nxt = np.zeros((n, words), dtype=np.uint64)
+            if rows.size:
+                nxt[rows] = np.bitwise_or.reduceat(
+                    frontier[indices], starts, axis=0
+                )
+            np.bitwise_and(nxt, ~visited, out=nxt)
+            if not nxt.any():
+                break
+            depth += 1
+            visited |= nxt
+            # Per-source count of newly reached nodes: unpack the bit
+            # columns and sum down the node axis.
+            fresh = np.unpackbits(nxt.view(np.uint8), axis=1, bitorder="little")[
+                :, :batch
+            ].sum(axis=0, dtype=np.int64)
+            sums += depth * fresh
+            reached += fresh
+            ecc[fresh > 0] = depth
+            frontier = nxt
+        return sums, reached, ecc
+
+    def _bitset_batches(self):
+        """Yield (source index array,) batches covering every node."""
+        for start in range(0, self.n, _BITSET_BATCH):
+            yield np.arange(
+                start, min(start + _BITSET_BATCH, self.n), dtype=np.int64
+            )
+
+    def eccentricities(self) -> np.ndarray:
+        """Per-node eccentricity over the reachable set (index order)."""
+        ecc = np.empty(self.n, dtype=np.int64)
+        if self.directed:
+            for i in range(self.n):
+                ecc[i] = self.bfs_levels(i).max()
+            return ecc
+        for batch in self._bitset_batches():
+            ecc[batch] = self._bitset_sweep(batch)[2]
+        return ecc
+
+    def all_pairs_distance_sums(self) -> np.ndarray:
+        """Sum of hop distances from each node to its reachable set.
+
+        The all-pairs BFS sweep behind closeness and the Wiener index;
+        undirected snapshots run the bit-parallel batched sweep, one
+        vectorized BFS per source otherwise.
+        """
+        sums = np.zeros(self.n, dtype=np.int64)
+        if self.directed:
+            for i in range(self.n):
+                level = self.bfs_levels(i)
+                sums[i] = level[level > 0].sum()
+            return sums
+        for batch in self._bitset_batches():
+            sums[batch] = self._bitset_sweep(batch)[0]
+        return sums
+
+    # ------------------------------------------------------------------
+    # connectivity
+    # ------------------------------------------------------------------
+    def component_labels(self) -> Tuple[np.ndarray, int]:
+        """(label per node index, number of components); undirected only."""
+        if self.directed:
+            raise TypeError("component_labels expects an undirected snapshot")
+        labels = np.full(self.n, -1, dtype=np.int64)
+        count = 0
+        for seed in range(self.n):
+            if labels[seed] >= 0:
+                continue
+            labels[seed] = count
+            frontier = np.array([seed], dtype=np.int64)
+            while frontier.size:
+                nbrs = self._neighbors_flat(frontier)
+                if nbrs.size == 0:
+                    break
+                fresh = nbrs[labels[nbrs] < 0]
+                if fresh.size == 0:
+                    break
+                frontier = np.unique(fresh)
+                labels[frontier] = count
+            count += 1
+        return labels, count
+
+    def connected_components(self) -> List[Set[Node]]:
+        """Components as node sets, largest first (discovery-order stable)."""
+        labels, count = self.component_labels()
+        components: List[Set[Node]] = [set() for _ in range(count)]
+        nodes = self.node_list
+        for i in range(self.n):
+            components[int(labels[i])].add(nodes[i])
+        components.sort(key=len, reverse=True)
+        return components
+
+    def is_connected(self) -> bool:
+        if self.n == 0:
+            return True
+        return int((self.bfs_levels(0) >= 0).sum()) == self.n
+
+    def diameter(self) -> int:
+        """Hop diameter; raises on a disconnected snapshot."""
+        if self.n == 0:
+            return 0
+        if not self.is_connected():
+            raise AlgorithmError("diameter is undefined on a disconnected graph")
+        return int(self.eccentricities().max())
+
+    # ------------------------------------------------------------------
+    # centralities and clustering
+    # ------------------------------------------------------------------
+    def closeness_centrality(self) -> Dict[Node, float]:
+        """Wasserman–Faust closeness, identical to the reference formula."""
+        n = self.n
+        result: Dict[Node, float] = {}
+        if not self.directed:
+            for batch in self._bitset_batches():
+                sums, reached, _ = self._bitset_sweep(batch)
+                for j, i in enumerate(batch):
+                    result[self.node_list[i]] = self._closeness_value(
+                        int(reached[j]) - 1, int(sums[j])
+                    )
+            return result
+        for i in range(n):
+            level = self.bfs_levels(i)
+            reached_mask = level >= 0
+            result[self.node_list[i]] = self._closeness_value(
+                int(reached_mask.sum()) - 1, int(level[reached_mask].sum())
+            )
+        return result
+
+    def _closeness_value(self, reachable: int, total: int) -> float:
+        """The reference closeness formula over python ints (exact)."""
+        if reachable <= 0 or total == 0:
+            return 0.0
+        closeness = reachable / total
+        if self.n > 1:
+            closeness *= reachable / (self.n - 1)
+        return closeness
+
+    def clustering_array(self) -> np.ndarray:
+        """Local clustering coefficient per node index (undirected only).
+
+        Triangle counting over a bit-packed adjacency matrix: for every
+        edge (u, v), ``popcount(bits[u] & bits[v])`` is the number of
+        common neighbors, and summing those per source gives each
+        node's (ordered) closed neighbor pairs in a few array passes —
+        no per-node Python loop.  Edge rows are processed in chunks so
+        the (E_chunk × words) intermediates stay bounded.
+        """
+        if self.directed:
+            raise TypeError("clustering expects an undirected snapshot")
+        n = self.n
+        result = np.zeros(n, dtype=np.float64)
+        if n == 0 or self.indices.shape[0] == 0:
+            return result
+        words = (n + 63) // 64
+        bits = np.zeros((n, words), dtype=np.uint64)
+        rows = self._edge_sources()
+        cols = self.indices
+        np.bitwise_or.at(
+            bits,
+            (rows, cols // 64),
+            np.left_shift(np.uint64(1), (cols % 64).astype(np.uint64)),
+        )
+        hits = np.zeros(n, dtype=np.int64)
+        chunk = max(1, (1 << 22) // words)
+        for start in range(0, rows.shape[0], chunk):
+            ru = rows[start : start + chunk]
+            rv = cols[start : start + chunk]
+            common = np.bitwise_count(bits[ru] & bits[rv]).sum(
+                axis=1, dtype=np.int64
+            )
+            hits += np.bincount(ru, weights=common, minlength=n).astype(np.int64)
+        degrees = self.degrees
+        for i in np.flatnonzero(degrees >= 2):
+            k = int(degrees[i])
+            # Python-int division: bit-identical to the reference formula.
+            result[i] = int(hits[i]) / (k * (k - 1))
+        return result
+
+    def clustering_coefficient(self, node: Node) -> float:
+        i = self.index_of(node)
+        k = int(self.degrees[i])
+        if k < 2:
+            return 0.0
+        nbrs = self.neighbor_indices(i)
+        flat = self._neighbors_flat(nbrs)
+        pos = np.searchsorted(nbrs, flat)
+        inside = pos < k
+        hits = np.zeros(flat.shape[0], dtype=bool)
+        hits[inside] = nbrs[pos[inside]] == flat[inside]
+        return int(hits.sum()) / (k * (k - 1))
+
+    def average_clustering(self) -> float:
+        """Mean local clustering, accumulated in node order like the reference."""
+        if self.n == 0:
+            return 0.0
+        total = 0.0
+        for value in self.clustering_array():
+            total += float(value)
+        return total / self.n
+
+    def degree_centrality(self) -> Dict[Node, float]:
+        n = self.n
+        if n <= 1:
+            return {node: 0.0 for node in self.node_list}
+        return {
+            node: int(self.degrees[i]) / (n - 1)
+            for i, node in enumerate(self.node_list)
+        }
+
+    def betweenness_centrality(self, normalized: bool = True) -> Dict[Node, float]:
+        """Brandes' exact betweenness over interned indices.
+
+        Same algorithm as the reference, but BFS and accumulation run
+        over dense int indices and flat lists instead of dicts keyed by
+        arbitrary node objects.
+        """
+        n = self.n
+        betweenness = np.zeros(n, dtype=np.float64)
+        adjacency = [self.neighbor_indices(i).tolist() for i in range(n)]
+        for source in range(n):
+            stack: List[int] = []
+            predecessors: List[List[int]] = [[] for _ in range(n)]
+            sigma = [0.0] * n
+            sigma[source] = 1.0
+            dist = [-1] * n
+            dist[source] = 0
+            queue = [source]
+            head = 0
+            while head < len(queue):
+                v = queue[head]
+                head += 1
+                stack.append(v)
+                next_d = dist[v] + 1
+                sigma_v = sigma[v]
+                for w in adjacency[v]:
+                    if dist[w] < 0:
+                        dist[w] = next_d
+                        queue.append(w)
+                    if dist[w] == next_d:
+                        sigma[w] += sigma_v
+                        predecessors[w].append(v)
+            delta = [0.0] * n
+            while stack:
+                w = stack.pop()
+                coefficient = (1.0 + delta[w]) / sigma[w]
+                for v in predecessors[w]:
+                    delta[v] += sigma[v] * coefficient
+                if w != source:
+                    betweenness[w] += delta[w]
+        scale = 0.5
+        if normalized and n > 2:
+            scale = 1.0 / ((n - 1) * (n - 2))
+        betweenness *= scale
+        return {node: float(betweenness[i]) for i, node in enumerate(self.node_list)}
+
+    # ------------------------------------------------------------------
+    # batched local-lowest-degree peel (the NSF hot loop, Sec. III-B)
+    # ------------------------------------------------------------------
+    def alive_degrees(self, alive: np.ndarray) -> np.ndarray:
+        """Degree of each node within the ``alive``-induced subgraph."""
+        src = self._edge_sources()
+        live = alive[src] & alive[self.indices]
+        return np.bincount(src[live], minlength=self.n)
+
+    def local_minimum_mask(
+        self,
+        alive: Optional[np.ndarray] = None,
+        degrees: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Boolean mask of alive nodes that are local lowest-degree.
+
+        A node is chosen iff for every alive neighbor its (degree,
+        repr-rank) key is strictly smaller — exactly the reference rule
+        of :func:`repro.layering.nsf.local_lowest_degree_nodes` applied
+        to the alive-induced subgraph.  Isolated alive nodes are always
+        chosen.
+        """
+        if alive is None:
+            alive = np.ones(self.n, dtype=bool)
+        if degrees is None:
+            degrees = self.alive_degrees(alive)
+        rank = self._repr_ranks()
+        # Lexicographic (degree, rank) packed into one int64 key; ranks
+        # are distinct so keys are distinct and ties resolve by repr.
+        key = degrees.astype(np.int64) * np.int64(self.n + 1) + rank
+        neighbor_min = np.full(self.n, _INT64_MAX, dtype=np.int64)
+        src = self._edge_sources()
+        live = alive[src] & alive[self.indices]
+        live_src = src[live]
+        if live_src.size:
+            live_keys = key[self.indices[live]]
+            # live_src is sorted (CSR row order): segment-min per source.
+            starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(live_src)) + 1)
+            )
+            neighbor_min[live_src[starts]] = np.minimum.reduceat(live_keys, starts)
+        return alive & (key < neighbor_min)
+
+    def local_lowest_degree_nodes(self) -> Set[Node]:
+        """Node-facing wrapper over one whole-graph peel round."""
+        chosen = self.local_minimum_mask()
+        nodes = self.node_list
+        return {nodes[i] for i in np.flatnonzero(chosen)}
+
+    def peel_round_masks(self, fallback: bool = True):
+        """Yield the boolean chosen-mask of each successive peel round.
+
+        The flat (source, target) edge arrays are compacted as nodes
+        die, so round r costs O(edges still alive at round r) instead
+        of O(m) — across a whole peel the total work tracks the
+        (shrinking) alive edge counts.  With ``fallback`` a stalled
+        round (unreachable with distinct repr ranks) peels the single
+        smallest-rank alive node, mirroring the reference guard;
+        without it the generator simply stops, matching the
+        ``peel_once``-based loops that break when nothing is removed.
+        """
+        n = self.n
+        rank = self._repr_ranks()
+        src = self._edge_sources()
+        dst = self.indices
+        alive = np.ones(n, dtype=bool)
+        span = np.int64(n + 1)
+        alive_count = n
+        while alive_count:
+            live = alive[src]
+            live &= alive[dst]
+            src = src[live]
+            dst = dst[live]
+            degrees = np.bincount(src, minlength=n)
+            key = degrees * span + rank
+            neighbor_min = np.full(n, _INT64_MAX, dtype=np.int64)
+            if src.size:
+                # src stays sorted under compaction: segment-min per row.
+                starts = np.concatenate(
+                    ([0], np.flatnonzero(np.diff(src)) + 1)
+                )
+                neighbor_min[src[starts]] = np.minimum.reduceat(key[dst], starts)
+            chosen = alive & (key < neighbor_min)
+            removed = int(chosen.sum())
+            if not removed:
+                if not fallback:
+                    return
+                stalled = np.flatnonzero(alive)
+                chosen = np.zeros(n, dtype=bool)
+                chosen[stalled[np.argmin(rank[stalled])]] = True
+                removed = 1
+            yield chosen
+            alive &= ~chosen
+            alive_count -= removed
+
+    def peel_rounds(self) -> List[np.ndarray]:
+        """Index arrays of the nodes removed in each peel round.
+
+        Round r removes the local minima of the adjusted (alive-induced)
+        degree; runs until every node is assigned, so the concatenation
+        is a partition of all node indices — the NSF level structure.
+        """
+        return [np.flatnonzero(chosen) for chosen in self.peel_round_masks()]
+
+    @timed("repro.graphs.csr.nsf_levels")
+    def nsf_levels(self) -> Dict[Node, int]:
+        """NSF level labeling (Fig. 7(b)), batched round by round."""
+        nodes = self.node_list
+        level: Dict[Node, int] = {}
+        for round_index, chosen in enumerate(self.peel_rounds(), start=1):
+            for i in chosen:
+                level[nodes[i]] = round_index
+        return level

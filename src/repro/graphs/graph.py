@@ -20,6 +20,7 @@ distributed algorithms layered on top (Sec. IV) can treat them as the
 from __future__ import annotations
 
 from typing import (
+    TYPE_CHECKING,
     Any,
     Dict,
     Hashable,
@@ -31,6 +32,9 @@ from typing import (
 )
 
 from repro.errors import EdgeNotFoundError, NodeNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graphs.csr import FrozenGraph
 
 Node = Hashable
 
@@ -61,6 +65,8 @@ class Graph:
         self._adj: Dict[Node, Set[Node]] = {}
         self._node_attrs: Dict[Node, Dict[str, Any]] = {}
         self._edge_attrs: Dict[Tuple[Node, Node], Dict[str, Any]] = {}
+        self._generation = 0
+        self._frozen: Optional["FrozenGraph"] = None
         if edges is not None:
             for u, v in edges:
                 self.add_edge(u, v)
@@ -73,6 +79,7 @@ class Graph:
         if node not in self._adj:
             self._adj[node] = set()
             self._node_attrs[node] = {}
+            self._generation += 1
         if attrs:
             self._node_attrs[node].update(attrs)
 
@@ -84,6 +91,7 @@ class Graph:
             self.remove_edge(node, neighbor)
         del self._adj[node]
         del self._node_attrs[node]
+        self._generation += 1
 
     def has_node(self, node: Node) -> bool:
         return node in self._adj
@@ -126,8 +134,10 @@ class Graph:
             raise ValueError(f"self-loop on {u!r} not allowed in a simple graph")
         self.add_node(u)
         self.add_node(v)
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._generation += 1
         key = _edge_key(u, v)
         if key not in self._edge_attrs:
             self._edge_attrs[key] = {}
@@ -140,6 +150,7 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._edge_attrs.pop(_edge_key(u, v), None)
+        self._generation += 1
 
     def has_edge(self, u: Node, v: Node) -> bool:
         return u in self._adj and v in self._adj[u]
@@ -206,6 +217,23 @@ class Graph:
     # ------------------------------------------------------------------
     # whole-graph operations
     # ------------------------------------------------------------------
+    def frozen(self) -> "FrozenGraph":
+        """A cached CSR snapshot for the vectorized kernels.
+
+        The snapshot is rebuilt lazily whenever the *topology* has
+        mutated since the last call (nodes or edges added/removed —
+        attribute updates do not invalidate, because the snapshot
+        captures adjacency only).  Repeated sweeps over an unchanged
+        graph therefore pay the O(n + m) freeze cost once.
+        """
+        from repro.graphs.csr import FrozenGraph
+
+        cached = self._frozen
+        if cached is None or cached.generation != self._generation:
+            cached = FrozenGraph(self)
+            self._frozen = cached
+        return cached
+
     def copy(self) -> "Graph":
         clone = Graph()
         for node in self._adj:
@@ -256,6 +284,8 @@ class DiGraph:
         self._pred: Dict[Node, Set[Node]] = {}
         self._node_attrs: Dict[Node, Dict[str, Any]] = {}
         self._edge_attrs: Dict[Tuple[Node, Node], Dict[str, Any]] = {}
+        self._generation = 0
+        self._frozen: Optional["FrozenGraph"] = None
         if edges is not None:
             for u, v in edges:
                 self.add_edge(u, v)
@@ -268,6 +298,7 @@ class DiGraph:
             self._succ[node] = set()
             self._pred[node] = set()
             self._node_attrs[node] = {}
+            self._generation += 1
         if attrs:
             self._node_attrs[node].update(attrs)
 
@@ -281,6 +312,7 @@ class DiGraph:
         del self._succ[node]
         del self._pred[node]
         del self._node_attrs[node]
+        self._generation += 1
 
     def has_node(self, node: Node) -> bool:
         return node in self._succ
@@ -319,8 +351,10 @@ class DiGraph:
             raise ValueError(f"self-loop on {u!r} not allowed in a simple graph")
         self.add_node(u)
         self.add_node(v)
-        self._succ[u].add(v)
-        self._pred[v].add(u)
+        if v not in self._succ[u]:
+            self._succ[u].add(v)
+            self._pred[v].add(u)
+            self._generation += 1
         if (u, v) not in self._edge_attrs:
             self._edge_attrs[(u, v)] = {}
         if attrs:
@@ -332,6 +366,7 @@ class DiGraph:
         self._succ[u].discard(v)
         self._pred[v].discard(u)
         self._edge_attrs.pop((u, v), None)
+        self._generation += 1
 
     def has_edge(self, u: Node, v: Node) -> bool:
         return u in self._succ and v in self._succ[u]
@@ -379,6 +414,20 @@ class DiGraph:
     # ------------------------------------------------------------------
     # whole-graph operations
     # ------------------------------------------------------------------
+    def frozen(self) -> "FrozenGraph":
+        """A cached CSR snapshot over the *successor* adjacency.
+
+        Same invalidation semantics as :meth:`Graph.frozen`: rebuilt
+        when the topology mutates, reused otherwise.
+        """
+        from repro.graphs.csr import FrozenGraph
+
+        cached = self._frozen
+        if cached is None or cached.generation != self._generation:
+            cached = FrozenGraph(self)
+            self._frozen = cached
+        return cached
+
     def copy(self) -> "DiGraph":
         clone = DiGraph()
         for node in self._succ:

@@ -22,8 +22,9 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.graphs.csr import FROZEN_MIN_NODES
 from repro.graphs.graph import DiGraph, Graph
-from repro.graphs.traversal import bfs_distances
+from repro.graphs.traversal import bfs_distances_reference
 
 Node = Hashable
 AnyGraph = Union[Graph, DiGraph]
@@ -175,10 +176,17 @@ def closeness_centrality(graph: Graph) -> Dict[Node, float]:
     of the shortest path between a node and all other nodes" inverted so
     larger = more central.
     """
+    if graph.num_nodes >= FROZEN_MIN_NODES:
+        return graph.frozen().closeness_centrality()
+    return closeness_centrality_reference(graph)
+
+
+def closeness_centrality_reference(graph: Graph) -> Dict[Node, float]:
+    """Closeness via dict-of-sets BFS: ground truth for the CSR path."""
     n = graph.num_nodes
     result: Dict[Node, float] = {}
     for node in graph.nodes():
-        dist = bfs_distances(graph, node)
+        dist = bfs_distances_reference(graph, node)
         reachable = len(dist) - 1
         total = sum(dist.values())
         if reachable <= 0 or total == 0:
@@ -193,6 +201,8 @@ def closeness_centrality(graph: Graph) -> Dict[Node, float]:
 
 def betweenness_centrality(graph: Graph, normalized: bool = True) -> Dict[Node, float]:
     """Brandes' exact betweenness for unweighted undirected graphs."""
+    if graph.num_nodes >= FROZEN_MIN_NODES:
+        return graph.frozen().betweenness_centrality(normalized=normalized)
     betweenness: Dict[Node, float] = {node: 0.0 for node in graph.nodes()}
     for source in graph.nodes():
         stack: List[Node] = []
@@ -206,7 +216,7 @@ def betweenness_centrality(graph: Graph, normalized: bool = True) -> Dict[Node, 
             v = queue[head]
             head += 1
             stack.append(v)
-            for w in graph.neighbors(v):
+            for w in graph._adj[v]:
                 if w not in dist:
                     dist[w] = dist[v] + 1
                     queue.append(w)
@@ -258,6 +268,13 @@ def eigenvector_centrality(
 
 def clustering_coefficient(graph: Graph, node: Node) -> float:
     """Fraction of a node's neighbor pairs that are themselves adjacent."""
+    if graph.num_nodes >= FROZEN_MIN_NODES and graph.has_node(node):
+        return graph.frozen().clustering_coefficient(node)
+    return clustering_coefficient_reference(graph, node)
+
+
+def clustering_coefficient_reference(graph: Graph, node: Node) -> float:
+    """Pairwise-scan clustering: ground truth for the CSR path."""
     neighbors = sorted(graph.neighbors(node), key=repr)
     k = len(neighbors)
     if k < 2:
@@ -274,5 +291,16 @@ def average_clustering(graph: Graph) -> float:
     """Mean local clustering coefficient over all nodes."""
     if graph.num_nodes == 0:
         return 0.0
-    total = sum(clustering_coefficient(graph, node) for node in graph.nodes())
+    if graph.num_nodes >= FROZEN_MIN_NODES:
+        return graph.frozen().average_clustering()
+    return average_clustering_reference(graph)
+
+
+def average_clustering_reference(graph: Graph) -> float:
+    """Mean local clustering via the pairwise scan (CSR ground truth)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    total = sum(
+        clustering_coefficient_reference(graph, node) for node in graph.nodes()
+    )
     return total / graph.num_nodes

@@ -5,6 +5,12 @@ and localized solutions (Sec. IV): BFS/DFS, Dijkstra, connected and
 strongly-connected components, and diameter.  The temporal analogues
 (journeys, temporal distance, dynamic diameter) live in
 :mod:`repro.temporal.journeys`.
+
+Whole-graph sweeps (``bfs_distances``, ``connected_components``,
+``eccentricity``, ``diameter``) route through the frozen CSR snapshot
+(:mod:`repro.graphs.csr`) above :data:`~repro.graphs.csr.FROZEN_MIN_NODES`
+nodes; the dict-of-sets path below remains the ground-truth reference
+and is output-equivalent (tests/test_csr.py).
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from collections import deque
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.errors import AlgorithmError, NodeNotFoundError
+from repro.graphs.csr import FROZEN_MIN_NODES
 from repro.graphs.graph import DiGraph, Graph
 
 Node = Hashable
@@ -21,9 +28,12 @@ AnyGraph = Union[Graph, DiGraph]
 
 
 def _out_neighbors(graph: AnyGraph, node: Node) -> Set[Node]:
-    if isinstance(graph, DiGraph):
-        return graph.successors(node)
-    return graph.neighbors(node)
+    """The *live* out-neighbor set — read-only; callers must not mutate."""
+    adjacency = graph._succ if isinstance(graph, DiGraph) else graph._adj
+    try:
+        return adjacency[node]
+    except KeyError:
+        raise NodeNotFoundError(node) from None
 
 
 def bfs_order(graph: AnyGraph, source: Node) -> List[Node]:
@@ -45,6 +55,15 @@ def bfs_order(graph: AnyGraph, source: Node) -> List[Node]:
 
 def bfs_distances(graph: AnyGraph, source: Node) -> Dict[Node, int]:
     """Hop distance from ``source`` to every reachable node."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if graph.num_nodes >= FROZEN_MIN_NODES:
+        return graph.frozen().bfs_distances(source)
+    return bfs_distances_reference(graph, source)
+
+
+def bfs_distances_reference(graph: AnyGraph, source: Node) -> Dict[Node, int]:
+    """The dict-of-sets BFS: ground truth for the CSR fast path."""
     if not graph.has_node(source):
         raise NodeNotFoundError(source)
     dist = {source: 0}
@@ -173,12 +192,21 @@ def connected_components(graph: Graph) -> List[Set[Node]]:
     """Connected components of an undirected graph, largest first."""
     if isinstance(graph, DiGraph):
         raise TypeError("connected_components expects an undirected Graph")
+    if graph.num_nodes >= FROZEN_MIN_NODES:
+        return graph.frozen().connected_components()
+    return connected_components_reference(graph)
+
+
+def connected_components_reference(graph: Graph) -> List[Set[Node]]:
+    """Components via dict-of-sets BFS: ground truth for the CSR path."""
+    if isinstance(graph, DiGraph):
+        raise TypeError("connected_components expects an undirected Graph")
     seen: Set[Node] = set()
     components: List[Set[Node]] = []
     for start in graph.nodes():
         if start in seen:
             continue
-        component = set(bfs_distances(graph, start))
+        component = set(bfs_distances_reference(graph, start))
         seen |= component
         components.append(component)
     components.sort(key=len, reverse=True)
@@ -189,6 +217,8 @@ def is_connected(graph: Graph) -> bool:
     """True iff the undirected graph is connected (empty graph counts)."""
     if graph.num_nodes == 0:
         return True
+    if graph.num_nodes >= FROZEN_MIN_NODES:
+        return graph.frozen().is_connected()
     return len(bfs_distances(graph, next(iter(graph.nodes())))) == graph.num_nodes
 
 
@@ -255,6 +285,9 @@ def largest_strongly_connected_component(graph: DiGraph) -> DiGraph:
 
 def eccentricity(graph: AnyGraph, node: Node) -> int:
     """Max hop distance from ``node`` to any reachable node."""
+    if graph.num_nodes >= FROZEN_MIN_NODES and graph.has_node(node):
+        fg = graph.frozen()
+        return fg.eccentricity_of(fg.index_of(node))
     dist = bfs_distances(graph, node)
     return max(dist.values()) if dist else 0
 
@@ -267,6 +300,8 @@ def diameter(graph: Graph) -> int:
     """
     if graph.num_nodes == 0:
         return 0
+    if graph.num_nodes >= FROZEN_MIN_NODES:
+        return graph.frozen().diameter()
     if not is_connected(graph):
         raise AlgorithmError("diameter is undefined on a disconnected graph")
     return max(eccentricity(graph, node) for node in graph.nodes())

@@ -11,13 +11,23 @@ dropping most edges of dense graphs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Optional, Set, Tuple
 
+from repro.graphs.csr import FROZEN_MIN_NODES
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import dijkstra
 from repro.observability.instrument import timed
 
 Node = Hashable
+
+
+def _is_unit_weighted(graph: Graph, weight: str, default_weight: float) -> bool:
+    """True when every edge resolves to weight 1.0 (the hop-metric case)."""
+    if default_weight != 1.0:
+        return False
+    return all(
+        attrs.get(weight, 1.0) == 1.0 for attrs in graph._edge_attrs.values()
+    )
 
 
 @timed("repro.trimming.greedy_spanner")
@@ -48,12 +58,45 @@ def greedy_spanner(
     edges = sorted(
         graph.edges(), key=lambda e: (weight_of(e[0], e[1]), repr(e))
     )
+    if _is_unit_weighted(graph, weight, default_weight):
+        # Hop metric: the bounded Dijkstra reduces to a depth-limited
+        # BFS over the growing spanner (exact — all distances are
+        # integers), which drops the heap and float bookkeeping.
+        max_hops = int(t)
+        for u, v in edges:
+            if _within_hops(spanner._adj, u, v, max_hops):
+                continue
+            spanner.add_edge(u, v, **{weight: 1.0})
+        return spanner
     for u, v in edges:
         w = weight_of(u, v)
         distance = _bounded_distance(spanner, u, v, t * w, spanner_weight)
         if distance is None or distance > t * w:
             spanner.add_edge(u, v, **{weight: w})
     return spanner
+
+
+def _within_hops(
+    adjacency: Dict[Node, Set[Node]], source: Node, target: Node, max_hops: int
+) -> bool:
+    """Depth-limited BFS: is ``target`` within ``max_hops`` of ``source``?"""
+    if max_hops <= 0:
+        return source == target
+    seen = {source}
+    frontier = [source]
+    for _ in range(max_hops):
+        next_frontier = []
+        for node in frontier:
+            for neighbor in adjacency[node]:
+                if neighbor == target:
+                    return True
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    next_frontier.append(neighbor)
+        if not next_frontier:
+            return False
+        frontier = next_frontier
+    return False
 
 
 def _bounded_distance(
@@ -79,7 +122,9 @@ def _bounded_distance(
         if d > bound:
             return None
         done.add(node)
-        for neighbor in graph.neighbors(node):
+        # Read the adjacency set live — graph.neighbors() would copy it
+        # on every heap pop.
+        for neighbor in graph._adj[node]:
             candidate = d + weight_of(node, neighbor)
             if candidate <= bound and (neighbor not in dist or candidate < dist[neighbor]):
                 dist[neighbor] = candidate
@@ -100,6 +145,14 @@ def spanner_stretch(
     the trimming ablation benchmark); returns inf if the spanner
     disconnects a connected pair.
     """
+    if (
+        graph.num_nodes >= FROZEN_MIN_NODES
+        and _is_unit_weighted(graph, weight, default_weight)
+        and _is_unit_weighted(spanner, weight, default_weight)
+        and all(spanner.has_node(node) for node in graph.nodes())
+    ):
+        return _hop_stretch(graph, spanner)
+
     def graph_weight(u: Node, v: Node) -> float:
         return float(graph.edge_attr(u, v, weight, default_weight))
 
@@ -116,4 +169,28 @@ def spanner_stretch(
             if target not in new:
                 return float("inf")
             worst = max(worst, new[target] / base_distance)
+    return worst
+
+
+def _hop_stretch(graph: Graph, spanner: Graph) -> float:
+    """Unit-weight stretch via per-source vectorized BFS on both graphs."""
+    import numpy as np
+
+    base_fg = graph.frozen()
+    spanner_fg = spanner.frozen()
+    # Align the spanner's index space with the base graph's.
+    remap = np.array(
+        [spanner_fg.index[node] for node in base_fg.node_list], dtype=np.int64
+    )
+    worst = 1.0
+    for i in range(base_fg.n):
+        base_levels = base_fg.bfs_levels(i)
+        spanner_levels = spanner_fg.bfs_levels(int(remap[i]))[remap]
+        reachable = base_levels > 0
+        if not reachable.any():
+            continue
+        if (spanner_levels[reachable] < 0).any():
+            return float("inf")
+        ratios = spanner_levels[reachable] / base_levels[reachable]
+        worst = max(worst, float(ratios.max()))
     return worst

@@ -1,0 +1,55 @@
+"""Tier-1 wiring for the CSR perf benchmark (benchmarks/bench_perf_csr.py).
+
+Runs the same harness as the committed ``BENCH_perf-csr.json`` feed at
+toy scale against a temp directory: validates the emitted document
+against the ``repro.bench/v1`` schema, checks the BENCH feed is
+byte-identical to its sibling, and relies on the harness's built-in
+assertion that every CSR kernel output equals its dict-of-sets
+reference (the run raises otherwise).  No speedup floor at toy scale —
+that is the full run's job — only schema and equivalence.
+"""
+
+import json
+import os
+import sys
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
+)
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+import bench_perf_csr  # noqa: E402  (benchmarks/bench_perf_csr.py)
+from repro.observability import BENCH_SCHEMA, validate_bench_report  # noqa: E402
+
+
+def test_perf_csr_toy_run_validates_schema_and_equivalence(tmp_path):
+    result = bench_perf_csr.run(
+        sizes=(150,), repeats=1, out_dir=str(tmp_path), top_dir=str(tmp_path)
+    )
+    assert result.experiment == "perf-csr"
+    document = json.loads(open(result.json_path).read())
+    assert document["schema"] == BENCH_SCHEMA
+    assert validate_bench_report(document) == []
+    assert open(result.bench_path).read() == open(result.json_path).read()
+    kernels = {row[3] for row in result.rows}
+    assert set(bench_perf_csr.TARGET_KERNELS) <= kernels
+    # Median-of-k spread keys land in the timings map.
+    assert any(key.endswith("_median_s") for key in document["timings"])
+    assert any(key.endswith("_min_s") for key in document["timings"])
+    assert any(key.startswith("freeze_") for key in document["timings"])
+
+
+def test_committed_perf_csr_feed_is_valid_and_meets_target():
+    top = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(top, "BENCH_perf-csr.json")
+    document = json.loads(open(path).read())
+    assert validate_bench_report(document) == []
+    header = document["header"]
+    kernel_col = header.index("kernel")
+    speedup_col = header.index("speedup")
+    n_col = header.index("requested n")
+    largest = max(row[n_col] for row in document["rows"])
+    for row in document["rows"]:
+        if row[n_col] == largest and row[kernel_col] in bench_perf_csr.TARGET_KERNELS:
+            assert row[speedup_col] >= bench_perf_csr.TARGET_SPEEDUP
