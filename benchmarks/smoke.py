@@ -233,6 +233,22 @@ def smoke_dtn() -> Dict[str, Any]:
     }
 
 
+@smoke("faults")
+def smoke_faults() -> Dict[str, Any]:
+    import bench_faults
+
+    rows = bench_faults.fault_rows(
+        drop_rates=(0.0, 0.2),
+        dtn_kwargs={"n": 12, "end_time": 14.0, "n_messages": 6, "ttl": 8},
+        rev_kwargs={"n": 12, "p": 0.2},
+    )
+    return {
+        "title": "chaos degradation sweep (smoke)",
+        "header": bench_faults.HEADER,
+        "rows": rows,
+    }
+
+
 def run_all(
     out_dir: Optional[str] = None, top_dir: Optional[str] = None
 ) -> Dict[str, TableResult]:

@@ -26,10 +26,12 @@ Semantics
 from __future__ import annotations
 
 import enum
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.faults.plan import FaultPlan, FaultSession
 from repro.observability import tracing
 from repro.observability.metrics import MetricsRegistry
 from repro.temporal.evolving import EvolvingGraph
@@ -157,6 +159,7 @@ class DTNSimulation:
         buffer_size: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[tracing.Tracer] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if buffer_size is not None and buffer_size < 1:
             raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
@@ -168,6 +171,10 @@ class DTNSimulation:
         self._buffers: Dict[Node, List[str]] = {node: [] for node in eg.nodes()}
         self.metrics = registry if registry is not None else MetricsRegistry("dtn")
         self.tracer = tracer if tracer is not None else tracing.get_tracer()
+        self.faults: Optional[FaultSession] = (
+            fault_plan.start(registry=self.metrics) if fault_plan is not None else None
+        )
+        self._down_nodes: Set[Node] = set()
         self._created = self.metrics.counter("repro.dtn.messages_created")
         self._delivered = self.metrics.counter("repro.dtn.delivered")
         self._contacts = self.metrics.counter("repro.dtn.contacts")
@@ -221,13 +228,48 @@ class DTNSimulation:
 
     # ------------------------------------------------------------------
     def run(self) -> DeliveryStats:
-        """Process the whole trace; returns aggregate statistics."""
+        """Process the whole trace; returns aggregate statistics.
+
+        Under a fault plan, contacts may be lost (link churn or crashed
+        endpoints), delayed (shifting the encounter — and hence TTL
+        expiry checks — to a later trace time), and individual
+        transfers may be dropped or duplicated; see
+        :mod:`repro.faults`.
+        """
         with self.tracer.span(
             "dtn.run", router=self.router.name, messages=len(self.messages)
         ) as span:
             contacts = 0
-            for time, u, v in self.eg.all_contacts():
+            # (effective_time, seq, u, v, fated): a delayed contact
+            # re-enters the heap with a later effective time, a fresh
+            # sequence number (deterministic order), and fated=True so
+            # its drop/delay fate is drawn exactly once — only the
+            # crashed-endpoint check repeats at the shifted time.
+            heap: List[Tuple[int, int, Node, Node, bool]] = [
+                (time, index, u, v, False)
+                for index, (time, u, v) in enumerate(self.eg.all_contacts())
+            ]
+            heapq.heapify(heap)
+            seq = len(heap)
+            while heap:
+                time, _, u, v, fated = heapq.heappop(heap)
                 contacts += 1
+                if self.faults is not None:
+                    self._advance_faults(time)
+                    if u in self._down_nodes or v in self._down_nodes:
+                        self.faults.record(
+                            "contact_crashed", time,
+                            link=tuple(sorted((u, v), key=repr)),
+                        )
+                        continue
+                    if not fated:
+                        drop, delay = self.faults.contact_fate(time, u, v)
+                        if drop:
+                            continue
+                        if delay:
+                            heapq.heappush(heap, (time + delay, seq, u, v, True))
+                            seq += 1
+                            continue
                 if self.tracer.enabled:
                     self.tracer.event("dtn.contact", u=u, v=v, t=time)
                 self.router.on_contact(u, v, time)
@@ -236,6 +278,24 @@ class DTNSimulation:
             self._contacts.inc(contacts)
             span.set_attribute("contacts", contacts)
         return self.stats()
+
+    def _advance_faults(self, now: int) -> None:
+        """Apply crash/restart/churn schedule entries due by ``now``."""
+        for kind, node, lose_state in self.faults.advance_time(now):
+            if kind == "crash":
+                self._down_nodes.add(node)
+                if lose_state and node in self._buffers:
+                    lost = list(self._buffers[node])
+                    for identifier in lost:
+                        self.messages[identifier].holders.discard(node)
+                    self._buffers[node].clear()
+                    self._buffer_gauge(node)
+                    if lost:
+                        self.faults.record(
+                            "buffer_lost", now, node=node, messages=len(lost)
+                        )
+            else:  # restart
+                self._down_nodes.discard(node)
 
     def _exchange(self, holder: Node, peer: Node, time: int) -> None:
         for identifier in list(self._buffers[holder]):
@@ -247,6 +307,10 @@ class DTNSimulation:
             if holder not in message.holders or peer in message.holders:
                 continue
             if peer == message.spec.destination:
+                if self.faults is not None:
+                    drop, _ = self.faults.transfer_fate(time, identifier, holder, peer)
+                    if drop:
+                        continue  # the final hop failed; holder keeps it
                 message.delivered_at = time
                 message.hops += 1
                 self._record_delivery(message)
@@ -258,6 +322,14 @@ class DTNSimulation:
             decision = self.router.decide(message, holder, peer, time)
             if decision is Decision.CARRY:
                 continue
+            if self.faults is not None:
+                # A failed transfer leaves the holder holding the
+                # message even for HANDOVER (send-then-ack semantics);
+                # duplicated transfers coalesce in the peer's holder
+                # set and are recorded in the ledger only.
+                drop, _ = self.faults.transfer_fate(time, identifier, holder, peer)
+                if drop:
+                    continue
             message.holders.add(peer)
             message.copies_made += decision is Decision.REPLICATE
             message.hops += 1

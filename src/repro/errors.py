@@ -56,7 +56,11 @@ class ConvergenceError(AlgorithmError):
     ``rounds`` is the budget that was exhausted.  Callers that track
     execution cost attach it as context — ``rounds_completed`` and
     ``messages_sent`` so far — which is folded into the message so a
-    bare traceback already tells how far the run got.
+    bare traceback already tells how far the run got.  Runs executed
+    under a :class:`repro.faults.FaultPlan` additionally attach
+    ``fault_events``, the ledger's per-kind event totals, so a timeout
+    under chaos reports *which* faults starved the run instead of
+    hanging silently.
     """
 
     def __init__(
@@ -65,6 +69,7 @@ class ConvergenceError(AlgorithmError):
         rounds: int,
         rounds_completed: "int | None" = None,
         messages_sent: "int | None" = None,
+        fault_events: "dict[str, int] | None" = None,
     ) -> None:
         message = f"{what} did not converge within {rounds} rounds"
         context = []
@@ -72,9 +77,15 @@ class ConvergenceError(AlgorithmError):
             context.append(f"rounds completed: {rounds_completed}")
         if messages_sent is not None:
             context.append(f"messages sent so far: {messages_sent}")
+        if fault_events:
+            rendered = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(fault_events.items())
+            )
+            context.append(f"fault events: {rendered}")
         if context:
             message += " (" + ", ".join(context) + ")"
         super().__init__(message)
         self.rounds = rounds
         self.rounds_completed = rounds_completed
         self.messages_sent = messages_sent
+        self.fault_events = dict(fault_events) if fault_events else None

@@ -1,0 +1,83 @@
+"""Append-only fault event ledger with a replay digest.
+
+Every fault decision a :class:`~repro.faults.plan.FaultSession` makes —
+a dropped message, a duplicated delivery, a crash, a link flap, a
+scheduled retry — is appended here as one :class:`FaultEvent`.  The
+ledger is the *replay contract*: two sessions started from the same
+:class:`~repro.faults.plan.FaultPlan` (same seed, same injectors) and
+driven through the same engine run must produce byte-identical ledgers.
+:meth:`FaultLedger.lines` renders events canonically and
+:meth:`FaultLedger.digest` hashes that rendering, so the contract is a
+one-line assertion in tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+Detail = Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault or recovery action.
+
+    ``seq`` is the global injection order (dense, starting at 0);
+    ``time`` is the engine round (synchronous), tick (asynchronous) or
+    trace time (DTN) at which the event fired; ``kind`` is the event
+    taxonomy name (``drop``, ``duplicate``, ``delay``, ``reorder``,
+    ``crash``, ``restart``, ``link_down``, ``link_up``, ``retry``,
+    ``retry_exhausted``, ``crash_drop``, ``link_drop``,
+    ``contact_drop``, ``contact_delay``, ``contact_crashed``,
+    ``transfer_drop``, ``transfer_duplicate``, ``buffer_lost``);
+    ``detail`` carries the event's participants as sorted key/value
+    pairs.
+    """
+
+    seq: int
+    time: int
+    kind: str
+    detail: Detail
+
+    def line(self) -> str:
+        """Canonical one-line rendering (the unit of byte-equality)."""
+        rendered = " ".join(f"{key}={value!r}" for key, value in self.detail)
+        return f"{self.seq} t={self.time} {self.kind} {rendered}".rstrip()
+
+
+class FaultLedger:
+    """The ordered record of every injected fault in one session."""
+
+    def __init__(self) -> None:
+        self.events: List[FaultEvent] = []
+
+    def record(self, time: int, kind: str, **detail: Any) -> FaultEvent:
+        event = FaultEvent(
+            seq=len(self.events),
+            time=int(time),
+            kind=kind,
+            detail=tuple(sorted(detail.items())),
+        )
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def lines(self) -> List[str]:
+        return [event.line() for event in self.events]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical rendering; equal digests mean the
+        two runs injected byte-identical fault sequences."""
+        payload = "\n".join(self.lines()).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+    def counts(self) -> Dict[str, int]:
+        """Event totals by kind (the ``ConvergenceError`` fault summary)."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out

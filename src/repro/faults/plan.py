@@ -1,0 +1,398 @@
+"""Seeded fault plans and the per-run session that interprets them.
+
+A :class:`FaultPlan` is a *value*: one RNG seed, a tuple of injectors
+(:mod:`repro.faults.injectors`) and an optional
+:class:`~repro.faults.injectors.RetryPolicy`.  Engines never consume
+the plan directly — they call :meth:`FaultPlan.start` to obtain a
+fresh :class:`FaultSession`, which owns the RNG stream, the event
+:class:`~repro.faults.ledger.FaultLedger`, and mirrors every event
+into ``repro.faults.*`` counters on the engine's
+:class:`~repro.observability.metrics.MetricsRegistry`.
+
+Replay contract: the session draws randomness *only* inside its hook
+methods, and the engines call those hooks in a deterministic order
+(nodes and messages are always iterated in sorted order), so two
+sessions started from the same plan and driven through the same
+workload produce byte-identical ledgers — ``session.ledger.digest()``
+is the whole assertion.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.faults.injectors import (
+    CrashEvent,
+    LinkChurn,
+    LinkChurnEvent,
+    MessageFaults,
+    NodeCrashFaults,
+    RetryPolicy,
+)
+from repro.faults.ledger import FaultLedger
+from repro.observability.metrics import MetricsRegistry
+
+Node = Hashable
+Injector = Any  # one of the dataclasses in repro.faults.injectors
+
+
+class Fate(NamedTuple):
+    """The session's verdict for one in-flight message."""
+
+    drop: bool
+    duplicates: int
+    delay: int
+
+    @property
+    def deliver_now(self) -> bool:
+        return not self.drop and self.delay == 0
+
+
+DELIVER = Fate(drop=False, duplicates=0, delay=0)
+
+
+class FaultPlan:
+    """Seed + injectors + retry policy: a replayable chaos experiment."""
+
+    def __init__(
+        self,
+        seed: int,
+        injectors: Iterable[Injector] = (),
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.seed = int(seed)
+        self.injectors: Tuple[Injector, ...] = tuple(injectors)
+        for injector in self.injectors:
+            if not isinstance(injector, (MessageFaults, NodeCrashFaults, LinkChurn)):
+                raise TypeError(
+                    f"unknown injector type {type(injector).__name__!r}"
+                )
+        self.retry = retry
+
+    def start(self, registry: Optional[MetricsRegistry] = None) -> "FaultSession":
+        """A fresh session: new RNG from the seed, empty ledger."""
+        return FaultSession(self, registry=registry)
+
+    def describe(self) -> Dict[str, Any]:
+        """Plain-data description (for benchmark report notes)."""
+        return {
+            "seed": self.seed,
+            "injectors": [repr(injector) for injector in self.injectors],
+            "retry": repr(self.retry) if self.retry else None,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, injectors={self.injectors!r}, "
+            f"retry={self.retry!r})"
+        )
+
+
+def _link_key(u: Node, v: Node) -> FrozenSet[Node]:
+    return frozenset((u, v))
+
+
+class FaultSession:
+    """One run's interpretation of a :class:`FaultPlan`.
+
+    All hook methods are deterministic functions of (seed, call order):
+    engines must invoke them in sorted node/message order.  Events are
+    recorded twice — in :attr:`ledger` (ordered, hashable) and as
+    ``repro.faults.<kind>`` counters on :attr:`registry`.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.ledger = FaultLedger()
+        self.registry = registry if registry is not None else MetricsRegistry("faults")
+        self._message_faults = [
+            i for i in plan.injectors if isinstance(i, MessageFaults)
+        ]
+        self._crash_faults = [
+            i for i in plan.injectors if isinstance(i, NodeCrashFaults)
+        ]
+        self._churn_faults = [i for i in plan.injectors if isinstance(i, LinkChurn)]
+        # Merged deterministic schedules, consumed in time order.
+        self._crash_schedule: List[Tuple[int, int, CrashEvent]] = sorted(
+            ((event.at, index, event) for fault in self._crash_faults
+             for index, event in enumerate(fault.schedule)),
+            key=lambda item: (item[0], item[1]),
+        )
+        self._churn_schedule: List[Tuple[int, int, LinkChurnEvent]] = sorted(
+            ((event.at, index, event) for fault in self._churn_faults
+             for index, event in enumerate(fault.schedule)),
+            key=lambda item: (item[0], item[1]),
+        )
+        self.crashed: Set[Node] = set()
+        self._lose_state: Dict[Node, bool] = {}
+        self.down_links: Set[FrozenSet[Node]] = set()
+        # (restart_at, node) for pending restarts (scheduled or random).
+        self._pending_restarts: List[Tuple[int, Node]] = []
+
+    # -- recording ------------------------------------------------------
+    def record(self, kind: str, time: int, **detail: Any) -> None:
+        self.ledger.record(time, kind, **detail)
+        self.registry.counter(f"repro.faults.{kind}").inc()
+
+    def summary(self) -> Dict[str, int]:
+        return self.ledger.counts()
+
+    # -- message-level hooks (engines) ----------------------------------
+    def message_fate(self, time: int, sender: Node, receiver: Node) -> Fate:
+        """Decide drop/duplicate/delay for one in-flight message."""
+        if not self._message_faults:
+            return DELIVER
+        drop = False
+        duplicates = 0
+        delay = 0
+        for fault in self._message_faults:
+            if fault.drop and self.rng.random() < fault.drop:
+                drop = True
+            if fault.duplicate and self.rng.random() < fault.duplicate:
+                duplicates += 1
+            if fault.delay and self.rng.random() < fault.delay:
+                delay += int(self.rng.integers(1, fault.max_delay + 1))
+        if drop:
+            self.record("drop", time, sender=sender, receiver=receiver)
+            return Fate(drop=True, duplicates=0, delay=0)
+        if duplicates:
+            self.record(
+                "duplicate", time, sender=sender, receiver=receiver, copies=duplicates
+            )
+        if delay:
+            self.record(
+                "delay", time, sender=sender, receiver=receiver, rounds=delay
+            )
+        return Fate(drop=False, duplicates=duplicates, delay=delay)
+
+    def reorder_permutation(
+        self, time: int, receiver: Node, size: int
+    ) -> Optional[Sequence[int]]:
+        """Permutation for one multi-message inbox, or None to keep order."""
+        if size < 2:
+            return None
+        reorder = max((f.reorder for f in self._message_faults), default=0.0)
+        if not reorder or self.rng.random() >= reorder:
+            return None
+        permutation = [int(i) for i in self.rng.permutation(size)]
+        self.record("reorder", time, receiver=receiver, size=size)
+        return permutation
+
+    # -- node & link lifecycle (engines) --------------------------------
+    def begin_round(
+        self, time: int, nodes: Sequence[Node], edges: Sequence[Tuple[Node, Node]]
+    ) -> Tuple[List[Tuple[Node, bool]], List[Tuple[Node, bool]]]:
+        """Advance crash/churn state to ``time``.
+
+        Returns ``(crashes, restarts)`` as lists of ``(node,
+        lose_state)``, already recorded in the ledger.  ``nodes`` and
+        ``edges`` must be deterministically ordered by the caller.
+        """
+        crashes: List[Tuple[Node, bool]] = []
+        restarts: List[Tuple[Node, bool]] = []
+        # Scheduled crashes due now.
+        while self._crash_schedule and self._crash_schedule[0][0] <= time:
+            _, _, event = self._crash_schedule.pop(0)
+            if event.node in self.crashed:
+                continue
+            self._crash(event.node, time, event.lose_state, crashes)
+            if event.restart_at is not None:
+                heapq.heappush(
+                    self._pending_restarts, (event.restart_at, repr(event.node), event.node)
+                )
+        # Random crashes.
+        for fault in self._crash_faults:
+            if not fault.rate:
+                continue
+            for node in nodes:
+                if node in self.crashed:
+                    continue
+                if self.rng.random() < fault.rate:
+                    self._crash(node, time, fault.lose_state, crashes)
+                    heapq.heappush(
+                        self._pending_restarts,
+                        (time + fault.restart_after, repr(node), node),
+                    )
+        # Restarts due now.
+        while self._pending_restarts and self._pending_restarts[0][0] <= time:
+            _, _, node = heapq.heappop(self._pending_restarts)
+            if node not in self.crashed:
+                continue
+            self.crashed.discard(node)
+            lose_state = self._lose_state.pop(node, True)
+            restarts.append((node, lose_state))
+            self.record("restart", time, node=node, lose_state=lose_state)
+        # Scheduled link transitions due now.
+        while self._churn_schedule and self._churn_schedule[0][0] <= time:
+            _, _, event = self._churn_schedule.pop(0)
+            self._set_link(event.u, event.v, event.action, time)
+        # Random link churn over the current topology.
+        for fault in self._churn_faults:
+            if not fault.down and not fault.up:
+                continue
+            for u, v in edges:
+                key = _link_key(u, v)
+                if key in self.down_links:
+                    if fault.up and self.rng.random() < fault.up:
+                        self._set_link(u, v, "up", time)
+                elif fault.down and self.rng.random() < fault.down:
+                    self._set_link(u, v, "down", time)
+        return crashes, restarts
+
+    def _crash(
+        self, node: Node, time: int, lose_state: bool, out: List[Tuple[Node, bool]]
+    ) -> None:
+        self.crashed.add(node)
+        self._lose_state[node] = lose_state
+        out.append((node, lose_state))
+        self.record("crash", time, node=node, lose_state=lose_state)
+
+    def _set_link(self, u: Node, v: Node, action: str, time: int) -> None:
+        key = _link_key(u, v)
+        if action == "down" and key not in self.down_links:
+            self.down_links.add(key)
+            self.record("link_down", time, link=tuple(sorted((u, v), key=repr)))
+        elif action == "up" and key in self.down_links:
+            self.down_links.discard(key)
+            self.record("link_up", time, link=tuple(sorted((u, v), key=repr)))
+
+    def link_is_down(self, u: Node, v: Node) -> bool:
+        return bool(self.down_links) and _link_key(u, v) in self.down_links
+
+    def is_crashed(self, node: Node) -> bool:
+        return node in self.crashed
+
+    def pending_schedule_after(self, time: int) -> bool:
+        """True while deterministic future events remain — engines must
+        keep stepping so scheduled crashes/restarts/churn still fire."""
+        if self._pending_restarts:
+            return True
+        if self._crash_schedule:
+            return True
+        if self._churn_schedule:
+            return True
+        return False
+
+    # -- DTN hooks ------------------------------------------------------
+    def advance_time(self, now: int) -> List[Tuple[str, Node, bool]]:
+        """Advance the crash/churn schedules to trace time ``now``.
+
+        Returns ``[('crash'|'restart', node, lose_state), ...]`` in
+        firing order; link transitions are applied silently (query with
+        :meth:`link_is_down`).  Random crash rates and random per-round
+        churn do not apply to trace-driven DTN time — use schedules
+        (crash, link intervals) and per-contact probabilities instead.
+        """
+        events: List[Tuple[str, Node, bool]] = []
+        merged: List[Tuple[int, int, str, Any]] = []
+        while self._crash_schedule and self._crash_schedule[0][0] <= now:
+            at, index, event = self._crash_schedule.pop(0)
+            merged.append((at, index, "crash", event))
+        while self._churn_schedule and self._churn_schedule[0][0] <= now:
+            at, index, event = self._churn_schedule.pop(0)
+            merged.append((at, index, "churn", event))
+        while self._pending_restarts and self._pending_restarts[0][0] <= now:
+            at, tiebreak, node = heapq.heappop(self._pending_restarts)
+            merged.append((at, -1, "restart", node))
+        merged.sort(key=lambda item: (item[0], item[1]))
+        for at, _, kind, payload in merged:
+            if kind == "crash":
+                if payload.node in self.crashed:
+                    continue
+                scratch: List[Tuple[Node, bool]] = []
+                self._crash(payload.node, at, payload.lose_state, scratch)
+                events.append(("crash", payload.node, payload.lose_state))
+                if payload.restart_at is not None:
+                    if payload.restart_at <= now:
+                        merged_restart = payload.restart_at
+                        self.crashed.discard(payload.node)
+                        lose = self._lose_state.pop(payload.node, True)
+                        events.append(("restart", payload.node, lose))
+                        self.record(
+                            "restart", merged_restart, node=payload.node,
+                            lose_state=lose,
+                        )
+                    else:
+                        heapq.heappush(
+                            self._pending_restarts,
+                            (payload.restart_at, repr(payload.node), payload.node),
+                        )
+            elif kind == "restart":
+                node = payload
+                if node not in self.crashed:
+                    continue
+                lose = self._lose_state.pop(node, True)
+                self.crashed.discard(node)
+                events.append(("restart", node, lose))
+                self.record("restart", at, node=node, lose_state=lose)
+            else:  # churn transition
+                self._set_link(payload.u, payload.v, payload.action, at)
+        return events
+
+    def contact_fate(self, time: int, u: Node, v: Node) -> Tuple[bool, int]:
+        """(drop, delay) for one DTN contact.
+
+        Scheduled down links suppress the contact outright; random
+        churn ``down`` is an independent per-contact loss; message-
+        fault ``delay`` postpones the whole encounter.
+        """
+        if self.link_is_down(u, v):
+            self.record("contact_drop", time, link=tuple(sorted((u, v), key=repr)))
+            return True, 0
+        for fault in self._churn_faults:
+            if fault.down and self.rng.random() < fault.down:
+                self.record(
+                    "contact_drop", time, link=tuple(sorted((u, v), key=repr))
+                )
+                return True, 0
+        delay = 0
+        for fault in self._message_faults:
+            if fault.delay and self.rng.random() < fault.delay:
+                delay += int(self.rng.integers(1, fault.max_delay + 1))
+        if delay:
+            self.record(
+                "contact_delay", time,
+                link=tuple(sorted((u, v), key=repr)), units=delay,
+            )
+        return False, delay
+
+    def transfer_fate(
+        self, time: int, identifier: str, holder: Node, peer: Node
+    ) -> Tuple[bool, int]:
+        """(drop, duplicates) for one message transfer attempt."""
+        drop = False
+        duplicates = 0
+        for fault in self._message_faults:
+            if fault.drop and self.rng.random() < fault.drop:
+                drop = True
+            if fault.duplicate and self.rng.random() < fault.duplicate:
+                duplicates += 1
+        if drop:
+            self.record(
+                "transfer_drop", time, message=identifier, holder=holder, peer=peer
+            )
+            return True, 0
+        if duplicates:
+            self.record(
+                "transfer_duplicate", time, message=identifier,
+                holder=holder, peer=peer, copies=duplicates,
+            )
+        return False, duplicates

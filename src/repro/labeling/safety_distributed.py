@@ -45,7 +45,12 @@ class SafetyLevelAlgorithm(NodeAlgorithm):
         for message in ctx.inbox:
             kind, value = message.payload
             if kind == "level":
-                beliefs[message.sender] = value
+                # Levels only ever fall, so merge with min: duplicated
+                # or reordered deliveries (fault injection) cannot
+                # resurrect a stale, higher level.
+                current = beliefs.get(message.sender)
+                if current is None or value < current:
+                    beliefs[message.sender] = value
         if len(beliefs) < len(ctx.neighbors):
             return  # first exchange still incomplete
         ordered = sorted(beliefs[neighbor] for neighbor in ctx.neighbors)
@@ -65,13 +70,22 @@ def distributed_safety_levels(
     dimension: int,
     faulty: Iterable[Address],
     max_rounds: int = 10_000,
+    fault_plan=None,
 ) -> Tuple[Dict[Address, int], int]:
-    """Run the protocol to quiescence; (levels, engine rounds)."""
+    """Run the protocol to quiescence; (levels, engine rounds).
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects seeded
+    message faults into the exchange; because level refinement is a
+    monotone (decreasing) chaotic iteration, the protocol still reaches
+    the unique fault-free fixpoint as long as a
+    :class:`repro.faults.RetryPolicy` keeps delivery eventual.
+    """
     faults = _check_faults(dimension, faulty)
     cube = binary_hypercube(dimension)
     network = Network(
         cube,
         lambda node: SafetyLevelAlgorithm(dimension, node in faults),
+        fault_plan=fault_plan,
     )
     stats = network.run(max_rounds=max_rounds)
     return network.states("level"), stats.rounds

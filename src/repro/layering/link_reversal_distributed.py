@@ -53,7 +53,13 @@ class LinkReversalAlgorithm(NodeAlgorithm):
         for message in ctx.inbox:
             kind, value = message.payload
             if kind == "height":
-                beliefs[message.sender] = tuple(value)
+                # Heights only ever rise, so merge with max: duplicated
+                # or reordered deliveries (fault injection) can never
+                # regress a belief below the freshest value seen.
+                incoming = tuple(value)
+                current = beliefs.get(message.sender)
+                if current is None or incoming > current:
+                    beliefs[message.sender] = incoming
         if self.is_destination or not ctx.neighbors:
             ctx.halt()
             return
@@ -76,17 +82,23 @@ def distributed_full_reversal(
     destination: Node,
     heights: Dict[Node, Height],
     max_rounds: int = 100_000,
+    fault_plan=None,
 ) -> Tuple[Orientation, Dict[Node, Height], Dict[Node, int], int]:
     """Run the distributed protocol to quiescence.
 
     Returns (final orientation, final heights, per-node reversal
-    counts, rounds used).
+    counts, rounds used).  ``fault_plan`` (a
+    :class:`repro.faults.FaultPlan`) subjects the run to seeded
+    message/node/link faults; pair drops with a
+    :class:`repro.faults.RetryPolicy` so every height announcement is
+    still eventually delivered.
     """
     network = Network(
         graph,
         lambda node: LinkReversalAlgorithm(
             is_destination=node == destination, height=heights[node]
         ),
+        fault_plan=fault_plan,
     )
     with tracing.get_tracer().span(
         "layering.distributed_reversal", nodes=graph.num_nodes

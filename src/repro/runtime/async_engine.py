@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.faults.plan import FaultPlan, FaultSession
 from repro.graphs.graph import Graph
 from repro.observability import tracing
 from repro.observability.metrics import MetricsRegistry
@@ -48,6 +49,7 @@ class AsyncNetwork:
         max_delay: int = 3,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[tracing.Tracer] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if max_delay < 1:
             raise ValueError(f"max_delay must be >= 1, got {max_delay}")
@@ -57,13 +59,20 @@ class AsyncNetwork:
         self._algorithms: Dict[Node, NodeAlgorithm] = {}
         self._state: Dict[Node, Dict[str, Any]] = {}
         self._halted: Dict[Node, bool] = {}
-        # (deliver_at_tick, message)
-        self._in_flight: List[Tuple[int, Message]] = []
+        # (deliver_at_tick, seq, message, retry attempt)
+        self._in_flight: List[Tuple[int, int, Message, int]] = []
+        self._flight_seq = 0
         self._tick = 0
         self.metrics = registry if registry is not None else MetricsRegistry("async-network")
         self.tracer = tracer if tracer is not None else tracing.get_tracer()
         self.stats = RunStats(registry=self.metrics)
         self._initialized = False
+        self._factory = algorithm_factory
+        self.faults: Optional[FaultSession] = (
+            fault_plan.start(registry=self.metrics) if fault_plan is not None else None
+        )
+        self._retry = fault_plan.retry if fault_plan is not None else None
+        self._crashed: set = set()
         for node in self.graph.nodes():
             self._algorithms[node] = algorithm_factory(node)
             self._state[node] = {}
@@ -81,11 +90,46 @@ class AsyncNetwork:
         return self._tick
 
     # ------------------------------------------------------------------
+    def _enqueue(self, deliver_at: int, message: Message, attempt: int = 0) -> None:
+        self._in_flight.append((deliver_at, self._flight_seq, message, attempt))
+        self._flight_seq += 1
+
     def _dispatch(self, outbox: List[Message]) -> None:
         for message in outbox:
             delay = int(self._rng.integers(1, self.max_delay + 1))
-            self._in_flight.append((self._tick + delay, message))
+            if self.faults is not None:
+                fate = self.faults.message_fate(
+                    self._tick, message.sender, message.receiver
+                )
+                if fate.drop:
+                    self._maybe_retry(message, 0)
+                    continue
+                delay += fate.delay
+                for _ in range(fate.duplicates):
+                    self._enqueue(
+                        self._tick + int(self._rng.integers(1, self.max_delay + 1)),
+                        message,
+                    )
+                    self.stats.messages_sent += 1
+            self._enqueue(self._tick + delay, message)
             self.stats.messages_sent += 1
+
+    def _maybe_retry(self, message: Message, attempt: int) -> None:
+        """Retransmit a dropped message after capped exponential backoff."""
+        policy = self._retry
+        if policy is None:
+            return
+        if attempt >= policy.max_retries:
+            self.faults.record(
+                "retry_exhausted", self._tick,
+                sender=message.sender, receiver=message.receiver,
+            )
+            return
+        self._enqueue(self._tick + policy.delay(attempt), message, attempt + 1)
+        self.faults.record(
+            "retry", self._tick,
+            sender=message.sender, receiver=message.receiver, attempt=attempt + 1,
+        )
 
     def _run_node(self, node: Node, inbox: List[Message], phase: str) -> None:
         outbox: List[Message] = []
@@ -120,13 +164,19 @@ class AsyncNetwork:
         self._tick += 1
         self.stats.rounds = self._tick
         self.metrics.gauge("repro.runtime.in_flight").set(len(self._in_flight))
+        if self.faults is not None:
+            self._apply_fault_events()
         due: Dict[Node, List[Message]] = {}
-        remaining: List[Tuple[int, Message]] = []
-        for deliver_at, message in self._in_flight:
-            if deliver_at <= self._tick and message.receiver in self._state:
-                due.setdefault(message.receiver, []).append(message)
-            elif message.receiver in self._state:
-                remaining.append((deliver_at, message))
+        remaining: List[Tuple[int, int, Message, int]] = []
+        for deliver_at, seq, message, attempt in self._in_flight:
+            if message.receiver not in self._state:
+                continue
+            if deliver_at > self._tick:
+                remaining.append((deliver_at, seq, message, attempt))
+                continue
+            if self.faults is not None and not self._admit(message, attempt):
+                continue
+            due.setdefault(message.receiver, []).append(message)
         self._in_flight = remaining
         recipients = sorted(due, key=repr)
         self._rng.shuffle(recipients)
@@ -134,7 +184,9 @@ class AsyncNetwork:
         # algorithms that poll can progress.
         idle = [
             node for node in sorted(self.graph.nodes(), key=repr)
-            if node not in due and not self._halted[node]
+            if node not in due
+            and not self._halted[node]
+            and node not in self._crashed
         ]
         self._rng.shuffle(idle)
         for node in recipients:
@@ -143,6 +195,58 @@ class AsyncNetwork:
             self._run_node(node, [], "step")
         self.stats.messages_per_round.append(sum(len(v) for v in due.values()))
 
+    def _admit(self, message: Message, attempt: int) -> bool:
+        """Delivery-time fault checks for one due message: crashed
+        receiver, down link, and a fresh drop draw for retransmissions
+        (first transmissions drew their fate at dispatch)."""
+        faults = self.faults
+        if message.receiver in self._crashed:
+            faults.record(
+                "crash_drop", self._tick,
+                sender=message.sender, receiver=message.receiver,
+            )
+            self._maybe_retry(message, attempt)
+            return False
+        if faults.link_is_down(message.sender, message.receiver):
+            faults.record(
+                "link_drop", self._tick,
+                sender=message.sender, receiver=message.receiver,
+            )
+            self._maybe_retry(message, attempt)
+            return False
+        if attempt > 0:
+            fate = faults.message_fate(self._tick, message.sender, message.receiver)
+            if fate.drop:
+                self._maybe_retry(message, attempt)
+                return False
+            if fate.delay:
+                self._enqueue(self._tick + fate.delay, message, attempt)
+                return False
+        return True
+
+    def _apply_fault_events(self) -> None:
+        """Fire crash/restart/churn events scheduled for this tick."""
+        crashes, restarts = self.faults.begin_round(
+            self._tick,
+            nodes=sorted(self.graph.nodes(), key=repr),
+            edges=sorted(self.graph.edges(), key=repr),
+        )
+        for node, lose_state in crashes:
+            if node not in self._algorithms:
+                continue
+            self._crashed.add(node)
+            if lose_state:
+                self._state[node].clear()
+        for node, lose_state in restarts:
+            if node not in self._algorithms:
+                continue
+            self._crashed.discard(node)
+            self._halted[node] = False
+            if lose_state:
+                self._state[node].clear()
+                self._algorithms[node] = self._factory(node)
+                self._run_node(node, [], "init")
+
     def run(self, max_ticks: int = 50_000) -> RunStats:
         """Run until quiescent: everyone halted and nothing in flight."""
         with self.tracer.span(
@@ -150,17 +254,33 @@ class AsyncNetwork:
         ) as span:
             self.initialize()
             for _ in range(max_ticks):
-                if all(self._halted.values()) and not self._in_flight:
+                if self._quiescent():
                     break
                 self.step_tick()
             else:
-                if not (all(self._halted.values()) and not self._in_flight):
+                if not self._quiescent():
                     raise ConvergenceError(
                         "asynchronous execution",
                         max_ticks,
                         rounds_completed=self.stats.rounds,
                         messages_sent=self.stats.messages_sent,
+                        fault_events=(
+                            self.faults.summary() if self.faults is not None else None
+                        ),
                     )
+            self.metrics.gauge("repro.runtime.in_flight").set(len(self._in_flight))
             span.set_attribute("ticks", self.stats.rounds)
             span.set_attribute("messages_sent", self.stats.messages_sent)
         return self.stats
+
+    def _quiescent(self) -> bool:
+        if not all(
+            halted or node in self._crashed
+            for node, halted in self._halted.items()
+        ):
+            return False
+        if self._in_flight:
+            return False
+        if self.faults is not None and self.faults.pending_schedule_after(self._tick):
+            return False
+        return True

@@ -40,6 +40,7 @@ from typing import (
 )
 
 from repro.errors import ConvergenceError, NodeNotFoundError
+from repro.faults.plan import FaultPlan, FaultSession
 from repro.graphs.graph import Graph
 from repro.observability import tracing
 from repro.observability.metrics import MetricsRegistry
@@ -232,6 +233,7 @@ class Network:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[tracing.Tracer] = None,
         measure_message_sizes: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.graph = graph.copy()
         self._algorithms: Dict[Node, NodeAlgorithm] = {}
@@ -247,6 +249,14 @@ class Network:
         self._round = 0
         self._initialized = False
         self._factory = algorithm_factory
+        self.faults: Optional[FaultSession] = (
+            fault_plan.start(registry=self.metrics) if fault_plan is not None else None
+        )
+        self._retry = fault_plan.retry if fault_plan is not None else None
+        self._crashed: Set[Node] = set()
+        # Messages awaiting redelivery: (due_round, seq, message, attempt).
+        self._transit: List[Tuple[int, int, Message, int]] = []
+        self._transit_seq = 0
         for node in self.graph.nodes():
             self._install(node)
 
@@ -279,7 +289,25 @@ class Network:
         return self._round
 
     def all_halted(self) -> bool:
-        return all(self._halted.values())
+        return all(
+            halted or node in self._crashed for node, halted in self._halted.items()
+        )
+
+    def _quiescent(self) -> bool:
+        """Nothing left to do: every live node halted, no inbox or
+        in-transit message pending, no scheduled fault event ahead."""
+        if not self.all_halted():
+            return False
+        if any(
+            self._inboxes[node] for node in self._inboxes
+            if node not in self._crashed
+        ):
+            return False
+        if self._transit:
+            return False
+        if self.faults is not None and self.faults.pending_schedule_after(self._round):
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # execution
@@ -310,17 +338,91 @@ class Network:
         count = 0
         size = 0
         measure = self.measure_message_sizes
-        for message in messages:
-            if message.receiver in self._inboxes:
-                self._inboxes[message.receiver].append(message)
-                count += 1
-                if measure:
-                    size += _payload_size(message.payload)
+        if self.faults is None:
+            for message in messages:
+                if message.receiver in self._inboxes:
+                    self._inboxes[message.receiver].append(message)
+                    count += 1
+                    if measure:
+                        size += _payload_size(message.payload)
+        else:
+            count, size = self._deliver_with_faults(messages, measure)
         self.stats.messages_sent += count
         self.stats.messages_per_round.append(count)
         if measure:
             self.metrics.counter("repro.runtime.message_bytes").inc(size)
         return count
+
+    def _deliver_with_faults(
+        self, messages: Iterable[Message], measure: bool
+    ) -> Tuple[int, int]:
+        """Route fresh sends plus due retried/delayed messages through
+        the fault session; returns (delivered, payload bytes)."""
+        faults = self.faults
+        stream: List[Tuple[Message, int]] = [(m, 0) for m in messages]
+        if self._transit:
+            due = [entry for entry in self._transit if entry[0] <= self._round]
+            self._transit = [entry for entry in self._transit if entry[0] > self._round]
+            for _, _, message, attempt in sorted(due, key=lambda entry: entry[1]):
+                stream.append((message, attempt))
+        count = 0
+        size = 0
+        for message, attempt in stream:
+            if message.receiver not in self._inboxes:
+                continue
+            if message.receiver in self._crashed:
+                faults.record(
+                    "crash_drop", self._round,
+                    sender=message.sender, receiver=message.receiver,
+                )
+                self._maybe_retry(message, attempt)
+                continue
+            if faults.link_is_down(message.sender, message.receiver):
+                faults.record(
+                    "link_drop", self._round,
+                    sender=message.sender, receiver=message.receiver,
+                )
+                self._maybe_retry(message, attempt)
+                continue
+            fate = faults.message_fate(self._round, message.sender, message.receiver)
+            if fate.drop:
+                self._maybe_retry(message, attempt)
+                continue
+            if fate.delay:
+                self._defer(self._round + fate.delay, message, attempt)
+                continue
+            for _ in range(1 + fate.duplicates):
+                self._inboxes[message.receiver].append(message)
+                count += 1
+                if measure:
+                    size += _payload_size(message.payload)
+        for node in sorted(self._inboxes, key=repr):
+            inbox = self._inboxes[node]
+            permutation = faults.reorder_permutation(self._round, node, len(inbox))
+            if permutation is not None:
+                inbox[:] = [inbox[i] for i in permutation]
+        return count, size
+
+    def _defer(self, due_round: int, message: Message, attempt: int) -> None:
+        self._transit.append((due_round, self._transit_seq, message, attempt))
+        self._transit_seq += 1
+
+    def _maybe_retry(self, message: Message, attempt: int) -> None:
+        """Transport-level retransmission with capped exponential backoff."""
+        policy = self._retry
+        if policy is None:
+            return
+        if attempt >= policy.max_retries:
+            self.faults.record(
+                "retry_exhausted", self._round,
+                sender=message.sender, receiver=message.receiver,
+            )
+            return
+        self._defer(self._round + policy.delay(attempt), message, attempt + 1)
+        self.faults.record(
+            "retry", self._round,
+            sender=message.sender, receiver=message.receiver, attempt=attempt + 1,
+        )
 
     def initialize(self) -> None:
         """Run every node's :meth:`NodeAlgorithm.init` (round 0)."""
@@ -344,8 +446,12 @@ class Network:
         self.stats.rounds = self._round
         with self.tracer.span("engine.round", round=self._round) as span:
             outgoing: List[Message] = []
+            if self.faults is not None:
+                outgoing.extend(self._apply_fault_events())
             active = 0
             for node in sorted(self.graph.nodes(), key=repr):
+                if node in self._crashed:
+                    continue
                 if self._halted[node] and not self._inboxes[node]:
                     continue
                 active += 1
@@ -353,9 +459,37 @@ class Network:
             delivered = self._deliver(outgoing)
             span.set_attribute("active_nodes", active)
             span.set_attribute("messages", delivered)
+        self.metrics.gauge("repro.runtime.in_flight").set(len(self._transit))
         if self._round_hooks:
             for hook in self._round_hooks:
                 hook(self._round, delivered)
+
+    def _apply_fault_events(self) -> List[Message]:
+        """Fire this round's crash/restart/churn events; returns the
+        re-initialisation sends of nodes restarting with state loss."""
+        crashes, restarts = self.faults.begin_round(
+            self._round,
+            nodes=sorted(self.graph.nodes(), key=repr),
+            edges=sorted(self.graph.edges(), key=repr),
+        )
+        outgoing: List[Message] = []
+        for node, lose_state in crashes:
+            if node not in self._algorithms:
+                continue
+            self._crashed.add(node)
+            self._inboxes[node].clear()
+            if lose_state:
+                self._state[node].clear()
+        for node, lose_state in restarts:
+            if node not in self._algorithms:
+                continue
+            self._crashed.discard(node)
+            self._halted[node] = False
+            if lose_state:
+                self._state[node].clear()
+                self._algorithms[node] = self._factory(node)
+                outgoing.extend(self._run_node(node, "init"))
+        return outgoing
 
     def run(self, max_rounds: int = 10_000) -> RunStats:
         """Run until every node halts and no message is in flight."""
@@ -364,20 +498,21 @@ class Network:
         ) as span:
             self.initialize()
             for _ in range(max_rounds):
-                if self.all_halted() and not any(self._inboxes[n] for n in self._inboxes):
+                if self._quiescent():
                     break
                 self.step_round()
             else:
-                if not (
-                    self.all_halted()
-                    and not any(self._inboxes[n] for n in self._inboxes)
-                ):
+                if not self._quiescent():
                     raise ConvergenceError(
                         "distributed execution",
                         max_rounds,
                         rounds_completed=self.stats.rounds,
                         messages_sent=self.stats.messages_sent,
+                        fault_events=(
+                            self.faults.summary() if self.faults is not None else None
+                        ),
                     )
+            self.metrics.gauge("repro.runtime.in_flight").set(len(self._transit))
             span.set_attribute("rounds", self.stats.rounds)
             span.set_attribute("messages_sent", self.stats.messages_sent)
         return self.stats

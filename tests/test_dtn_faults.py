@@ -1,0 +1,161 @@
+"""Fault injection in the DTN simulator (repro.faults × repro.dtn).
+
+Covers the DTN-specific fault surface: per-transfer drops degrade the
+delivery ratio monotonically in the drop rate; crash/restart respects
+the ``lose_state`` buffer semantics (amnesia wipes buffered copies,
+persistence keeps them); injected per-contact delays interact with
+message TTLs exactly like genuinely late encounters; and the seeded
+ledger replays byte-identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.human_contacts import rate_model_trace
+from repro.dtn.routers import EpidemicRouter
+from repro.dtn.simulator import DTNSimulation, MessageSpec
+from repro.faults import (
+    CrashEvent,
+    FaultPlan,
+    LinkChurn,
+    LinkChurnEvent,
+    MessageFaults,
+    NodeCrashFaults,
+)
+from repro.temporal.evolving import EvolvingGraph
+
+
+def sparse_scenario(seed=8, n=16, end_time=20.0):
+    rng = np.random.default_rng(seed)
+    trace, _ = rate_model_trace(
+        n, (2, 2, 3), rng, rate0=0.08, decay=0.6, end_time=end_time
+    )
+    return trace.to_evolving(1.0), n
+
+
+def run_epidemic(eg, n, fault_plan, n_messages=12, ttl=10):
+    sim = DTNSimulation(eg, EpidemicRouter(), fault_plan=fault_plan)
+    for i in range(n_messages):
+        sim.add_message(
+            MessageSpec(f"m{i}", i % (n - 1), n - 1, created=0, ttl=ttl)
+        )
+    return sim, sim.run()
+
+
+class TestDropMonotonicity:
+    def test_delivery_ratio_falls_with_drop_rate(self):
+        eg, n = sparse_scenario()
+        ratios = []
+        for drop in (0.0, 0.5, 1.0):
+            plan = FaultPlan(1337, [MessageFaults(drop=drop)])
+            _, stats = run_epidemic(eg, n, plan)
+            ratios.append(stats.delivery_ratio)
+        assert ratios[0] >= ratios[1] >= ratios[2]
+        assert ratios[0] > 0.0  # the scenario is routable at all...
+        assert ratios[2] == 0.0  # ...and total loss delivers nothing
+
+    def test_contact_loss_degrades_like_transfer_loss(self):
+        eg, n = sparse_scenario()
+        _, clean = run_epidemic(eg, n, FaultPlan(4, [LinkChurn(down=0.0)]))
+        _, lossy = run_epidemic(eg, n, FaultPlan(4, [LinkChurn(down=0.9)]))
+        assert lossy.delivery_ratio <= clean.delivery_ratio
+
+
+class TestCrashBufferSemantics:
+    @staticmethod
+    def _two_hop_relay():
+        # 0 meets 1 early; 1 meets 2 late — 1 is the only relay.
+        eg = EvolvingGraph(horizon=12, nodes=[0, 1, 2])
+        eg.add_contact(0, 1, 1)
+        eg.add_contact(1, 2, 8)
+        return eg
+
+    def _run(self, crash):
+        eg = self._two_hop_relay()
+        plan = FaultPlan(0, [NodeCrashFaults(schedule=(crash,))])
+        sim = DTNSimulation(eg, EpidemicRouter(), fault_plan=plan)
+        sim.add_message(MessageSpec("m", 0, 2, created=0))
+        return sim, sim.run()
+
+    def test_amnesiac_crash_loses_buffered_copy(self):
+        sim, stats = self._run(
+            CrashEvent(node=1, at=3, restart_at=6, lose_state=True)
+        )
+        assert stats.delivered == 0
+        assert sim.faults.summary()["buffer_lost"] == 1
+
+    def test_persistent_crash_keeps_buffered_copy(self):
+        sim, stats = self._run(
+            CrashEvent(node=1, at=3, restart_at=6, lose_state=False)
+        )
+        assert stats.delivered == 1
+        assert "buffer_lost" not in sim.faults.summary()
+
+    def test_contact_with_down_node_is_suppressed(self):
+        # Crash spans the only 1-2 contact: delivery fails even with
+        # persistence, and the suppressed encounter is on the ledger.
+        sim, stats = self._run(
+            CrashEvent(node=1, at=7, restart_at=10, lose_state=False)
+        )
+        assert stats.delivered == 0
+        assert sim.faults.summary()["contact_crashed"] >= 1
+
+
+class TestDelayTtlInteraction:
+    @staticmethod
+    def _single_contact(ttl):
+        eg = EvolvingGraph(horizon=10, nodes=[0, 1])
+        eg.add_contact(0, 1, 4)
+        sim = DTNSimulation(
+            eg,
+            EpidemicRouter(),
+            fault_plan=FaultPlan(
+                2, [MessageFaults(delay=1.0, max_delay=3)]
+            ),
+        )
+        sim.add_message(MessageSpec("m", 0, 1, created=0, ttl=ttl))
+        return sim
+
+    def test_injected_delay_pushes_contact_past_ttl(self):
+        sim = self._single_contact(ttl=4)
+        stats = sim.run()
+        assert stats.delivered == 0
+        assert sim.faults.summary()["contact_delay"] >= 1
+
+    def test_generous_ttl_tolerates_injected_delay(self):
+        sim = self._single_contact(ttl=None)
+        stats = sim.run()
+        assert stats.delivered == 1
+
+    def test_scheduled_link_outage_blocks_the_contact(self):
+        eg = EvolvingGraph(horizon=10, nodes=[0, 1])
+        eg.add_contact(0, 1, 4)
+        churn = LinkChurn(
+            schedule=(
+                LinkChurnEvent(at=2, action="down", u=0, v=1),
+                LinkChurnEvent(at=8, action="up", u=0, v=1),
+            )
+        )
+        sim = DTNSimulation(eg, EpidemicRouter(), fault_plan=FaultPlan(0, [churn]))
+        sim.add_message(MessageSpec("m", 0, 1, created=0))
+        stats = sim.run()
+        assert stats.delivered == 0
+        assert sim.faults.summary()["contact_drop"] == 1
+
+
+class TestDTNReplay:
+    def test_same_plan_replays_byte_identical_ledger(self):
+        eg, n = sparse_scenario()
+        plan = FaultPlan(99, [MessageFaults(drop=0.3, duplicate=0.1, delay=0.2)])
+        first, _ = run_epidemic(eg, n, plan)
+        second, _ = run_epidemic(eg, n, plan)
+        assert len(first.faults.ledger) > 0
+        assert first.faults.ledger.lines() == second.faults.ledger.lines()
+        assert first.faults.ledger.digest() == second.faults.ledger.digest()
+
+    def test_different_seed_different_ledger(self):
+        eg, n = sparse_scenario()
+        chaos = MessageFaults(drop=0.3, duplicate=0.1, delay=0.2)
+        first, _ = run_epidemic(eg, n, FaultPlan(1, [chaos]))
+        second, _ = run_epidemic(eg, n, FaultPlan(2, [chaos]))
+        assert first.faults.ledger.digest() != second.faults.ledger.digest()

@@ -1,0 +1,217 @@
+"""The fault-injection chaos layer (repro.faults) on the engines.
+
+Three contracts, in order of importance:
+
+* **Replay** — a :class:`FaultPlan` is seed + injectors; the same plan
+  driven through the same workload twice produces *byte-identical*
+  fault ledgers (``ledger.digest()`` equality), and a different seed
+  produces a different sequence.
+* **Convergence under faults** — link reversal and distributed safety
+  labeling are monotone chaotic iterations, so under any seeded
+  drop/duplicate/reorder plan with retries they still reach the exact
+  fault-free fixpoint (heights *and* per-node reversal counts;
+  levels identical to the centralized oracle).
+* **Lifecycle faults** — scheduled crash/restart (with and without
+  state loss) and link churn heal through retries, and a run that
+  cannot converge surfaces its fault ledger in
+  :class:`~repro.errors.ConvergenceError`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.faults import (
+    CrashEvent,
+    FaultPlan,
+    LinkChurn,
+    LinkChurnEvent,
+    MessageFaults,
+    NodeCrashFaults,
+    RetryPolicy,
+)
+from repro.graphs.generators import path_graph
+from repro.labeling.safety import compute_safety_levels
+from repro.labeling.safety_distributed import distributed_safety_levels
+from repro.layering.link_reversal import paper_fig4_graph
+from repro.layering.link_reversal_distributed import (
+    LinkReversalAlgorithm,
+    distributed_full_reversal,
+)
+from repro.runtime.async_engine import AsyncNetwork
+from repro.runtime.engine import Network
+from tests.test_runtime import Flood, Spinner
+
+CHAOS = MessageFaults(drop=0.1, duplicate=0.05, reorder=0.2)
+RETRY = RetryPolicy(max_retries=10)
+
+
+def _reversal_network(fault_plan=None):
+    graph, destination, heights = paper_fig4_graph()
+    network = Network(
+        graph,
+        lambda node: LinkReversalAlgorithm(
+            is_destination=node == destination, height=heights[node]
+        ),
+        fault_plan=fault_plan,
+    )
+    network.run(max_rounds=50_000)
+    return network, graph
+
+
+class TestInjectorValidation:
+    def test_retry_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(max_retries=6, base_delay=1, max_delay=8)
+        assert [policy.delay(k) for k in range(6)] == [1, 2, 4, 8, 8, 8]
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            MessageFaults(drop=1.5)
+        with pytest.raises(ValueError):
+            NodeCrashFaults(rate=-0.1)
+        with pytest.raises(ValueError):
+            LinkChurn(down=2.0)
+
+    def test_crash_event_restart_must_follow_crash(self):
+        with pytest.raises(ValueError):
+            CrashEvent(node=0, at=5, restart_at=5)
+
+    def test_churn_action_validated(self):
+        with pytest.raises(ValueError):
+            LinkChurnEvent(at=1, action="sideways", u=0, v=1)
+
+    def test_plan_rejects_unknown_injectors(self):
+        with pytest.raises(TypeError):
+            FaultPlan(0, ["not-an-injector"])
+
+
+class TestReplayContract:
+    def test_same_plan_replays_byte_identical_ledger(self):
+        plan = FaultPlan(42, [CHAOS], retry=RETRY)
+        first, _ = _reversal_network(plan)
+        second, _ = _reversal_network(plan)
+        assert len(first.faults.ledger) > 0
+        assert first.faults.ledger.lines() == second.faults.ledger.lines()
+        assert first.faults.ledger.digest() == second.faults.ledger.digest()
+
+    def test_different_seed_different_sequence(self):
+        first, _ = _reversal_network(FaultPlan(1, [CHAOS], retry=RETRY))
+        second, _ = _reversal_network(FaultPlan(2, [CHAOS], retry=RETRY))
+        assert first.faults.ledger.digest() != second.faults.ledger.digest()
+
+    def test_ledger_counts_match_metrics_counters(self):
+        network, _ = _reversal_network(FaultPlan(42, [CHAOS], retry=RETRY))
+        snapshot = network.metrics.snapshot()
+        for kind, count in network.faults.summary().items():
+            assert snapshot[f"repro.faults.{kind}"] == count
+
+    def test_async_replay_is_deterministic(self):
+        def run():
+            network = AsyncNetwork(
+                path_graph(6),
+                lambda node: Flood(0),
+                rng=np.random.default_rng(7),
+                fault_plan=FaultPlan(42, [CHAOS], retry=RETRY),
+            )
+            network.run()
+            return network
+
+        first, second = run(), run()
+        assert all(first.states("informed").values())
+        assert first.faults.ledger.lines() == second.faults.ledger.lines()
+
+
+class TestConvergenceUnderFaults:
+    """Monotone protocols reach the fault-free fixpoint under chaos."""
+
+    def test_link_reversal_reaches_fault_free_fixpoint(self):
+        graph, destination, heights = paper_fig4_graph()
+        _, clean_heights, clean_reversals, _ = distributed_full_reversal(
+            graph, destination, heights
+        )
+        for seed in range(8):
+            orientation, faulty_heights, faulty_reversals, _ = (
+                distributed_full_reversal(
+                    graph,
+                    destination,
+                    heights,
+                    fault_plan=FaultPlan(seed, [CHAOS], retry=RETRY),
+                )
+            )
+            # Full reversal is schedule-independent (abelian): chaos
+            # changes the order of reversals, never the outcome.
+            assert faulty_heights == clean_heights
+            assert faulty_reversals == clean_reversals
+            assert orientation.is_destination_oriented(destination)
+
+    def test_safety_labeling_matches_centralized_oracle(self):
+        from repro.labeling.safety import paper_fig9_faults
+
+        dimension, faulty = paper_fig9_faults()
+        oracle = compute_safety_levels(dimension, faulty)
+        for seed in range(8):
+            levels, _ = distributed_safety_levels(
+                dimension,
+                faulty,
+                fault_plan=FaultPlan(seed, [CHAOS], retry=RETRY),
+            )
+            assert levels == oracle.levels
+
+    def test_flood_survives_crash_with_state_loss(self):
+        crash = NodeCrashFaults(
+            schedule=(CrashEvent(node=3, at=1, restart_at=5, lose_state=True),)
+        )
+        network = Network(
+            path_graph(5),
+            lambda node: Flood(0),
+            fault_plan=FaultPlan(11, [crash], retry=RETRY),
+        )
+        network.run()
+        assert all(network.states("informed").values())
+        summary = network.faults.summary()
+        assert summary["crash"] == 1
+        assert summary["restart"] == 1
+
+    def test_flood_heals_across_link_churn(self):
+        churn = LinkChurn(
+            schedule=(
+                LinkChurnEvent(at=1, action="down", u=1, v=2),
+                LinkChurnEvent(at=4, action="up", u=1, v=2),
+            )
+        )
+        network = Network(
+            path_graph(4),
+            lambda node: Flood(0),
+            fault_plan=FaultPlan(5, [churn], retry=RETRY),
+        )
+        network.run()
+        assert all(network.states("informed").values())
+        summary = network.faults.summary()
+        assert summary["link_down"] == 1
+        assert summary["link_up"] == 1
+        assert summary.get("link_drop", 0) >= 1  # the cut actually bit
+        assert summary.get("retry", 0) >= 1  # ...and retries healed it
+
+    def test_convergence_error_carries_fault_ledger(self):
+        network = Network(
+            path_graph(3),
+            lambda node: Spinner(),
+            fault_plan=FaultPlan(3, [MessageFaults(drop=0.3)], retry=RETRY),
+        )
+        with pytest.raises(ConvergenceError) as excinfo:
+            network.run(max_rounds=10)
+        assert excinfo.value.fault_events
+        assert excinfo.value.fault_events.get("drop", 0) >= 1
+        assert "fault events" in str(excinfo.value)
+
+    def test_retry_exhaustion_is_recorded(self):
+        # drop everything, allow one retry: the token can never cross.
+        plan = FaultPlan(
+            9,
+            [MessageFaults(drop=1.0)],
+            retry=RetryPolicy(max_retries=1),
+        )
+        network = Network(path_graph(2), lambda node: Flood(0), fault_plan=plan)
+        network.run()
+        assert network.states("informed")[1] is False
+        assert network.faults.summary()["retry_exhausted"] >= 1

@@ -214,3 +214,67 @@ class TestSectionI:
             hops.append(route.hops)
         # Short paths: well under the lattice diameter (38).
         assert sum(hops) / len(hops) < 19
+
+
+class TestClaimsUnderFaults:
+    """The narrated claims survive a mildly chaotic environment.
+
+    The paper's setting is "socially-rich and dynamic" — links flap and
+    messages go missing.  With the seeded chaos layer (repro.faults)
+    plus retries, the figure claims still hold: flooding still informs
+    everyone, and full reversal's per-node work is untouched by
+    duplicated announcements (heights only rise, so beliefs max-merge).
+    """
+
+    def test_flooding_informs_everyone_despite_drops(self):
+        from repro.faults import FaultPlan, MessageFaults, RetryPolicy
+        from repro.graphs.generators import grid_2d
+        from repro.runtime.engine import Network
+        from tests.test_runtime import Flood
+
+        plan = FaultPlan(
+            21,
+            [MessageFaults(drop=0.1, duplicate=0.05)],
+            retry=RetryPolicy(),
+        )
+        network = Network(grid_2d(4, 4), lambda n: Flood((0, 0)), fault_plan=plan)
+        network.run()
+        assert all(network.states("informed").values())
+        assert network.faults.summary().get("drop", 0) >= 1
+
+    def test_fig4_reversal_counts_immune_to_duplication(self):
+        from repro.faults import FaultPlan, MessageFaults
+        from repro.layering.link_reversal_distributed import (
+            distributed_full_reversal,
+        )
+
+        graph, destination, heights = paper_fig4_graph()
+        _, _, clean, _ = distributed_full_reversal(graph, destination, heights)
+        assert clean["A"] >= 2  # the narrated multi-round involvement
+        for seed in range(5):
+            plan = FaultPlan(seed, [MessageFaults(duplicate=0.3)])
+            _, _, noisy, _ = distributed_full_reversal(
+                graph, destination, heights, fault_plan=plan
+            )
+            assert noisy == clean
+
+    def test_quadratic_worst_case_immune_to_duplication(self):
+        from repro.faults import FaultPlan, MessageFaults
+        from repro.graphs.generators import path_graph
+        from repro.layering.link_reversal_distributed import (
+            distributed_full_reversal,
+        )
+
+        n = 8
+        graph = path_graph(n)
+        heights = {i: (i + 1, i) for i in range(n)}
+        heights[n - 1] = (0, 0)
+        k = n - 2
+        for seed in range(3):
+            plan = FaultPlan(seed, [MessageFaults(duplicate=0.3)])
+            _, _, reversals, _ = distributed_full_reversal(
+                graph, n - 1, heights, fault_plan=plan
+            )
+            # The O(n²) bound is exact on the anti-oriented path and
+            # duplication cannot inflate it.
+            assert sum(reversals.values()) == k * (k + 1) // 2

@@ -172,3 +172,43 @@ class TestViews:
         oracle = MultiViewOracle(k=1, window=2)
         with pytest.raises(NodeNotFoundError):
             oracle.conservative_view("ghost")
+
+
+class TestEngineParity:
+    """The sync and async engines are interchangeable observably."""
+
+    def test_runstats_metric_keys_identical_across_engines(self):
+        import numpy as np
+
+        from repro.runtime.async_engine import AsyncNetwork
+
+        sync = Network(path_graph(4), lambda n: Flood(0))
+        sync.run()
+        async_net = AsyncNetwork(
+            path_graph(4), lambda n: Flood(0), rng=np.random.default_rng(0)
+        )
+        async_net.run()
+        # Same RunStats accounting surface: dashboards and differential
+        # tests can swap engines without key remapping.
+        assert set(sync.metrics.snapshot()) == set(async_net.metrics.snapshot())
+        assert sync.states("informed") == async_net.states("informed")
+
+    def test_runstats_keys_identical_under_fault_plans(self):
+        import numpy as np
+
+        from repro.faults import FaultPlan, MessageFaults, RetryPolicy
+        from repro.runtime.async_engine import AsyncNetwork
+
+        plan = FaultPlan(6, [MessageFaults(drop=0.1)], retry=RetryPolicy())
+        sync = Network(path_graph(4), lambda n: Flood(0), fault_plan=plan)
+        sync.run()
+        async_net = AsyncNetwork(
+            path_graph(4),
+            lambda n: Flood(0),
+            rng=np.random.default_rng(0),
+            fault_plan=plan,
+        )
+        async_net.run()
+        sync_keys = {k for k in sync.metrics.snapshot() if not k.startswith("repro.faults.")}
+        async_keys = {k for k in async_net.metrics.snapshot() if not k.startswith("repro.faults.")}
+        assert sync_keys == async_keys
