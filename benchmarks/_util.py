@@ -23,12 +23,67 @@ import os
 import statistics
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
 from repro.observability import BENCH_SCHEMA, BenchReport, get_registry, write_atomic
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 TOP_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+
+def bench_jobs(
+    argv: Optional[Sequence[str]] = None, default: Optional[int] = None
+) -> Optional[int]:
+    """Worker count for :func:`run_sweep`: ``--jobs N`` or env.
+
+    Precedence: an explicit ``--jobs N`` in ``argv``, then the
+    ``REPRO_BENCH_JOBS`` environment variable, then ``default``.
+    ``None``/``1`` mean serial.
+    """
+    if argv is not None:
+        args = list(argv)
+        for i, arg in enumerate(args):
+            if arg == "--jobs" and i + 1 < len(args):
+                return int(args[i + 1])
+            if arg.startswith("--jobs="):
+                return int(arg.split("=", 1)[1])
+    env = os.environ.get("REPRO_BENCH_JOBS")
+    if env:
+        return int(env)
+    return default
+
+
+def run_sweep(
+    items: Iterable[_Item],
+    fn: Callable[[_Item], _Result],
+    jobs: Optional[int] = None,
+) -> List[_Result]:
+    """Map ``fn`` over independent sweep points, optionally in parallel.
+
+    With ``jobs`` in (None, 0, 1) the sweep runs serially in-process.
+    Otherwise the points are fanned out over a fork-context
+    ``ProcessPoolExecutor`` with ``jobs`` workers; ``executor.map``
+    preserves submission order, so the returned rows are in the same
+    deterministic order either way.  ``fn`` must be a module-level
+    callable (picklable) for the parallel path.
+
+    Parallel runs share the machine's cores, so use ``jobs > 1`` for
+    throughput sweeps (e.g. per-TTL DTN simulations), not for
+    wall-clock timing measurements.
+    """
+    item_list = list(items)
+    if not jobs or jobs <= 1 or len(item_list) <= 1:
+        return [fn(item) for item in item_list]
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    context = multiprocessing.get_context("fork")
+    workers = min(jobs, len(item_list))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        return list(pool.map(fn, item_list))
 
 
 @dataclass(frozen=True)

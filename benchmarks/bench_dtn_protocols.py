@@ -12,7 +12,7 @@ hops), placing the paper's two routers — the forwarding-set router of
 import numpy as np
 import pytest
 
-from _util import emit_table
+from _util import bench_jobs, emit_table, run_sweep
 from repro.datasets.human_contacts import rate_model_trace
 from repro.dtn.routers import (
     DirectDelivery,
@@ -129,27 +129,32 @@ def test_dtn_buffer_pressure(once):
     assert ratios[0] >= ratios[-1]
 
 
+def _ttl_point(ttl):
+    """One independent sweep point: delivery ratios at one TTL.
+
+    Module-level (picklable) so :func:`_util.run_sweep` can fan points
+    out over worker processes; the deterministic scenario seed makes
+    each worker rebuild the identical trace.
+    """
+    eg, profiles, rates = scenario(seed=10)
+    destination = 35
+    space = FeatureSpace(profiles, RADICES)
+    results = run_protocol_comparison(
+        eg,
+        [DirectDelivery(), FeatureGreedyRouter(space), EpidemicRouter()],
+        [MessageSpec(f"m{i}", i, destination, ttl=ttl) for i in range(16)],
+    )
+    return (
+        ttl,
+        f"{results['direct'].delivery_ratio:.2f}",
+        f"{results['fspace-greedy'].delivery_ratio:.2f}",
+        f"{results['epidemic'].delivery_ratio:.2f}",
+    )
+
+
 def test_dtn_ttl_sweep(once):
     def experiment():
-        eg, profiles, rates = scenario(seed=10)
-        destination = 35
-        space = FeatureSpace(profiles, RADICES)
-        rows = []
-        for ttl in (5, 15, 40, 120):
-            results = run_protocol_comparison(
-                eg,
-                [DirectDelivery(), FeatureGreedyRouter(space), EpidemicRouter()],
-                [MessageSpec(f"m{i}", i, destination, ttl=ttl) for i in range(16)],
-            )
-            rows.append(
-                (
-                    ttl,
-                    f"{results['direct'].delivery_ratio:.2f}",
-                    f"{results['fspace-greedy'].delivery_ratio:.2f}",
-                    f"{results['epidemic'].delivery_ratio:.2f}",
-                )
-            )
-        return rows
+        return run_sweep((5, 15, 40, 120), _ttl_point, jobs=bench_jobs())
 
     rows = once(experiment)
     emit_table(

@@ -233,6 +233,26 @@ def smoke_dtn() -> Dict[str, Any]:
     }
 
 
+@smoke("perf-temporal")
+def smoke_perf_temporal() -> Dict[str, Any]:
+    import bench_perf_temporal
+
+    rows, _ = bench_perf_temporal._measure_size(((30, 40, 400, 6), 1))
+    return {
+        "title": "frozen temporal kernels vs reference (smoke)",
+        "header": [
+            "n", "horizon", "contacts", "kernel",
+            "ref median s", "frozen median s", "speedup",
+        ],
+        "rows": rows,
+        "notes": (
+            "Toy instance of benchmarks/bench_perf_temporal.py; exact "
+            "output equality (parents, DTN stats) asserted inside the "
+            "measurement, no speedup floor at this scale."
+        ),
+    }
+
+
 @smoke("faults")
 def smoke_faults() -> Dict[str, Any]:
     import bench_faults

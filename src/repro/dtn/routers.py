@@ -36,6 +36,10 @@ class DirectDelivery(Router):
     """Carry until meeting the destination (handled by the simulator)."""
 
     name = "direct"
+    # Opt-in to the simulator's bitset fast path (not inherited: the
+    # simulator checks the class __dict__, so subclasses that change
+    # the policy fall back to the general loop).
+    fast_path_mode = "direct"
 
     def decide(self, message: MessageState, holder: Node, peer: Node, time: int) -> Decision:
         return Decision.CARRY
@@ -45,6 +49,7 @@ class EpidemicRouter(Router):
     """Replicate to every encountered node."""
 
     name = "epidemic"
+    fast_path_mode = "epidemic"
 
     def decide(self, message: MessageState, holder: Node, peer: Node, time: int) -> Decision:
         return Decision.REPLICATE

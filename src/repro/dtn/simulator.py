@@ -35,6 +35,7 @@ from repro.faults.plan import FaultPlan, FaultSession
 from repro.observability import tracing
 from repro.observability.metrics import MetricsRegistry
 from repro.temporal.evolving import EvolvingGraph
+from repro.temporal.frozen import FROZEN_MIN_CONTACTS
 
 Node = Hashable
 
@@ -86,6 +87,13 @@ class Router:
     annotations, e.g. copy budgets) and :meth:`on_contact` (maintain
     protocol state such as PRoPHET predictabilities — called for every
     contact whether or not messages move).
+
+    A router class whose policy is pure (no per-encounter state, no
+    annotations) may declare ``fast_path_mode = "epidemic"`` or
+    ``"direct"`` *in its own class body* to opt into the simulator's
+    bitset fast path; subclasses do not inherit the opt-in (the
+    simulator checks the class ``__dict__``), so overriding ``decide``
+    in a subclass safely falls back to the general loop.
     """
 
     name = "base"
@@ -160,12 +168,17 @@ class DTNSimulation:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[tracing.Tracer] = None,
         fault_plan: Optional[FaultPlan] = None,
+        fast_path: Optional[bool] = None,
     ) -> None:
         if buffer_size is not None and buffer_size < 1:
             raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
         self.eg = eg
         self.router = router
         self.buffer_size = buffer_size
+        # None = auto (use the bitset fast path when eligible and the
+        # trace is large enough); False = always the general loop;
+        # True = require the fast path (raises when ineligible).
+        self.fast_path = fast_path
         self.messages: Dict[str, MessageState] = {}
         # Per-node FIFO buffers: message identifiers in arrival order.
         self._buffers: Dict[Node, List[str]] = {node: [] for node in eg.nodes()}
@@ -235,49 +248,204 @@ class DTNSimulation:
         expiry checks — to a later trace time), and individual
         transfers may be dropped or duplicated; see
         :mod:`repro.faults`.
+
+        Fault-free, unbounded-buffer runs under a fast-path-capable
+        router (epidemic / direct delivery) take a bitset infection
+        front over the frozen contact index instead of the general
+        per-message loop; outcomes are identical (see
+        ``tests/test_frozen_temporal.py``).
         """
         with self.tracer.span(
             "dtn.run", router=self.router.name, messages=len(self.messages)
         ) as span:
-            contacts = 0
-            # (effective_time, seq, u, v, fated): a delayed contact
-            # re-enters the heap with a later effective time, a fresh
-            # sequence number (deterministic order), and fated=True so
-            # its drop/delay fate is drawn exactly once — only the
-            # crashed-endpoint check repeats at the shifted time.
-            heap: List[Tuple[int, int, Node, Node, bool]] = [
-                (time, index, u, v, False)
-                for index, (time, u, v) in enumerate(self.eg.all_contacts())
-            ]
-            heapq.heapify(heap)
-            seq = len(heap)
-            while heap:
-                time, _, u, v, fated = heapq.heappop(heap)
-                contacts += 1
-                if self.faults is not None:
-                    self._advance_faults(time)
-                    if u in self._down_nodes or v in self._down_nodes:
-                        self.faults.record(
-                            "contact_crashed", time,
-                            link=tuple(sorted((u, v), key=repr)),
-                        )
-                        continue
-                    if not fated:
-                        drop, delay = self.faults.contact_fate(time, u, v)
-                        if drop:
-                            continue
-                        if delay:
-                            heapq.heappush(heap, (time + delay, seq, u, v, True))
-                            seq += 1
-                            continue
-                if self.tracer.enabled:
-                    self.tracer.event("dtn.contact", u=u, v=v, t=time)
-                self.router.on_contact(u, v, time)
-                self._exchange(u, v, time)
-                self._exchange(v, u, time)
+            if self._use_fast_path():
+                contacts = self._run_fast()
+            else:
+                contacts = self._run_general()
             self._contacts.inc(contacts)
             span.set_attribute("contacts", contacts)
         return self.stats()
+
+    def _fast_path_eligible(self) -> bool:
+        """The bitset front only models fault-free, unbounded,
+        untraced runs of routers whose policy it reproduces exactly."""
+        return (
+            self.faults is None
+            and self.buffer_size is None
+            and not self.tracer.enabled
+            and type(self.router).__dict__.get("fast_path_mode")
+            in ("epidemic", "direct")
+        )
+
+    def _use_fast_path(self) -> bool:
+        if self.fast_path is False:
+            return False
+        eligible = self._fast_path_eligible()
+        if self.fast_path is True:
+            if not eligible:
+                raise ValueError(
+                    "fast_path=True requires a fault-free, unbounded-buffer, "
+                    "untraced run under an epidemic or direct-delivery router"
+                )
+            return True
+        return eligible and self.eg.num_contacts >= FROZEN_MIN_CONTACTS
+
+    def _run_general(self) -> int:
+        """The general per-message loop; returns contacts processed."""
+        contacts = 0
+        # (effective_time, seq, u, v, fated): a delayed contact
+        # re-enters the heap with a later effective time, a fresh
+        # sequence number (deterministic order), and fated=True so
+        # its drop/delay fate is drawn exactly once — only the
+        # crashed-endpoint check repeats at the shifted time.
+        heap: List[Tuple[int, int, Node, Node, bool]] = [
+            (time, index, u, v, False)
+            for index, (time, u, v) in enumerate(self.eg.all_contacts())
+        ]
+        heapq.heapify(heap)
+        seq = len(heap)
+        while heap:
+            time, _, u, v, fated = heapq.heappop(heap)
+            contacts += 1
+            if self.faults is not None:
+                self._advance_faults(time)
+                if u in self._down_nodes or v in self._down_nodes:
+                    self.faults.record(
+                        "contact_crashed", time,
+                        link=tuple(sorted((u, v), key=repr)),
+                    )
+                    continue
+                if not fated:
+                    drop, delay = self.faults.contact_fate(time, u, v)
+                    if drop:
+                        continue
+                    if delay:
+                        heapq.heappush(heap, (time + delay, seq, u, v, True))
+                        seq += 1
+                        continue
+            if self.tracer.enabled:
+                self.tracer.event("dtn.contact", u=u, v=v, t=time)
+            self.router.on_contact(u, v, time)
+            self._exchange(u, v, time)
+            self._exchange(v, u, time)
+        return contacts
+
+    def _run_fast(self) -> int:
+        """Bitset infection front: one bit per message, bigint per node.
+
+        Contacts are replayed in the exact ``all_contacts`` order (the
+        heap order of the general loop when fault-free), each direction
+        offered in turn, with a message's activity window
+        ``created <= t <= created + ttl`` maintained incrementally.
+        Per-message outcomes (holders, delivery time, copies, hops) and
+        the run's counters match the general loop exactly; only
+        within-one-contact ordering of latency observations and buffer
+        appends (unobservable in stats) may differ.
+        """
+        fc = self.eg.frozen()
+        states = list(self.messages.values())  # creation order
+        m_count = len(states)
+        node_list = fc.node_list
+        identifiers = [state.spec.identifier for state in states]
+        epidemic = (
+            type(self.router).__dict__.get("fast_path_mode") == "epidemic"
+        )
+
+        created = [state.spec.created for state in states]
+        expiry = [
+            state.spec.created + state.spec.ttl
+            if state.spec.ttl is not None
+            else None
+            for state in states
+        ]
+        dest_bits = [0] * fc.n
+        holders = [0] * fc.n
+        not_delivered = 0
+        for m, state in enumerate(states):
+            bit = 1 << m
+            dest_bits[fc.index_of(state.spec.destination)] |= bit
+            for node in state.holders:
+                holders[fc.index_of(node)] |= bit
+            if not state.delivered:
+                not_delivered |= bit
+
+        starts = sorted(range(m_count), key=lambda m: created[m])
+        ends = sorted(
+            (m for m in range(m_count) if expiry[m] is not None),
+            key=lambda m: expiry[m],
+        )
+        si = ei = 0
+        active = 0
+        replications = 0
+        delivery_order: List[MessageState] = []
+        touched: Set[int] = set()
+        prev_time: Optional[int] = None
+
+        def settle(offer: int, holder_idx: int, peer_idx: int, time: int) -> None:
+            nonlocal not_delivered, live, replications
+            deliver = offer & dest_bits[peer_idx]
+            if deliver:
+                not_delivered &= ~deliver
+                live &= ~deliver
+                while deliver:
+                    low = deliver & -deliver
+                    deliver ^= low
+                    state = states[low.bit_length() - 1]
+                    state.delivered_at = time
+                    delivery_order.append(state)
+            if epidemic:
+                new = holders[holder_idx] & live & ~holders[peer_idx]
+                if new:
+                    holders[peer_idx] |= new
+                    replications += new.bit_count()
+                    touched.add(peer_idx)
+                    buffer = self._buffers[node_list[peer_idx]]
+                    while new:
+                        low = new & -new
+                        new ^= low
+                        buffer.append(identifiers[low.bit_length() - 1])
+
+        for time, u, v in zip(
+            fc.times.tolist(), fc.ua.tolist(), fc.va.tolist()
+        ):
+            if time != prev_time:
+                while si < m_count and created[starts[si]] <= time:
+                    active |= 1 << starts[si]
+                    si += 1
+                while ei < len(ends) and expiry[ends[ei]] < time:
+                    active &= ~(1 << ends[ei])
+                    ei += 1
+                prev_time = time
+            live = active & not_delivered
+            if not live:
+                continue
+            offer = holders[u] & live
+            if offer:
+                settle(offer, u, v, time)
+            offer = holders[v] & live
+            if offer:
+                settle(offer, v, u, time)
+
+        # Reconstruct per-message outcomes from the final front.
+        for idx in range(fc.n):
+            bits = holders[idx]
+            node = node_list[idx]
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                states[low.bit_length() - 1].holders.add(node)
+        for state in states:
+            spread = len(state.holders) - 1
+            state.copies_made = spread if epidemic else 0
+            state.hops = state.copies_made
+        for state in delivery_order:
+            state.hops += 1
+            self._record_delivery(state)
+        if replications:
+            self._replications.inc(replications)
+        for idx in touched:
+            self._buffer_gauge(node_list[idx])
+        return fc.num_contacts
 
     def _advance_faults(self, now: int) -> None:
         """Apply crash/restart/churn schedule entries due by ``now``."""

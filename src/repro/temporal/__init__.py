@@ -16,8 +16,10 @@ from repro.temporal.connectivity import (
     is_time_i_connected,
     reachable_set,
     snapshot_connected_pairs,
+    temporal_eccentricities,
     temporal_eccentricity,
 )
+from repro.temporal.frozen import FROZEN_MIN_CONTACTS, FrozenContacts
 from repro.temporal.contacts import (
     ContactRecord,
     ContactTrace,
@@ -62,8 +64,10 @@ from repro.temporal.journeys import (
 )
 
 __all__ = [
+    "FROZEN_MIN_CONTACTS",
     "ContactRecord",
     "ContactTrace",
+    "FrozenContacts",
     "EdgeMarkovianProcess",
     "EvolvingGraph",
     "ExponentialFit",
@@ -101,5 +105,6 @@ __all__ = [
     "temporal_correlation_coefficient",
     "temporal_distance",
     "temporal_small_world_report",
+    "temporal_eccentricities",
     "temporal_eccentricity",
 ]

@@ -17,7 +17,8 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.errors import NodeNotFoundError
 from repro.temporal.evolving import EvolvingGraph
-from repro.temporal.journeys import earliest_arrival
+from repro.temporal.frozen import FROZEN_MIN_CONTACTS
+from repro.temporal.journeys import earliest_arrival, earliest_arrival_reference
 
 Node = Hashable
 
@@ -54,11 +55,20 @@ def is_time_i_connected(eg: EvolvingGraph, start: int) -> bool:
 
     This is the property the Sec. III-A trimming rule preserves: "if the
     network is time-i-connected, it remains connected after using the
-    trimming rule".
+    trimming rule".  Above the frozen threshold every source floods in
+    one bit-parallel batched scan instead of one scan per source.
     """
+    if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        _, reached = eg.frozen().flooding_stats(start)
+        return bool((reached == eg.num_nodes).all())
+    return is_time_i_connected_reference(eg, start)
+
+
+def is_time_i_connected_reference(eg: EvolvingGraph, start: int) -> bool:
+    """One reference arrival scan per source: the ground truth."""
     nodes = list(eg.nodes())
     for source in nodes:
-        if len(earliest_arrival(eg, source, start)) != len(nodes):
+        if len(earliest_arrival_reference(eg, source, start)) != len(nodes):
             return False
     return True
 
@@ -97,7 +107,8 @@ def flooding_time(eg: EvolvingGraph, source: Node, start: int = 0) -> Optional[i
 
     Returns ``latest earliest-arrival - start`` when all nodes are
     reached, else ``None``.  This is the per-source component of the
-    dynamic diameter.
+    dynamic diameter.  (``earliest_arrival`` routes through the frozen
+    single-scan kernel above the threshold.)
     """
     arrival = earliest_arrival(eg, source, start)
     if len(arrival) != eg.num_nodes:
@@ -106,15 +117,61 @@ def flooding_time(eg: EvolvingGraph, source: Node, start: int = 0) -> Optional[i
     return latest - start
 
 
+def flooding_time_reference(
+    eg: EvolvingGraph, source: Node, start: int = 0
+) -> Optional[int]:
+    """Flooding time over the reference arrival scan: ground truth."""
+    arrival = earliest_arrival_reference(eg, source, start)
+    if len(arrival) != eg.num_nodes:
+        return None
+    latest = max(arrival.values())
+    return latest - start
+
+
+def temporal_eccentricities(
+    eg: EvolvingGraph, start: int = 0
+) -> Dict[Node, Optional[int]]:
+    """Temporal eccentricity (flooding time) of *every* node at once.
+
+    One bit-parallel batched scan of the contact index covers all
+    sources together above the frozen threshold — the multi-source
+    kernel behind :func:`dynamic_diameter` — instead of one full
+    per-source scan each.  ``None`` where a flood never completes.
+    """
+    if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        fc = eg.frozen()
+        latest, reached = fc.flooding_stats(start)
+        n = eg.num_nodes
+        return {
+            node: int(latest[i]) - start if int(reached[i]) == n else None
+            for i, node in enumerate(fc.node_list)
+        }
+    return {
+        node: flooding_time_reference(eg, node, start) for node in eg.nodes()
+    }
+
+
 def dynamic_diameter(eg: EvolvingGraph, start: int = 0) -> Optional[int]:
     """The dynamic diameter: worst-case flooding time over all sources.
 
     The paper: "diameter [extends] to dynamic diameter (which is
     flooding time)".  ``None`` when some flood never completes.
     """
+    if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        worst = 0
+        for time in temporal_eccentricities(eg, start).values():
+            if time is None:
+                return None
+            worst = max(worst, time)
+        return worst
+    return dynamic_diameter_reference(eg, start)
+
+
+def dynamic_diameter_reference(eg: EvolvingGraph, start: int = 0) -> Optional[int]:
+    """One reference flood per source: the ground truth."""
     worst = 0
     for source in eg.nodes():
-        time = flooding_time(eg, source, start)
+        time = flooding_time_reference(eg, source, start)
         if time is None:
             return None
         worst = max(worst, time)

@@ -18,6 +18,7 @@ the application (bandwidth, delay, reliability).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import (
     Dict,
     FrozenSet,
@@ -57,6 +58,14 @@ class EvolvingGraph:
         self._adj: Dict[Node, Set[Node]] = {}
         self._labels: Dict[EdgeKey, Set[int]] = {}
         self._weights: Dict[Tuple[EdgeKey, int], float] = {}
+        # Mutation generation: bumped by any contact/node/weight change;
+        # keys the frozen snapshot and the sorted-contact caches below
+        # (same invalidation scheme as Graph._generation).
+        self._generation = 0
+        self._frozen = None
+        self._contacts_cache: Dict[Node, Tuple[List[int], List[Tuple[int, Node]]]] = {}
+        self._contacts_cache_generation = -1
+        self._all_contacts_cache: Optional[List[Tuple[int, Node, Node]]] = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -68,6 +77,7 @@ class EvolvingGraph:
         if node not in self._nodes:
             self._nodes.add(node)
             self._adj[node] = set()
+            self._generation += 1
 
     def add_contact(self, u: Node, v: Node, time: int, weight: Optional[float] = None) -> None:
         """Declare that edge (u, v) exists during time unit ``time``."""
@@ -82,6 +92,30 @@ class EvolvingGraph:
         self._labels.setdefault(key, set()).add(time)
         if weight is not None:
             self._weights[(key, time)] = float(weight)
+        self._generation += 1
+
+    def _bulk_add_contacts(self, items: Iterable[Tuple[Node, Node, int]]) -> None:
+        """Insert many (u, v, time) contacts with per-call checks hoisted.
+
+        Used by the trace-discretisation fast path
+        (:meth:`repro.temporal.contacts.ContactTrace.to_evolving`):
+        times must already be validated against the horizon, and nodes
+        must already exist.  Produces exactly the state a loop of
+        :meth:`add_contact` calls would (label sets and first-touch
+        edge-key order included) at a fraction of the interpreter cost.
+        """
+        adj = self._adj
+        labels = self._labels
+        for u, v, time in items:
+            adj[u].add(v)
+            adj[v].add(u)
+            key = _edge_key(u, v)
+            times = labels.get(key)
+            if times is None:
+                labels[key] = {time}
+            else:
+                times.add(time)
+        self._generation += 1
 
     def add_periodic_contact(
         self, u: Node, v: Node, phase: int, period: int, weight: Optional[float] = None
@@ -109,6 +143,7 @@ class EvolvingGraph:
             del self._labels[key]
             self._adj[u].discard(v)
             self._adj[v].discard(u)
+        self._generation += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove a node and all its contacts (used by trimming)."""
@@ -122,6 +157,7 @@ class EvolvingGraph:
             self._adj[neighbor].discard(node)
         del self._adj[node]
         self._nodes.discard(node)
+        self._generation += 1
 
     def _check_time(self, time: int) -> None:
         if not 0 <= time < self.horizon:
@@ -194,30 +230,70 @@ class EvolvingGraph:
             if time in self._labels[_edge_key(node, other)]
         }
 
+    def _contact_caches(self) -> Dict[Node, Tuple[List[int], List[Tuple[int, Node]]]]:
+        """The per-node sorted-contact cache, generation-invalidated."""
+        if self._contacts_cache_generation != self._generation:
+            self._contacts_cache = {}
+            self._all_contacts_cache = None
+            self._contacts_cache_generation = self._generation
+        return self._contacts_cache
+
     def contacts_from(self, node: Node, not_before: int = 0) -> List[Tuple[int, Node]]:
-        """(time, neighbor) pairs with time >= not_before, sorted by time."""
+        """(time, neighbor) pairs with time >= not_before, sorted by time.
+
+        The sorted list is cached per node (invalidated by the mutation
+        generation counter), so repeated queries bisect instead of
+        re-scanning and re-sorting the label sets.
+        """
         if node not in self._nodes:
             raise NodeNotFoundError(node)
-        result: List[Tuple[int, Node]] = []
-        for other in self._adj[node]:
-            for time in self._labels[_edge_key(node, other)]:
-                if time >= not_before:
-                    result.append((time, other))
-        result.sort(key=lambda pair: (pair[0], repr(pair[1])))
-        return result
+        cache = self._contact_caches()
+        cached = cache.get(node)
+        if cached is None:
+            pairs: List[Tuple[int, Node]] = []
+            for other in self._adj[node]:
+                for time in self._labels[_edge_key(node, other)]:
+                    pairs.append((time, other))
+            pairs.sort(key=lambda pair: (pair[0], repr(pair[1])))
+            cached = ([pair[0] for pair in pairs], pairs)
+            cache[node] = cached
+        times, pairs = cached
+        if not_before <= 0:
+            return list(pairs)
+        return pairs[bisect_left(times, not_before):]
 
     def all_contacts(self) -> List[Tuple[int, Node, Node]]:
-        """Every (time, u, v) contact, sorted by time."""
-        result: List[Tuple[int, Node, Node]] = []
-        for (u, v), times in self._labels.items():
-            for time in times:
-                result.append((time, u, v))
-        result.sort(key=lambda c: (c[0], repr(c[1]), repr(c[2])))
-        return result
+        """Every (time, u, v) contact, sorted by time (cached)."""
+        self._contact_caches()
+        if self._all_contacts_cache is None:
+            result: List[Tuple[int, Node, Node]] = []
+            for (u, v), times in self._labels.items():
+                for time in times:
+                    result.append((time, u, v))
+            result.sort(key=lambda c: (c[0], repr(c[1]), repr(c[2])))
+            self._all_contacts_cache = result
+        return list(self._all_contacts_cache)
 
     # ------------------------------------------------------------------
     # views and conversions
     # ------------------------------------------------------------------
+    def frozen(self) -> "FrozenContacts":
+        """A cached time-sorted contact index for the vectorized kernels.
+
+        Mirrors ``Graph.frozen()``: the snapshot is rebuilt lazily
+        whenever contacts, nodes, or weights have mutated since the
+        last call (tracked by the generation counter); repeated
+        temporal sweeps over an unchanged graph pay the O(C log C)
+        sort cost once.  See :mod:`repro.temporal.frozen`.
+        """
+        from repro.temporal.frozen import FrozenContacts
+
+        cached = self._frozen
+        if cached is None or cached.generation != self._generation:
+            cached = FrozenContacts(self)
+            self._frozen = cached
+        return cached
+
     def snapshot(self, time: int) -> Graph:
         """G_i: the spanning subgraph during time unit ``time``."""
         self._check_time(time)

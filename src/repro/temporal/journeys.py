@@ -22,6 +22,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import NodeNotFoundError
 from repro.temporal.evolving import EvolvingGraph
+from repro.temporal.frozen import FROZEN_MIN_CONTACTS
 
 Node = Hashable
 Hop = Tuple[Node, Node, int]  # (from, to, contact time)
@@ -103,10 +104,26 @@ def foremost_tree(
     """Parent hops of an earliest-arrival (foremost) tree from ``source``.
 
     Maps each reachable node to the hop that first delivered to it
-    (``None`` for the source).  Labels along a journey are
-    *non-decreasing*, so several hops may share one time unit
-    (transmission is instantaneous); each time unit is therefore
-    processed as a BFS over that unit's contacts from all
+    (``None`` for the source).  Routes through the frozen contact index
+    above :data:`~repro.temporal.frozen.FROZEN_MIN_CONTACTS` contacts
+    (parent tie-breaks reproduced exactly); the reference below is the
+    ground truth and the small-graph path.
+    """
+    if not eg.has_node(source):
+        raise NodeNotFoundError(source)
+    if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        return eg.frozen().foremost_tree(source, start)
+    return foremost_tree_reference(eg, source, start)
+
+
+def foremost_tree_reference(
+    eg: EvolvingGraph, source: Node, start: int = 0
+) -> Dict[Node, Optional[Hop]]:
+    """The per-time-unit BFS foremost tree: ground truth for the kernel.
+
+    Labels along a journey are *non-decreasing*, so several hops may
+    share one time unit (transmission is instantaneous); each time unit
+    is therefore processed as a BFS over that unit's contacts from all
     already-informed nodes.
     """
     if not eg.has_node(source):
@@ -143,9 +160,22 @@ def earliest_arrival(
     ``arrival[source] = start``; a contact (u, v, t) with t >= arrival[u]
     delivers to v at time t, and the message may traverse several
     contacts within the same time unit (non-decreasing labels).
-    Unreachable nodes are absent from the result.
+    Unreachable nodes are absent from the result.  Arrival times (unlike
+    tree parents) are canonical, so the frozen path uses the cheaper
+    parent-free single-scan kernel.
     """
-    parent = foremost_tree(eg, source, start)
+    if not eg.has_node(source):
+        raise NodeNotFoundError(source)
+    if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        return eg.frozen().earliest_arrival(source, start)
+    return earliest_arrival_reference(eg, source, start)
+
+
+def earliest_arrival_reference(
+    eg: EvolvingGraph, source: Node, start: int = 0
+) -> Dict[Node, int]:
+    """Arrival times read off the reference foremost tree."""
+    parent = foremost_tree_reference(eg, source, start)
     arrival: Dict[Node, int] = {}
     for node, hop in parent.items():
         arrival[node] = start if hop is None else hop[2]
@@ -271,6 +301,19 @@ def latest_departure(
     the deadline (default: the horizon).  Useful for reverse routing
     tables in DTNs.
     """
+    if not eg.has_node(target):
+        raise NodeNotFoundError(target)
+    if deadline is None:
+        deadline = eg.horizon
+    if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        return eg.frozen().latest_departure(target, deadline)
+    return latest_departure_reference(eg, target, deadline)
+
+
+def latest_departure_reference(
+    eg: EvolvingGraph, target: Node, deadline: Optional[int] = None
+) -> Dict[Node, int]:
+    """The per-time-unit reverse BFS: ground truth for the kernel."""
     if not eg.has_node(target):
         raise NodeNotFoundError(target)
     if deadline is None:

@@ -19,6 +19,12 @@ One path problem per interpretation:
 * **bandwidth** — :func:`max_bandwidth_journey`: the journey's
   bandwidth is the minimum weight along it; maximise that bottleneck
   (binary search over thresholds + temporal reachability).
+
+Above :data:`~repro.temporal.frozen.FROZEN_MIN_CONTACTS` contacts the
+entry points relax over the pre-sorted arrays of the frozen contact
+index (``eg.frozen()``); the ``*_reference`` bodies are the pure-Python
+ground truth and the small-graph path.  Outputs are identical either
+way — hop-for-hop, enforced by ``tests/test_frozen_temporal.py``.
 """
 
 from __future__ import annotations
@@ -29,12 +35,21 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.errors import NodeNotFoundError
 from repro.temporal.evolving import EvolvingGraph
+from repro.temporal.frozen import FROZEN_MIN_CONTACTS
 from repro.temporal.journeys import Hop, Journey
 
 Node = Hashable
 
 
 def _weighted_contacts(eg: EvolvingGraph) -> List[Tuple[int, Node, Node, float]]:
+    """All (time, u, v, weight) rows in ``all_contacts`` order.
+
+    Above the frozen threshold the list is materialised once on the
+    frozen snapshot and reused until the graph mutates (generation
+    bump); callers must not mutate the returned list.
+    """
+    if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        return eg.frozen().weighted_contacts()
     return [
         (time, u, v, eg.weight(u, v, time))
         for time, u, v in eg.all_contacts()
@@ -48,8 +63,25 @@ def min_delay_journey(
 
     A contact (u, v, t, w) is usable if the holder is ready by t
     (ready time ≤ t) and delivers at t + w; the receiver is ready at
-    t + w.  Dijkstra over (ready time, node) states.
+    t + w.  Dijkstra over (ready time, node) states.  Above the frozen
+    threshold the relaxation reads each node's cached pre-sorted
+    (time, neighbor, weight) rows instead of re-sorting and resolving
+    weights per pop; heap order and parents are identical.
     """
+    for node in (source, target):
+        if not eg.has_node(node):
+            raise NodeNotFoundError(node)
+    if source == target:
+        return Journey(source=source, hops=())
+    if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        return _min_delay_journey_frozen(eg, source, target, start)
+    return min_delay_journey_reference(eg, source, target, start)
+
+
+def min_delay_journey_reference(
+    eg: EvolvingGraph, source: Node, target: Node, start: int = 0
+) -> Optional[Journey]:
+    """The dict-of-sets Dijkstra: ground truth for the frozen path."""
     for node in (source, target):
         if not eg.has_node(node):
             raise NodeNotFoundError(node)
@@ -90,6 +122,47 @@ def min_delay_journey(
     return Journey(source=source, hops=tuple(hops))
 
 
+def _min_delay_journey_frozen(
+    eg: EvolvingGraph, source: Node, target: Node, start: int = 0
+) -> Optional[Journey]:
+    """Same Dijkstra, relaxing over the frozen per-node contact rows."""
+    fc = eg.frozen()
+    weighted_from = fc.weighted_contacts_from
+    index_of = fc.index_of
+
+    ready: Dict[Node, float] = {source: float(start)}
+    parent: Dict[Node, Hop] = {}
+    heap: List[Tuple[float, int, Node]] = [(float(start), 0, source)]
+    counter = 1
+    done: Set[Node] = set()
+    while heap:
+        time_ready, _, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        if node == target:
+            break
+        for contact_time, neighbor, weight in weighted_from(index_of(node)):
+            if contact_time < time_ready:
+                continue
+            arrival = contact_time + weight
+            if arrival < ready.get(neighbor, math.inf):
+                ready[neighbor] = arrival
+                parent[neighbor] = (node, neighbor, contact_time)
+                heapq.heappush(heap, (arrival, counter, neighbor))
+                counter += 1
+    if target not in parent:
+        return None
+    hops: List[Hop] = []
+    node = target
+    while node != source:
+        hop = parent[node]
+        hops.append(hop)
+        node = hop[0]
+    hops.reverse()
+    return Journey(source=source, hops=tuple(hops))
+
+
 def journey_delay(eg: EvolvingGraph, journey: Journey, start: int = 0) -> float:
     """Total arrival time of a journey under delay weights."""
     ready = float(start)
@@ -100,24 +173,21 @@ def journey_delay(eg: EvolvingGraph, journey: Journey, start: int = 0) -> float:
     return ready
 
 
-def most_reliable_journey(
-    eg: EvolvingGraph, source: Node, target: Node, start: int = 0
+def _most_reliable_over(
+    contacts: List[Tuple[int, Node, Node, float]],
+    source: Node,
+    target: Node,
+    start: int,
 ) -> Optional[Tuple[Journey, float]]:
-    """Maximise the product of contact reliabilities along a journey.
+    """The reliability DP over an explicit (time, u, v, w) contact list.
 
-    Weights must lie in (0, 1].  Returns (journey, reliability) or
-    ``None`` when unreachable.  DP over time: best[node] = highest
-    success probability of holding the message by the current label,
-    with same-unit chaining handled by per-unit fixpoint (max is
-    idempotent).
+    Shared by the routed entry point (frozen cached list) and the
+    reference (freshly built list); the relaxation itself is unchanged
+    from the original pure-Python body.
     """
-    for node in (source, target):
-        if not eg.has_node(node):
-            raise NodeNotFoundError(node)
     best: Dict[Node, float] = {source: 1.0}
     # Best value at the moment each node first attains it, and the hop used.
     parent: Dict[Node, Hop] = {}
-    contacts = _weighted_contacts(eg)
     index = 0
     n = len(contacts)
     while index < n:
@@ -160,6 +230,38 @@ def most_reliable_journey(
     return Journey(source=source, hops=tuple(hops)), best[target]
 
 
+def most_reliable_journey(
+    eg: EvolvingGraph, source: Node, target: Node, start: int = 0
+) -> Optional[Tuple[Journey, float]]:
+    """Maximise the product of contact reliabilities along a journey.
+
+    Weights must lie in (0, 1].  Returns (journey, reliability) or
+    ``None`` when unreachable.  DP over time: best[node] = highest
+    success probability of holding the message by the current label,
+    with same-unit chaining handled by per-unit fixpoint (max is
+    idempotent).  Above the frozen threshold the DP reads the cached
+    pre-sorted weighted contact list instead of rebuilding it per call.
+    """
+    for node in (source, target):
+        if not eg.has_node(node):
+            raise NodeNotFoundError(node)
+    return _most_reliable_over(_weighted_contacts(eg), source, target, start)
+
+
+def most_reliable_journey_reference(
+    eg: EvolvingGraph, source: Node, target: Node, start: int = 0
+) -> Optional[Tuple[Journey, float]]:
+    """The DP over a freshly built contact list: ground truth."""
+    for node in (source, target):
+        if not eg.has_node(node):
+            raise NodeNotFoundError(node)
+    contacts = [
+        (time, u, v, eg.weight(u, v, time))
+        for time, u, v in eg.all_contacts()
+    ]
+    return _most_reliable_over(contacts, source, target, start)
+
+
 def max_bandwidth_journey(
     eg: EvolvingGraph, source: Node, target: Node, start: int = 0
 ) -> Optional[Tuple[Journey, float]]:
@@ -167,7 +269,10 @@ def max_bandwidth_journey(
 
     Search over the distinct weight values: the best bottleneck is the
     largest threshold for which the subgraph of contacts with weight ≥
-    threshold still temporally connects source to target.
+    threshold still temporally connects source to target.  Above the
+    frozen threshold each candidate is tested by one masked vectorized
+    reachability scan; the filtered graph (and its journey) is built
+    only once, for the winning threshold.
     """
     from repro.temporal.journeys import earliest_completion_journey
 
@@ -176,13 +281,47 @@ def max_bandwidth_journey(
             raise NodeNotFoundError(node)
     if source == target:
         return Journey(source=source, hops=()), math.inf
+    if eg.num_contacts < FROZEN_MIN_CONTACTS:
+        return max_bandwidth_journey_reference(eg, source, target, start)
 
-    thresholds = sorted(
-        {weight for _, _, _, weight in _weighted_contacts(eg)}, reverse=True
-    )
+    fc = eg.frozen()
+    source_idx = fc.index_of(source)
+    target_idx = fc.index_of(target)
+    contacts = fc.weighted_contacts()
+    thresholds = sorted({weight for _, _, _, weight in contacts}, reverse=True)
+    for threshold in thresholds:
+        if not fc.reaches(source_idx, target_idx, start, threshold):
+            continue
+        filtered = EvolvingGraph(horizon=eg.horizon, nodes=eg.nodes())
+        for time, u, v, weight in contacts:
+            if weight >= threshold:
+                filtered.add_contact(u, v, time, weight)
+        journey = earliest_completion_journey(filtered, source, target, start)
+        if journey is not None and (journey.hops or source == target):
+            return journey, threshold
+    return None
+
+
+def max_bandwidth_journey_reference(
+    eg: EvolvingGraph, source: Node, target: Node, start: int = 0
+) -> Optional[Tuple[Journey, float]]:
+    """One filtered graph + journey per threshold: ground truth."""
+    from repro.temporal.journeys import earliest_completion_journey
+
+    for node in (source, target):
+        if not eg.has_node(node):
+            raise NodeNotFoundError(node)
+    if source == target:
+        return Journey(source=source, hops=()), math.inf
+
+    contacts = [
+        (time, u, v, eg.weight(u, v, time))
+        for time, u, v in eg.all_contacts()
+    ]
+    thresholds = sorted({weight for _, _, _, weight in contacts}, reverse=True)
     for threshold in thresholds:
         filtered = EvolvingGraph(horizon=eg.horizon, nodes=eg.nodes())
-        for time, u, v, weight in _weighted_contacts(eg):
+        for time, u, v, weight in contacts:
             if weight >= threshold:
                 filtered.add_contact(u, v, time, weight)
         journey = earliest_completion_journey(filtered, source, target, start)

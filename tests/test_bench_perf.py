@@ -1,17 +1,24 @@
-"""Tier-1 wiring for the CSR perf benchmark (benchmarks/bench_perf_csr.py).
+"""Tier-1 wiring for the perf benchmarks (bench_perf_csr / bench_perf_temporal).
 
-Runs the same harness as the committed ``BENCH_perf-csr.json`` feed at
-toy scale against a temp directory: validates the emitted document
-against the ``repro.bench/v1`` schema, checks the BENCH feed is
-byte-identical to its sibling, and relies on the harness's built-in
-assertion that every CSR kernel output equals its dict-of-sets
-reference (the run raises otherwise).  No speedup floor at toy scale —
-that is the full run's job — only schema and equivalence.
+Runs the same harnesses as the committed ``BENCH_perf-*.json`` feeds at
+toy scale against a temp directory: validates the emitted documents
+against the ``repro.bench/v1`` schema, checks each BENCH feed is
+byte-identical to its sibling, and relies on the harnesses' built-in
+assertion that every fast-path output equals its pure-Python reference
+(the run raises otherwise).  No speedup floor at toy scale — that is
+the full run's job — only schema and equivalence.
+
+The trajectory tests at the bottom are *warn-only*: they re-time the
+fast-path kernels at the smallest committed size and emit a warning
+when a kernel regressed by more than 3x against the committed feed,
+without ever failing tier-1 (timings on shared CI boxes are too noisy
+to gate on).
 """
 
 import json
 import os
 import sys
+import warnings
 
 BENCH_DIR = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
@@ -20,7 +27,15 @@ if BENCH_DIR not in sys.path:
     sys.path.insert(0, BENCH_DIR)
 
 import bench_perf_csr  # noqa: E402  (benchmarks/bench_perf_csr.py)
+import bench_perf_temporal  # noqa: E402
+from _util import time_repeated  # noqa: E402
 from repro.observability import BENCH_SCHEMA, validate_bench_report  # noqa: E402
+
+TOP = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Warn (never fail) when a fast-path kernel is this much slower than
+#: the committed feed's median at the same size.
+TRAJECTORY_SLOWDOWN = 3.0
 
 
 def test_perf_csr_toy_run_validates_schema_and_equivalence(tmp_path):
@@ -41,8 +56,7 @@ def test_perf_csr_toy_run_validates_schema_and_equivalence(tmp_path):
 
 
 def test_committed_perf_csr_feed_is_valid_and_meets_target():
-    top = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    path = os.path.join(top, "BENCH_perf-csr.json")
+    path = os.path.join(TOP, "BENCH_perf-csr.json")
     document = json.loads(open(path).read())
     assert validate_bench_report(document) == []
     header = document["header"]
@@ -53,3 +67,87 @@ def test_committed_perf_csr_feed_is_valid_and_meets_target():
     for row in document["rows"]:
         if row[n_col] == largest and row[kernel_col] in bench_perf_csr.TARGET_KERNELS:
             assert row[speedup_col] >= bench_perf_csr.TARGET_SPEEDUP
+
+
+def test_perf_temporal_toy_run_validates_schema_and_equivalence(tmp_path):
+    result = bench_perf_temporal.run(
+        sizes=((30, 40, 400, 6),),
+        repeats=1,
+        out_dir=str(tmp_path),
+        top_dir=str(tmp_path),
+    )
+    assert result.experiment == "perf-temporal"
+    document = json.loads(open(result.json_path).read())
+    assert document["schema"] == BENCH_SCHEMA
+    assert validate_bench_report(document) == []
+    assert open(result.bench_path).read() == open(result.json_path).read()
+    kernels = {row[3] for row in result.rows}
+    assert set(bench_perf_temporal.TARGET_KERNELS) <= kernels
+    assert any(key.endswith("_frozen_median_s") for key in document["timings"])
+    assert any(key.startswith("freeze_") for key in document["timings"])
+
+
+def test_committed_perf_temporal_feed_is_valid_and_meets_target():
+    path = os.path.join(TOP, "BENCH_perf-temporal.json")
+    document = json.loads(open(path).read())
+    assert validate_bench_report(document) == []
+    header = document["header"]
+    kernel_col = header.index("kernel")
+    speedup_col = header.index("speedup")
+    n_col = header.index("n")
+    largest = max(row[n_col] for row in document["rows"])
+    for row in document["rows"]:
+        if (
+            row[n_col] == largest
+            and row[kernel_col] in bench_perf_temporal.TARGET_KERNELS
+        ):
+            assert row[speedup_col] >= bench_perf_temporal.TARGET_SPEEDUP
+
+
+# ----------------------------------------------------------------------
+# warn-only perf-trajectory guard
+# ----------------------------------------------------------------------
+def _committed_timings(feed_name):
+    path = os.path.join(TOP, feed_name)
+    return json.loads(open(path).read())["timings"]
+
+
+def _flag_regression(kernel, committed_s, current_s):
+    if committed_s > 0 and current_s > TRAJECTORY_SLOWDOWN * committed_s:
+        warnings.warn(
+            f"perf trajectory: {kernel} now {current_s:.4f}s vs committed "
+            f"median {committed_s:.4f}s (> {TRAJECTORY_SLOWDOWN:g}x slower)",
+            stacklevel=2,
+        )
+
+
+def test_perf_trajectory_csr_warn_only():
+    """Re-time the CSR kernels at the smallest committed size; warn on >3x."""
+    import numpy as np
+
+    from repro.datasets.gnutella import gnutella_largest_scc
+
+    timings = _committed_timings("BENCH_perf-csr.json")
+    size = 600  # smallest committed size in bench_perf_csr's full run
+    graph = gnutella_largest_scc(size, np.random.default_rng(size))
+    fg = graph.frozen()
+    for name, _ref_fn, csr_fn in bench_perf_csr._kernel_pairs(graph, fg):
+        key = f"{name}_n{size}_csr_median_s"
+        if key not in timings:
+            continue
+        _, timing = time_repeated(csr_fn, repeats=1, warmup=1)
+        _flag_regression(f"{name} (csr, n={size})", timings[key], timing.median_s)
+
+
+def test_perf_trajectory_temporal_warn_only():
+    """Re-time the frozen temporal kernels at the smallest committed size."""
+    n, horizon, contacts, messages = bench_perf_temporal.DEFAULT_SIZES[0]
+    timings = _committed_timings("BENCH_perf-temporal.json")
+    eg = bench_perf_temporal.temporal_workload(n, horizon, contacts, seed=n)
+    specs = bench_perf_temporal.message_specs(n, messages, seed=n)
+    for name, _ref_fn, frozen_fn in bench_perf_temporal._kernel_pairs(eg, specs):
+        key = f"{name}_n{n}_frozen_median_s"
+        if key not in timings:
+            continue
+        _, timing = time_repeated(frozen_fn, repeats=1, warmup=1)
+        _flag_regression(f"{name} (frozen, n={n})", timings[key], timing.median_s)
