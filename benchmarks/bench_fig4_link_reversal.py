@@ -8,7 +8,7 @@ full/partial/binary comparison on random graphs after a link break.
 import numpy as np
 import pytest
 
-from _util import emit_table
+from _util import bench_jobs, emit_table, run_sweep
 from repro.graphs.generators import path_graph, random_connected_graph
 from repro.layering.link_reversal import (
     binary_label_reversal,
@@ -45,17 +45,19 @@ def test_fig4_fixture_process(once):
     assert result.node_reversals["A"] == 2
 
 
-def test_fig4_quadratic_worst_case(once):
-    def experiment():
-        rows = []
-        for n in (8, 16, 32, 64):
-            graph, destination, heights = anti_oriented_path(n)
-            result = full_link_reversal(graph, destination, heights=heights)
-            k = n - 2
-            rows.append((n, result.steps, k * (k + 1) // 2))
-        return rows
+def _fig4_quadratic_point(n):
+    """One adversarial-chain worst-case point (module-level: picklable
+    for the ``run_sweep`` fan-out)."""
+    graph, destination, heights = anti_oriented_path(n)
+    result = full_link_reversal(graph, destination, heights=heights)
+    k = n - 2
+    return (n, result.steps, k * (k + 1) // 2)
 
-    rows = once(experiment)
+
+def test_fig4_quadratic_worst_case(once):
+    rows = once(
+        lambda: run_sweep((8, 16, 32, 64), _fig4_quadratic_point, jobs=bench_jobs())
+    )
     emit_table(
         "fig4-quadratic",
         "full reversal worst case on adversarial chains",
@@ -67,49 +69,55 @@ def test_fig4_quadratic_worst_case(once):
         assert measured == predicted
 
 
+def _fig4_variant_trial(trial):
+    """One random-graph repair trial, independently seeded per trial so
+    the sweep parallelizes without changing any row."""
+    rng = np.random.default_rng([44, trial])
+    graph = random_connected_graph(40, 0.06, rng)
+    heights = initial_heights(graph, 0)
+    orientation = orientation_from_heights(graph, heights)
+    # Break a random out-link of a single-out node, making it a sink.
+    candidates = [
+        node for node in graph.nodes()
+        if node != 0 and len(orientation.out_neighbors(node)) == 1
+        and graph.degree(node) > 1
+    ]
+    if not candidates:
+        return None
+    victim = candidates[int(rng.integers(len(candidates)))]
+    other = next(iter(orientation.out_neighbors(victim)))
+    broken = graph.copy()
+    broken.remove_edge(victim, other)
+    stale = {n: heights[n] for n in broken.nodes()}
+
+    def orient():
+        o = orientation_from_heights(broken, stale)
+        # Restore the stale pre-break orientation for shared edges.
+        for a, b in broken.edges():
+            o.orient(a, b, toward=orientation.head(a, b))
+        return o
+
+    full = full_link_reversal(broken, 0, orientation=orient(), heights=stale)
+    partial = partial_link_reversal(
+        broken, 0, orientation=orient(), heights=stale
+    )
+    binary0 = binary_label_reversal(
+        broken, 0, initial_label=0, orientation=orient(), heights=stale
+    )
+    assert full.orientation.is_destination_oriented(0)
+    assert partial.orientation.is_destination_oriented(0)
+    assert binary0.orientation.is_destination_oriented(0)
+    return (trial, victim, full.steps, partial.steps, binary0.steps)
+
+
 def test_fig4_variant_comparison(once):
-    def experiment():
-        rng = np.random.default_rng(44)
-        rows = []
-        for trial in range(6):
-            graph = random_connected_graph(40, 0.06, rng)
-            heights = initial_heights(graph, 0)
-            orientation = orientation_from_heights(graph, heights)
-            # Break a random out-link of a single-out node, making it a sink.
-            candidates = [
-                node for node in graph.nodes()
-                if node != 0 and len(orientation.out_neighbors(node)) == 1
-                and graph.degree(node) > 1
-            ]
-            if not candidates:
-                continue
-            victim = candidates[int(rng.integers(len(candidates)))]
-            other = next(iter(orientation.out_neighbors(victim)))
-            broken = graph.copy()
-            broken.remove_edge(victim, other)
-            stale = {n: heights[n] for n in broken.nodes()}
-
-            def orient():
-                o = orientation_from_heights(broken, stale)
-                # Restore the stale pre-break orientation for shared edges.
-                for a, b in broken.edges():
-                    o.orient(a, b, toward=orientation.head(a, b))
-                return o
-
-            full = full_link_reversal(broken, 0, orientation=orient(), heights=stale)
-            partial = partial_link_reversal(
-                broken, 0, orientation=orient(), heights=stale
-            )
-            binary0 = binary_label_reversal(
-                broken, 0, initial_label=0, orientation=orient(), heights=stale
-            )
-            assert full.orientation.is_destination_oriented(0)
-            assert partial.orientation.is_destination_oriented(0)
-            assert binary0.orientation.is_destination_oriented(0)
-            rows.append((trial, victim, full.steps, partial.steps, binary0.steps))
-        return rows
-
-    rows = once(experiment)
+    rows = once(
+        lambda: [
+            row
+            for row in run_sweep(range(6), _fig4_variant_trial, jobs=bench_jobs())
+            if row is not None
+        ]
+    )
     emit_table(
         "fig4-variants",
         "repair cost after one link break (steps)",

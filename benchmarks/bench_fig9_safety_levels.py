@@ -9,7 +9,7 @@ application.
 import numpy as np
 import pytest
 
-from _util import emit_table
+from _util import bench_jobs, emit_table, run_sweep
 from repro.graphs.hypercube import (
     binary_addresses,
     format_address,
@@ -50,44 +50,44 @@ def test_fig9_fixture(once):
     assert safety.rounds <= n - 1
 
 
-def test_fig9_routing_success_vs_fault_density(once):
-    def experiment():
-        rng = np.random.default_rng(99)
-        n = 6
-        nodes = list(binary_addresses(n))
-        rows = []
-        for fault_count in (2, 6, 12, 20):
-            level_ok = level_total = 0
-            vector_ok = vector_total = 0
-            for _ in range(8):
-                picks = rng.choice(len(nodes), size=fault_count, replace=False)
-                faults = frozenset(nodes[i] for i in picks)
-                safety = compute_safety_levels(n, faults)
-                vectors = compute_safety_vectors(n, faults)
-                for _ in range(40):
-                    u = nodes[int(rng.integers(len(nodes)))]
-                    v = nodes[int(rng.integers(len(nodes)))]
-                    if u in faults or v in faults or u == v:
-                        continue
-                    d = hamming_distance(u, v)
-                    if safety.levels[u] >= d:
-                        level_total += 1
-                        route = safety_guided_route(safety, u, v)
-                        level_ok += route.delivered and route.optimal
-                    if vectors[u][d - 1] == 1:
-                        vector_total += 1
-                        route = vector_guided_route(vectors, faults, u, v)
-                        vector_ok += route.delivered and route.optimal
-            rows.append(
-                (
-                    fault_count,
-                    f"{level_ok}/{level_total}",
-                    f"{vector_ok}/{vector_total}",
-                )
-            )
-        return rows
+def _fig9_routing_point(fault_count):
+    """One fault-density cell, independently seeded per density so the
+    sweep parallelizes without changing any row."""
+    rng = np.random.default_rng([99, fault_count])
+    n = 6
+    nodes = list(binary_addresses(n))
+    level_ok = level_total = 0
+    vector_ok = vector_total = 0
+    for _ in range(8):
+        picks = rng.choice(len(nodes), size=fault_count, replace=False)
+        faults = frozenset(nodes[i] for i in picks)
+        safety = compute_safety_levels(n, faults)
+        vectors = compute_safety_vectors(n, faults)
+        for _ in range(40):
+            u = nodes[int(rng.integers(len(nodes)))]
+            v = nodes[int(rng.integers(len(nodes)))]
+            if u in faults or v in faults or u == v:
+                continue
+            d = hamming_distance(u, v)
+            if safety.levels[u] >= d:
+                level_total += 1
+                route = safety_guided_route(safety, u, v)
+                level_ok += route.delivered and route.optimal
+            if vectors[u][d - 1] == 1:
+                vector_total += 1
+                route = vector_guided_route(vectors, faults, u, v)
+                vector_ok += route.delivered and route.optimal
+    return (
+        fault_count,
+        f"{level_ok}/{level_total}",
+        f"{vector_ok}/{vector_total}",
+    )
 
-    rows = once(experiment)
+
+def test_fig9_routing_success_vs_fault_density(once):
+    rows = once(
+        lambda: run_sweep((2, 6, 12, 20), _fig9_routing_point, jobs=bench_jobs())
+    )
     emit_table(
         "fig9-routing",
         "guided optimal routing success when the label certifies the distance",
@@ -107,23 +107,22 @@ def test_fig9_routing_success_vs_fault_density(once):
         assert ok == total
 
 
-def test_fig9_broadcast(once):
-    def experiment():
-        rng = np.random.default_rng(98)
-        n = 5
-        nodes = list(binary_addresses(n))
-        rows = []
-        for fault_count in (0, 2, 5):
-            picks = rng.choice(len(nodes) - 1, size=fault_count, replace=False)
-            faults = frozenset(nodes[i + 1] for i in picks)
-            safety = compute_safety_levels(n, faults)
-            result = safety_guided_broadcast(safety, nodes[0])
-            rows.append(
-                (fault_count, len(result.reached), 2 ** n - fault_count, result.steps)
-            )
-        return rows
+def _fig9_broadcast_point(fault_count):
+    """One broadcast cell, independently seeded per fault count."""
+    rng = np.random.default_rng([98, fault_count])
+    n = 5
+    nodes = list(binary_addresses(n))
+    picks = rng.choice(len(nodes) - 1, size=fault_count, replace=False)
+    faults = frozenset(nodes[i + 1] for i in picks)
+    safety = compute_safety_levels(n, faults)
+    result = safety_guided_broadcast(safety, nodes[0])
+    return (fault_count, len(result.reached), 2 ** n - fault_count, result.steps)
 
-    rows = once(experiment)
+
+def test_fig9_broadcast(once):
+    rows = once(
+        lambda: run_sweep((0, 2, 5), _fig9_broadcast_point, jobs=bench_jobs())
+    )
     emit_table(
         "fig9-broadcast",
         "safety-guided broadcast coverage and time (5-D cube)",

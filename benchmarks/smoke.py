@@ -253,6 +253,26 @@ def smoke_perf_temporal() -> Dict[str, Any]:
     }
 
 
+@smoke("perf-labeling")
+def smoke_perf_labeling() -> Dict[str, Any]:
+    import bench_perf_labeling
+
+    rows, _ = bench_perf_labeling._measure_size(
+        (bench_perf_labeling.TOY_SIZE, 1)
+    )
+    return {
+        "title": "frozen labeling & routing kernels vs reference (smoke)",
+        "header": ["n", "kernel", "ref median s", "frozen median s", "speedup"],
+        "rows": rows,
+        "notes": (
+            "Toy instance of benchmarks/bench_perf_labeling.py; exact "
+            "output equality (labels, sets, routes; scores to 1e-9) "
+            "asserted inside the measurement, no speedup floor at this "
+            "scale."
+        ),
+    }
+
+
 @smoke("faults")
 def smoke_faults() -> Dict[str, Any]:
     import bench_faults

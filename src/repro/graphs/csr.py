@@ -32,7 +32,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
-from repro.errors import AlgorithmError, NodeNotFoundError
+from repro.errors import AlgorithmError, ConvergenceError, NodeNotFoundError
 from repro.observability.instrument import timed
 
 Node = Hashable
@@ -48,6 +48,23 @@ _INT64_MAX = np.iinfo(np.int64).max
 #: Sources per bit-parallel BFS batch (multiples of 64 pack evenly into
 #: uint64 frontier words).
 _BITSET_BATCH = 256
+
+
+def generation_cached(owner, factory):
+    """Return ``owner._frozen``, rebuilding through ``factory`` when stale.
+
+    The one shared implementation of the library's generation-counter
+    cache idiom: a snapshot stored on ``owner._frozen`` stays valid
+    while its ``generation`` attribute equals ``owner._generation``
+    (bumped by every topology mutation).  Used by ``Graph.frozen``,
+    ``DiGraph.frozen`` and ``EvolvingGraph.frozen`` so the invalidation
+    rule cannot drift between substrates.
+    """
+    cached = owner._frozen
+    if cached is None or cached.generation != owner._generation:
+        cached = factory(owner)
+        owner._frozen = cached
+    return cached
 
 
 class FrozenGraph:
@@ -383,22 +400,24 @@ class FrozenGraph:
             closeness *= reachable / (self.n - 1)
         return closeness
 
-    def clustering_array(self) -> np.ndarray:
-        """Local clustering coefficient per node index (undirected only).
+    def _neighbor_pair_hits(self) -> np.ndarray:
+        """Ordered adjacent neighbor pairs per node (undirected only).
 
-        Triangle counting over a bit-packed adjacency matrix: for every
-        edge (u, v), ``popcount(bits[u] & bits[v])`` is the number of
-        common neighbors, and summing those per source gives each
-        node's (ordered) closed neighbor pairs in a few array passes —
-        no per-node Python loop.  Edge rows are processed in chunks so
-        the (E_chunk × words) intermediates stay bounded.
+        ``hits[i]`` counts pairs (u, v) with u ≠ v, both adjacent to i,
+        and u ~ v — the quantity behind both the clustering coefficient
+        numerator and the Wu–Dai marking rule.  Computed by triangle
+        counting over a bit-packed adjacency matrix: for every edge
+        (u, v), ``popcount(bits[u] & bits[v])`` is the number of common
+        neighbors, and summing those per source folds the count back per
+        node in a few array passes.  Edge rows are processed in chunks
+        so the (E_chunk × words) intermediates stay bounded.
         """
         if self.directed:
-            raise TypeError("clustering expects an undirected snapshot")
+            raise TypeError("neighbor-pair counting expects an undirected snapshot")
         n = self.n
-        result = np.zeros(n, dtype=np.float64)
+        hits = np.zeros(n, dtype=np.int64)
         if n == 0 or self.indices.shape[0] == 0:
-            return result
+            return hits
         words = (n + 63) // 64
         bits = np.zeros((n, words), dtype=np.uint64)
         rows = self._edge_sources()
@@ -408,7 +427,6 @@ class FrozenGraph:
             (rows, cols // 64),
             np.left_shift(np.uint64(1), (cols % 64).astype(np.uint64)),
         )
-        hits = np.zeros(n, dtype=np.int64)
         chunk = max(1, (1 << 22) // words)
         for start in range(0, rows.shape[0], chunk):
             ru = rows[start : start + chunk]
@@ -417,6 +435,16 @@ class FrozenGraph:
                 axis=1, dtype=np.int64
             )
             hits += np.bincount(ru, weights=common, minlength=n).astype(np.int64)
+        return hits
+
+    def clustering_array(self) -> np.ndarray:
+        """Local clustering coefficient per node index (undirected only)."""
+        if self.directed:
+            raise TypeError("clustering expects an undirected snapshot")
+        result = np.zeros(self.n, dtype=np.float64)
+        if self.n == 0 or self.indices.shape[0] == 0:
+            return result
+        hits = self._neighbor_pair_hits()
         degrees = self.degrees
         for i in np.flatnonzero(degrees >= 2):
             k = int(degrees[i])
@@ -614,3 +642,297 @@ class FrozenGraph:
             for i in chosen:
                 level[nodes[i]] = round_index
         return level
+
+    # ------------------------------------------------------------------
+    # static labels: marking / dominating sets / MIS (Sec. IV-A)
+    # ------------------------------------------------------------------
+    def marking_mask(self) -> np.ndarray:
+        """Wu–Dai marking rule, vectorized (undirected only).
+
+        A node is marked iff it has two neighbors that are not adjacent
+        to each other — equivalently, with k = degree ≥ 2, iff its
+        ordered adjacent neighbor-pair count is below k·(k−1).  Exactly
+        the reference rule of ``repro.labeling.cds.marking_process``.
+        """
+        if self.directed:
+            raise TypeError("marking expects an undirected snapshot")
+        k = self.degrees.astype(np.int64)
+        return (k >= 2) & (self._neighbor_pair_hits() < k * (k - 1))
+
+    def neighbor_designated_winners(self, priorities: np.ndarray) -> np.ndarray:
+        """Index of the (priority, repr)-maximum of each closed neighborhood.
+
+        ``winners[i]`` is the node every ``i`` designates: the member of
+        N[i] with the highest priority, ties broken toward the *larger*
+        repr — exactly ``max(closed, key=(priority, repr))`` in the
+        neighbor-designated dominating-set reference.  Distinct
+        (priority, repr) keys are guaranteed because repr ranks are
+        distinct.
+        """
+        if self.directed:
+            raise TypeError("neighbor designation expects an undirected snapshot")
+        order = np.lexsort((self._repr_ranks(), np.asarray(priorities, dtype=np.float64)))
+        power = np.empty(self.n, dtype=np.int64)
+        power[order] = np.arange(self.n, dtype=np.int64)
+        best = power.copy()
+        rows, starts = self._row_segments()
+        if rows.size:
+            seg = np.maximum.reduceat(power[self.indices], starts)
+            best[rows] = np.maximum(best[rows], seg)
+        return order[best]
+
+    def mis_rounds(self, priorities: np.ndarray) -> Tuple[np.ndarray, int]:
+        """The three-color MIS process over edge-compacted rounds.
+
+        Each round, white local priority maxima (strictly greater than
+        every white neighbor; isolated whites vacuously) turn black,
+        their white neighbors turn gray, and the flat edge arrays are
+        compacted to the surviving white–white edges.  Returns (black
+        mask, rounds), matching ``compute_mis``'s reference loop.
+        Requires distinct priorities: a stalled round (where the
+        reference would spin forever on a priority tie) raises
+        :class:`~repro.errors.AlgorithmError`.
+        """
+        if self.directed:
+            raise TypeError("MIS expects an undirected snapshot")
+        n = self.n
+        prio = np.asarray(priorities, dtype=np.float64)
+        src = self._edge_sources()
+        dst = self.indices
+        white = np.ones(n, dtype=bool)
+        black = np.zeros(n, dtype=bool)
+        rounds = 0
+        while white.any():
+            rounds += 1
+            live = white[src] & white[dst]
+            src = src[live]
+            dst = dst[live]
+            nbr_max = np.full(n, -np.inf)
+            if src.size:
+                # src stays sorted under compaction: segment-max per row.
+                starts = np.concatenate(([0], np.flatnonzero(np.diff(src)) + 1))
+                nbr_max[src[starts]] = np.maximum.reduceat(prio[dst], starts)
+            new_black = white & (prio > nbr_max)
+            if not new_black.any():
+                raise AlgorithmError(
+                    "MIS round stalled: priorities must be distinct"
+                )
+            gray = np.zeros(n, dtype=bool)
+            if src.size:
+                touched = new_black[dst]
+                gray[src[touched]] = True
+            black |= new_black
+            white &= ~(new_black | gray)
+        return black, rounds
+
+    # ------------------------------------------------------------------
+    # landmark labels: multi-source distance + gateway (Sec. III/IV)
+    # ------------------------------------------------------------------
+    def multi_source_labels(
+        self, sources: Union[Sequence[int], np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Hop distance to, and index of, the nearest source per node.
+
+        One level-synchronous multi-source BFS: every node gets the hop
+        distance to its closest source and the source index achieving
+        it, ties resolved toward the smallest repr rank — exactly the
+        per-landmark-BFS-in-repr-order reference (which keeps only
+        strictly smaller distances).  Unreachable nodes get (-1, -1).
+        """
+        n = self.n
+        rank = self._repr_ranks()
+        srcs = np.unique(np.atleast_1d(np.asarray(sources, dtype=np.int64)))
+        level = np.full(n, _UNREACHABLE, dtype=np.int64)
+        lab_rank = np.full(n, _INT64_MAX, dtype=np.int64)
+        level[srcs] = 0
+        lab_rank[srcs] = rank[srcs]
+        frontier = srcs
+        depth = 0
+        while frontier.size:
+            starts = self.indptr[frontier]
+            counts = self.degrees[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            cum = np.cumsum(counts)
+            bases = np.repeat(starts - (cum - counts), counts)
+            flat_dst = self.indices[bases + np.arange(total, dtype=np.int64)]
+            flat_src = np.repeat(frontier, counts)
+            new = level[flat_dst] < 0
+            nd = flat_dst[new]
+            if nd.size == 0:
+                break
+            depth += 1
+            # Frontier labels are final, so the min over incoming
+            # frontier labels is the nearest-landmark label at depth d.
+            np.minimum.at(lab_rank, nd, lab_rank[flat_src[new]])
+            frontier = np.unique(nd)
+            level[frontier] = depth
+        landmark = np.full(n, -1, dtype=np.int64)
+        reach = level >= 0
+        if reach.any():
+            inv = np.empty(n, dtype=np.int64)
+            inv[rank] = np.arange(n, dtype=np.int64)
+            landmark[reach] = inv[lab_rank[reach]]
+        return level, landmark
+
+    def edge_weights(
+        self, graph, attr: str = "weight", default: float = 1.0
+    ) -> np.ndarray:
+        """Per-CSR-entry weights gathered from ``graph``'s edge attributes.
+
+        One O(m) Python gather (attributes live on the source graph, not
+        the snapshot); the result aligns with ``self.indices`` so the
+        weighted kernels can stay fully vectorized.
+        """
+        from repro.graphs.graph import _edge_key
+
+        nodes = self.node_list
+        attrs = graph._edge_attrs
+        src = self._edge_sources()
+        out = np.empty(self.indices.shape[0], dtype=np.float64)
+        for e in range(out.shape[0]):
+            u = nodes[int(src[e])]
+            v = nodes[int(self.indices[e])]
+            key = (u, v) if self.directed else _edge_key(u, v)
+            data = attrs.get(key)
+            value = default if data is None else data.get(attr, default)
+            out[e] = float(value)
+        return out
+
+    def weighted_multi_source_labels(
+        self,
+        sources: Union[Sequence[int], np.ndarray],
+        weights: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Weighted distance to, and index of, the nearest source per node.
+
+        Multi-source Bellman–Ford: rounds of vectorized relaxation to a
+        fixpoint, then nearest-source labels propagated over the tight
+        edges (dist[src] + w == dist[dst], exact float equality), again
+        ties toward the smallest repr rank.  With non-negative weights
+        the fixpoint distances are bit-identical to per-landmark
+        Dijkstra (both compute the same left-fold float sums along
+        shortest paths), so the tight-edge labels match the reference's
+        strictly-smaller-distance updates exactly.  Unreachable nodes
+        get (inf, -1).
+        """
+        n = self.n
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape[0] != self.indices.shape[0]:
+            raise ValueError("weights must align with the CSR entries")
+        if w.size and float(w.min()) < 0.0:
+            raise AlgorithmError("negative edge weights are not supported")
+        rank = self._repr_ranks()
+        srcs = np.unique(np.atleast_1d(np.asarray(sources, dtype=np.int64)))
+        dist = np.full(n, np.inf)
+        dist[srcs] = 0.0
+        src = self._edge_sources()
+        dst = self.indices
+        for _ in range(n + 1):
+            relaxed = np.full(n, np.inf)
+            np.minimum.at(relaxed, dst, dist[src] + w)
+            improved = relaxed < dist
+            if not improved.any():
+                break
+            dist[improved] = relaxed[improved]
+        else:  # pragma: no cover - unreachable with non-negative weights
+            raise AlgorithmError("Bellman-Ford failed to reach a fixpoint")
+        lab_rank = np.full(n, _INT64_MAX, dtype=np.int64)
+        lab_rank[srcs] = rank[srcs]
+        tight = np.isfinite(dist[src]) & (dist[src] + w == dist[dst])
+        ts = src[tight]
+        td = dst[tight]
+        for _ in range(n + 1):
+            new = lab_rank.copy()
+            np.minimum.at(new, td, lab_rank[ts])
+            if np.array_equal(new, lab_rank):
+                break
+            lab_rank = new
+        landmark = np.full(n, -1, dtype=np.int64)
+        reach = np.isfinite(dist) & (lab_rank < _INT64_MAX)
+        if reach.any():
+            inv = np.empty(n, dtype=np.int64)
+            inv[rank] = np.arange(n, dtype=np.int64)
+            landmark[reach] = inv[lab_rank[reach]]
+        return dist, landmark
+
+    # ------------------------------------------------------------------
+    # ranking labels: PageRank / HITS power iteration (Sec. IV-B)
+    # ------------------------------------------------------------------
+    def pagerank_scores(
+        self,
+        damping: float = 0.85,
+        tolerance: float = 1e-10,
+        max_iterations: int = 10_000,
+    ) -> Tuple[np.ndarray, int]:
+        """Power iteration over the successor CSR; (scores, iterations).
+
+        Same update rule, dangling-mass redistribution, and max-drift
+        stopping criterion as the ``pagerank_reference`` loop; float
+        sums associate differently (bincount vs dict-order adds), so
+        equality with the reference is tolerance-bounded and iteration
+        counts may differ by one.
+        """
+        n = self.n
+        if n == 0:
+            return np.zeros(0, dtype=np.float64), 0
+        out_degree = self.degrees.astype(np.float64)
+        dangling = out_degree == 0.0
+        inv_out = np.zeros(n, dtype=np.float64)
+        spread = ~dangling
+        inv_out[spread] = 1.0 / out_degree[spread]
+        src = self._edge_sources()
+        dst = self.indices
+        score = np.full(n, 1.0 / n)
+        base = (1.0 - damping) / n
+        for iteration in range(1, max_iterations + 1):
+            dangling_mass = float(score[dangling].sum())
+            incoming = np.bincount(
+                dst, weights=(score * inv_out)[src], minlength=n
+            )
+            new_score = base + damping * (incoming + dangling_mass / n)
+            drift = float(np.max(np.abs(new_score - score)))
+            score = new_score
+            if drift < tolerance:
+                return score, iteration
+        raise ConvergenceError("pagerank", max_iterations)
+
+    def hits_scores(
+        self,
+        tolerance: float = 1e-10,
+        max_iterations: int = 10_000,
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """HITS power iteration; (hub, authority, iterations).
+
+        Authority via one bincount over arc targets, hub via one
+        segment-sum over successor rows, L2-normalised each round like
+        the reference (tolerance-bounded equality).
+        """
+        n = self.n
+        if n == 0:
+            return np.zeros(0), np.zeros(0), 0
+        src = self._edge_sources()
+        dst = self.indices
+        rows, starts = self._row_segments()
+        hub = np.ones(n, dtype=np.float64)
+        authority = np.ones(n, dtype=np.float64)
+        for iteration in range(1, max_iterations + 1):
+            new_authority = np.bincount(dst, weights=hub[src], minlength=n)
+            norm = float(np.sqrt((new_authority * new_authority).sum()))
+            if norm != 0.0:
+                new_authority /= norm
+            new_hub = np.zeros(n, dtype=np.float64)
+            if rows.size:
+                new_hub[rows] = np.add.reduceat(new_authority[dst], starts)
+            norm = float(np.sqrt((new_hub * new_hub).sum()))
+            if norm != 0.0:
+                new_hub /= norm
+            drift = max(
+                float(np.max(np.abs(new_hub - hub))),
+                float(np.max(np.abs(new_authority - authority))),
+            )
+            hub, authority = new_hub, new_authority
+            if drift < tolerance:
+                return hub, authority, iteration
+        raise ConvergenceError("hits", max_iterations)

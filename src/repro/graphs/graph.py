@@ -226,13 +226,9 @@ class Graph:
         captures adjacency only).  Repeated sweeps over an unchanged
         graph therefore pay the O(n + m) freeze cost once.
         """
-        from repro.graphs.csr import FrozenGraph
+        from repro.graphs.csr import FrozenGraph, generation_cached
 
-        cached = self._frozen
-        if cached is None or cached.generation != self._generation:
-            cached = FrozenGraph(self)
-            self._frozen = cached
-        return cached
+        return generation_cached(self, FrozenGraph)
 
     def copy(self) -> "Graph":
         clone = Graph()
@@ -420,13 +416,9 @@ class DiGraph:
         Same invalidation semantics as :meth:`Graph.frozen`: rebuilt
         when the topology mutates, reused otherwise.
         """
-        from repro.graphs.csr import FrozenGraph
+        from repro.graphs.csr import FrozenGraph, generation_cached
 
-        cached = self._frozen
-        if cached is None or cached.generation != self._generation:
-            cached = FrozenGraph(self)
-            self._frozen = cached
-        return cached
+        return generation_cached(self, FrozenGraph)
 
     def copy(self) -> "DiGraph":
         clone = DiGraph()

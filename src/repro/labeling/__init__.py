@@ -36,6 +36,13 @@ from repro.labeling.kleinberg_routing import (
     exponent_sweep,
     greedy_grid_route,
 )
+from repro.labeling.landmarks import (
+    distance_gateway_labels,
+    distance_gateway_labels_reference,
+    select_landmarks,
+    weighted_distance_gateway_labels,
+    weighted_distance_gateway_labels_reference,
+)
 from repro.labeling.mis import (
     DynamicMIS,
     compute_mis,
@@ -85,6 +92,8 @@ __all__ = [
     "compute_safety_levels",
     "compute_safety_vectors",
     "converge",
+    "distance_gateway_labels",
+    "distance_gateway_labels_reference",
     "distances",
     "distributed_marking",
     "distributed_mis",
@@ -112,8 +121,11 @@ __all__ = [
     "rule_k_trimming",
     "safety_guided_broadcast",
     "safety_guided_route",
+    "select_landmarks",
     "steer_routing",
     "vector_guided_route",
     "WeightedBellmanFord",
+    "weighted_distance_gateway_labels",
+    "weighted_distance_gateway_labels_reference",
     "wu_dai_cds",
 ]

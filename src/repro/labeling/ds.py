@@ -15,6 +15,9 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Optional, Set, Tuple
 
+import numpy as np
+
+from repro.graphs.csr import FROZEN_MIN_NODES
 from repro.graphs.graph import Graph
 from repro.runtime.engine import Network, NodeAlgorithm, NodeContext
 
@@ -35,8 +38,31 @@ def neighbor_designated_ds(
 
     Returns (black set, who-selected-whom).  Priorities default to
     ID-based distinct values (earlier IDs higher), matching the paper's
-    convention p(A) > p(B) > ...
+    convention p(A) > p(B) > ...  Above the freeze threshold the
+    designation runs as one segmented argmax over the CSR rows
+    (:meth:`FrozenGraph.neighbor_designated_winners`, exact equality);
+    :func:`neighbor_designated_ds_reference` below.
     """
+    if priorities is None:
+        priorities = _default_priorities(graph)
+    if graph.num_nodes >= FROZEN_MIN_NODES:
+        fg = graph.frozen()
+        prio = np.array(
+            [priorities[node] for node in fg.node_list], dtype=np.float64
+        )
+        winners = fg.neighbor_designated_winners(prio)
+        nodes = fg.node_list
+        selected_by = {
+            nodes[i]: nodes[int(winners[i])] for i in range(fg.n)
+        }
+        return set(selected_by.values()), selected_by
+    return neighbor_designated_ds_reference(graph, priorities)
+
+
+def neighbor_designated_ds_reference(
+    graph: Graph, priorities: Optional[Priority] = None
+) -> Tuple[Set[Node], Dict[Node, Node]]:
+    """The per-node max loop: ground truth for :func:`neighbor_designated_ds`."""
     if priorities is None:
         priorities = _default_priorities(graph)
     selected_by: Dict[Node, Node] = {}

@@ -9,6 +9,14 @@ per node, which is exactly the paper's definition of a *dynamic* label.
 Implemented centally (power iteration) with iteration counting, so the
 convergence-speed benchmarks can contrast them with the one-shot static
 labels of Sec. IV-A.
+
+Above :data:`~repro.graphs.csr.FROZEN_MIN_NODES` both rankings route to
+the frozen CSR power iterations (one ``bincount`` per round instead of
+a per-node predecessor scan); the dict bodies below stay the ground
+truth as ``pagerank_reference`` / ``hits_reference``.  Scores agree to
+float-sum reordering only, so the equality asserted by tests and the
+``perf-labeling`` bench is tolerance-bounded and iteration counts may
+differ by one.
 """
 
 from __future__ import annotations
@@ -17,11 +25,14 @@ import math
 from typing import Dict, Hashable, Tuple
 
 from repro.errors import ConvergenceError
+from repro.graphs.csr import FROZEN_MIN_NODES
 from repro.graphs.graph import DiGraph
+from repro.observability.instrument import timed
 
 Node = Hashable
 
 
+@timed("repro.labeling.pagerank")
 def pagerank(
     graph: DiGraph,
     damping: float = 0.85,
@@ -31,7 +42,28 @@ def pagerank(
     """PageRank by power iteration; returns (scores, iterations).
 
     Dangling nodes redistribute their mass uniformly.  Scores sum to 1.
+    Routes to :meth:`FrozenGraph.pagerank_scores` above the freeze
+    threshold; :func:`pagerank_reference` below.
     """
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must be in (0, 1), got {damping}")
+    if graph.num_nodes >= FROZEN_MIN_NODES:
+        fg = graph.frozen()
+        score, iterations = fg.pagerank_scores(damping, tolerance, max_iterations)
+        return (
+            {node: float(score[i]) for i, node in enumerate(fg.node_list)},
+            iterations,
+        )
+    return pagerank_reference(graph, damping, tolerance, max_iterations)
+
+
+def pagerank_reference(
+    graph: DiGraph,
+    damping: float = 0.85,
+    tolerance: float = 1e-10,
+    max_iterations: int = 10_000,
+) -> Tuple[Dict[Node, float], int]:
+    """The dict-of-sets power iteration: ground truth for :func:`pagerank`."""
     if not 0.0 < damping < 1.0:
         raise ValueError(f"damping must be in (0, 1), got {damping}")
     nodes = sorted(graph.nodes(), key=repr)
@@ -60,6 +92,7 @@ def pagerank(
     raise ConvergenceError("pagerank", max_iterations)
 
 
+@timed("repro.labeling.hits")
 def hits(
     graph: DiGraph,
     tolerance: float = 1e-10,
@@ -68,8 +101,27 @@ def hits(
     """Kleinberg's HITS; returns (hub scores, authority scores, iterations).
 
     Authority(v) = Σ hub(u) over in-neighbors; hub(u) = Σ authority(v)
-    over out-neighbors; both L2-normalised each round.
+    over out-neighbors; both L2-normalised each round.  Routes to
+    :meth:`FrozenGraph.hits_scores` above the freeze threshold.
     """
+    if graph.num_nodes >= FROZEN_MIN_NODES:
+        fg = graph.frozen()
+        hub, authority, iterations = fg.hits_scores(tolerance, max_iterations)
+        nodes_list = fg.node_list
+        return (
+            {node: float(hub[i]) for i, node in enumerate(nodes_list)},
+            {node: float(authority[i]) for i, node in enumerate(nodes_list)},
+            iterations,
+        )
+    return hits_reference(graph, tolerance, max_iterations)
+
+
+def hits_reference(
+    graph: DiGraph,
+    tolerance: float = 1e-10,
+    max_iterations: int = 10_000,
+) -> Tuple[Dict[Node, float], Dict[Node, float], int]:
+    """The dict-of-sets HITS iteration: ground truth for :func:`hits`."""
     nodes = sorted(graph.nodes(), key=repr)
     n = len(nodes)
     if n == 0:

@@ -7,10 +7,22 @@ feature space — M-space contacts remapped onto a generalized hypercube
 (F-space) with shortest-path and node-disjoint multipath routing.
 """
 
+from repro.remapping.batch_routing import (
+    RoutingBatchResult,
+    evaluate_fspace_routing,
+    evaluate_fspace_routing_reference,
+    evaluate_geo_routing,
+    evaluate_geo_routing_reference,
+    evaluate_hyperbolic_routing,
+    evaluate_hyperbolic_routing_reference,
+    evaluate_kleinberg_routing,
+    evaluate_kleinberg_routing_reference,
+)
 from repro.remapping.feature_space import (
     DeliveryResult,
     FeatureSpace,
     contact_frequency_by_feature_distance,
+    greedy_profile_route,
     simulate_delivery,
 )
 from repro.remapping.geo_routing import (
@@ -32,10 +44,20 @@ __all__ = [
     "FeatureSpace",
     "HyperbolicEmbedding",
     "RouteResult",
+    "RoutingBatchResult",
     "contact_frequency_by_feature_distance",
     "crescent_hole_positions",
     "delivery_rate",
     "embed_tree",
+    "evaluate_fspace_routing",
+    "evaluate_fspace_routing_reference",
+    "evaluate_geo_routing",
+    "evaluate_geo_routing_reference",
+    "evaluate_hyperbolic_routing",
+    "evaluate_hyperbolic_routing_reference",
+    "evaluate_kleinberg_routing",
+    "evaluate_kleinberg_routing_reference",
+    "greedy_profile_route",
     "greedy_route",
     "greedy_route_hyperbolic",
     "grid_with_holes",

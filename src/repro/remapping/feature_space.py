@@ -67,6 +67,7 @@ class FeatureSpace:
         self._communities: Dict[Profile, Set[Node]] = {}
         for node, profile in self.profiles.items():
             self._communities.setdefault(profile, set()).add(node)
+        self._strong_graph: Optional["Graph"] = None
 
     # ------------------------------------------------------------------
     # structure
@@ -82,6 +83,36 @@ class FeatureSpace:
 
     def occupied_profiles(self) -> Set[Profile]:
         return set(self._communities)
+
+    def strong_link_graph(self) -> "Graph":
+        """The occupied-profile hypercube: one node per occupied profile,
+        edges between profiles at Hamming distance one (strong links).
+
+        Unoccupied profiles are *holes* — greedy F-space routing can get
+        stuck at them, the hypercube analogue of Fig. 5(a)'s geographic
+        local minima.  Built once per space (profiles are immutable) by
+        mutating each coordinate and looking the result up in the
+        occupancy map: O(occupied · Σ radices) instead of all profile
+        pairs.
+        """
+        if self._strong_graph is not None:
+            return self._strong_graph
+        from repro.graphs.graph import Graph
+
+        graph = Graph()
+        occupied = self._communities
+        radices = self.hypercube.radices
+        for profile in occupied:
+            graph.add_node(profile)
+            for axis, radix in enumerate(radices):
+                for value in range(radix):
+                    if value == profile[axis]:
+                        continue
+                    other = profile[:axis] + (value,) + profile[axis + 1 :]
+                    if other in occupied:
+                        graph.add_edge(profile, other)
+        self._strong_graph = graph
+        return graph
 
     def feature_distance(self, u: Node, v: Node) -> int:
         """Hamming distance between two individuals' profiles."""
@@ -224,6 +255,52 @@ def _simulate_multipath(
     return DeliveryResult(
         delivered=False, delivery_time=None, hops=hops, copies=len(copies)
     )
+
+
+def greedy_profile_route(
+    space: FeatureSpace,
+    source_profile: Profile,
+    target_profile: Profile,
+    max_hops: Optional[int] = None,
+) -> "RouteResult":
+    """Greedy Hamming descent over the occupied-profile hypercube.
+
+    The F-space analogue of geographic greedy routing: from the current
+    profile, move to the strong-link neighbor (occupied profile at
+    Hamming distance one) strictly closer to the target, scanning
+    neighbors in repr order; stop when no neighbor improves (stuck at an
+    occupancy hole) or the target profile is reached.  Both endpoints
+    must be occupied.
+    """
+    from repro.remapping.geo_routing import RouteResult
+
+    graph = space.strong_link_graph()
+    source = tuple(int(x) for x in source_profile)
+    target = tuple(int(x) for x in target_profile)
+    for profile in (source, target):
+        if not graph.has_node(profile):
+            raise NodeNotFoundError(profile)
+    if max_hops is None:
+        max_hops = graph.num_nodes
+    current = source
+    path: List[Profile] = [current]
+    for _ in range(max_hops):
+        if current == target:
+            return RouteResult(delivered=True, path=tuple(path))
+        best = None
+        best_distance = hamming_distance(current, target)
+        for neighbor in sorted(graph.neighbors(current), key=repr):
+            candidate = hamming_distance(neighbor, target)
+            if candidate < best_distance:
+                best = neighbor
+                best_distance = candidate
+        if best is None:
+            return RouteResult(delivered=False, path=tuple(path), stuck_at=current)
+        current = best
+        path.append(current)
+    if current == target:
+        return RouteResult(delivered=True, path=tuple(path))
+    return RouteResult(delivered=False, path=tuple(path), stuck_at=current)
 
 
 def contact_frequency_by_feature_distance(

@@ -286,13 +286,10 @@ class EvolvingGraph:
         temporal sweeps over an unchanged graph pay the O(C log C)
         sort cost once.  See :mod:`repro.temporal.frozen`.
         """
+        from repro.graphs.csr import generation_cached
         from repro.temporal.frozen import FrozenContacts
 
-        cached = self._frozen
-        if cached is None or cached.generation != self._generation:
-            cached = FrozenContacts(self)
-            self._frozen = cached
-        return cached
+        return generation_cached(self, FrozenContacts)
 
     def snapshot(self, time: int) -> Graph:
         """G_i: the spanning subgraph during time unit ``time``."""

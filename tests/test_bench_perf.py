@@ -1,4 +1,5 @@
-"""Tier-1 wiring for the perf benchmarks (bench_perf_csr / bench_perf_temporal).
+"""Tier-1 wiring for the perf benchmarks (bench_perf_csr /
+bench_perf_temporal / bench_perf_labeling).
 
 Runs the same harnesses as the committed ``BENCH_perf-*.json`` feeds at
 toy scale against a temp directory: validates the emitted documents
@@ -27,6 +28,7 @@ if BENCH_DIR not in sys.path:
     sys.path.insert(0, BENCH_DIR)
 
 import bench_perf_csr  # noqa: E402  (benchmarks/bench_perf_csr.py)
+import bench_perf_labeling  # noqa: E402
 import bench_perf_temporal  # noqa: E402
 from _util import time_repeated  # noqa: E402
 from repro.observability import BENCH_SCHEMA, validate_bench_report  # noqa: E402
@@ -104,6 +106,43 @@ def test_committed_perf_temporal_feed_is_valid_and_meets_target():
             assert row[speedup_col] >= bench_perf_temporal.TARGET_SPEEDUP
 
 
+def test_perf_labeling_toy_run_validates_schema_and_equivalence(tmp_path):
+    result = bench_perf_labeling.run(
+        sizes=(bench_perf_labeling.TOY_SIZE,),
+        repeats=1,
+        out_dir=str(tmp_path),
+        top_dir=str(tmp_path),
+    )
+    assert result.experiment == "perf-labeling"
+    document = json.loads(open(result.json_path).read())
+    assert document["schema"] == BENCH_SCHEMA
+    assert validate_bench_report(document) == []
+    assert open(result.bench_path).read() == open(result.json_path).read()
+    kernels = {row[1] for row in result.rows}
+    assert set(bench_perf_labeling.TARGET_SPEEDUPS) <= kernels
+    assert any(key.endswith("_frozen_median_s") for key in document["timings"])
+    assert any(key.startswith("freeze_") for key in document["timings"])
+
+
+def test_committed_perf_labeling_feed_is_valid_and_meets_targets():
+    path = os.path.join(TOP, "BENCH_perf-labeling.json")
+    document = json.loads(open(path).read())
+    assert validate_bench_report(document) == []
+    header = document["header"]
+    kernel_col = header.index("kernel")
+    speedup_col = header.index("speedup")
+    n_col = header.index("n")
+    largest = max(row[n_col] for row in document["rows"])
+    floors = bench_perf_labeling.TARGET_SPEEDUPS
+    seen = set()
+    for row in document["rows"]:
+        floor = floors.get(row[kernel_col])
+        if row[n_col] == largest and floor is not None:
+            assert row[speedup_col] >= floor, row
+            seen.add(row[kernel_col])
+    assert seen == set(floors)  # every gated kernel appears at the top size
+
+
 # ----------------------------------------------------------------------
 # warn-only perf-trajectory guard
 # ----------------------------------------------------------------------
@@ -146,6 +185,22 @@ def test_perf_trajectory_temporal_warn_only():
     eg = bench_perf_temporal.temporal_workload(n, horizon, contacts, seed=n)
     specs = bench_perf_temporal.message_specs(n, messages, seed=n)
     for name, _ref_fn, frozen_fn in bench_perf_temporal._kernel_pairs(eg, specs):
+        key = f"{name}_n{n}_frozen_median_s"
+        if key not in timings:
+            continue
+        _, timing = time_repeated(frozen_fn, repeats=1, warmup=1)
+        _flag_regression(f"{name} (frozen, n={n})", timings[key], timing.median_s)
+
+
+def test_perf_trajectory_labeling_warn_only():
+    """Re-time the frozen labeling/routing kernels at the smallest
+    committed size; warn (never fail) on a >3x slowdown."""
+    n, side, n_pairs, n_landmarks = bench_perf_labeling.DEFAULT_SIZES[0]
+    timings = _committed_timings("BENCH_perf-labeling.json")
+    workloads = bench_perf_labeling.build_workloads(n, side, n_pairs, n_landmarks)
+    for name, _ref_fn, frozen_fn, _check in bench_perf_labeling._kernel_pairs(
+        workloads
+    ):
         key = f"{name}_n{n}_frozen_median_s"
         if key not in timings:
             continue
