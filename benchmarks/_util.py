@@ -25,10 +25,27 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
-from repro.observability import BENCH_SCHEMA, BenchReport, get_registry, write_atomic
+from repro.observability import (
+    BENCH_SCHEMA,
+    BenchReport,
+    apply_gate,
+    build_perf_record,
+    cache_counts,
+    detect_regressions,
+    dispatch_counts,
+    get_profiler,
+    get_registry,
+    load_history,
+    write_atomic,
+)
+from repro.observability import append_history as _append_history
+from repro.observability.metrics import MetricsRegistry, set_registry
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 TOP_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: The append-only ``repro.perf/v1`` ledger every emit_table call feeds.
+HISTORY_NAME = "history.jsonl"
 
 _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
@@ -73,17 +90,48 @@ def run_sweep(
     Parallel runs share the machine's cores, so use ``jobs > 1`` for
     throughput sweeps (e.g. per-TTL DTN simulations), not for
     wall-clock timing measurements.
+
+    Worker-side metrics are not lost: each worker runs its point
+    against a fresh global registry, ships the registry state back with
+    the result, and the parent folds every state into its own global
+    registry (counter totals add, histogram samples extend) — so
+    cache/dispatch telemetry is complete regardless of fan-out.
     """
     item_list = list(items)
     if not jobs or jobs <= 1 or len(item_list) <= 1:
         return [fn(item) for item in item_list]
     import multiprocessing
     from concurrent.futures import ProcessPoolExecutor
+    from functools import partial
 
     context = multiprocessing.get_context("fork")
     workers = min(jobs, len(item_list))
     with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-        return list(pool.map(fn, item_list))
+        outcomes = list(pool.map(partial(_run_sweep_worker, fn), item_list))
+    registry = get_registry()
+    results: List[_Result] = []
+    for result, state in outcomes:
+        registry.merge_state(state)
+        results.append(result)
+    return results
+
+
+def _run_sweep_worker(fn: Callable[[_Item], _Result], item: _Item):
+    """Run one sweep point against a fresh global registry and return
+    ``(result, registry state)``.
+
+    Forked workers inherit the parent's registry contents; swapping in
+    an empty registry first means the shipped state holds only what
+    *this* point recorded, so the parent-side merge never double-counts
+    pre-fork series.
+    """
+    worker_registry = MetricsRegistry("sweep-worker")
+    previous = set_registry(worker_registry)
+    try:
+        result = fn(item)
+    finally:
+        set_registry(previous)
+    return result, worker_registry.dump_state()
 
 
 @dataclass(frozen=True)
@@ -155,6 +203,7 @@ class TableResult:
     txt_path: str
     json_path: str
     bench_path: str
+    history_path: str = ""
 
     def __str__(self) -> str:
         return self.text
@@ -178,6 +227,13 @@ def emit_table(
     ``network.metrics.snapshot()``) to scope it.  ``timings`` are
     caller-measured wall times in seconds; the emission cost is always
     added as ``emit_s``.
+
+    Every call also appends one ``repro.perf/v1`` record (timings,
+    cache/dispatch counters, profiler memory summary) to the
+    append-only ``<destination>/history.jsonl`` ledger and runs the
+    regression gate against the experiment's prior records there
+    (``REPRO_PERF_GATE``: warn by default, fail under CI, off to
+    silence; see :mod:`repro.observability.regression`).
     """
     t0 = time.perf_counter()
     raw_rows = [tuple(row) for row in rows]
@@ -222,6 +278,19 @@ def emit_table(
     paths = report.write(destination, top_dir=top_dir)
     json_path = paths[0]
     bench_path = paths[1] if len(paths) > 1 else ""
+
+    history_path = os.path.join(destination, HISTORY_NAME)
+    record = build_perf_record(
+        experiment,
+        timings=all_timings,
+        cache=cache_counts(),
+        dispatch=dispatch_counts(),
+        memory=get_profiler().memory_summary(),
+    )
+    prior = load_history(history_path, experiment=experiment)
+    _append_history(history_path, record)
+    apply_gate(detect_regressions(prior, record))
+
     return TableResult(
         experiment=experiment,
         title=title,
@@ -233,4 +302,5 @@ def emit_table(
         txt_path=txt_path,
         json_path=json_path,
         bench_path=bench_path,
+        history_path=history_path,
     )

@@ -233,6 +233,36 @@ def smoke_dtn() -> Dict[str, Any]:
     }
 
 
+@smoke("report")
+def smoke_report() -> Dict[str, Any]:
+    from repro.observability.report import build_dashboard, render_markdown
+
+    dashboard = build_dashboard(TOP_DIR)
+    markdown = render_markdown(dashboard)
+    if not markdown.startswith("# "):
+        raise AssertionError("report: markdown dashboard missing title")
+    rows = [
+        (
+            summary["experiment"],
+            summary["floor_kernel"],
+            round(summary["floor"], 2),
+        )
+        for summary in dashboard["speedups"]
+    ]
+    if not rows:
+        raise AssertionError("report: no speedup feeds found in top dir")
+    return {
+        "title": "consolidated perf report (smoke)",
+        "header": ["experiment", "slowest kernel", "speedup floor"],
+        "rows": rows,
+        "notes": (
+            "Dashboard built by repro.observability.report over the "
+            "committed BENCH_*.json feeds; each row is the worst "
+            "speedup at the largest size of one perf experiment."
+        ),
+    }
+
+
 @smoke("perf-temporal")
 def smoke_perf_temporal() -> Dict[str, Any]:
     import bench_perf_temporal

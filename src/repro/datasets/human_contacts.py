@@ -52,10 +52,14 @@ def discretised_rate_model(
     """
     trace, profiles = rate_model_trace(n, radices, rng, **kwargs)
     eg = trace.to_evolving(slot=slot)
+    from repro.observability.telemetry import record_dispatch
     from repro.temporal.frozen import FROZEN_MIN_CONTACTS
 
     if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        record_dispatch("datasets.prefrozen_rate_model", fast=True)
         eg.frozen()
+    else:
+        record_dispatch("datasets.prefrozen_rate_model", fast=False)
     return eg, profiles
 
 

@@ -34,6 +34,8 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tupl
 from repro.faults.plan import FaultPlan, FaultSession
 from repro.observability import tracing
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.profiling import profile_span
+from repro.observability.telemetry import record_dispatch
 from repro.temporal.evolving import EvolvingGraph
 from repro.temporal.frozen import FROZEN_MIN_CONTACTS
 
@@ -257,38 +259,63 @@ class DTNSimulation:
         """
         with self.tracer.span(
             "dtn.run", router=self.router.name, messages=len(self.messages)
-        ) as span:
-            if self._use_fast_path():
-                contacts = self._run_fast()
-            else:
-                contacts = self._run_general()
+        ) as span, profile_span(
+            "repro.dtn.run", router=self.router.name
+        ):
+            fast = self._use_fast_path()
+            record_dispatch("dtn.run", fast=fast)
+            contacts = self._run_fast() if fast else self._run_general()
             self._contacts.inc(contacts)
             span.set_attribute("contacts", contacts)
         return self.stats()
 
+    def _fast_path_rejections(self) -> List[str]:
+        """Why the bitset front cannot model this run (empty = eligible).
+
+        The front only reproduces fault-free, unbounded, untraced runs
+        of routers whose policy it implements exactly; each violated
+        precondition contributes one labeled reason.
+        """
+        reasons: List[str] = []
+        if self.faults is not None:
+            reasons.append("fault_session")
+        if self.buffer_size is not None:
+            reasons.append("bounded_buffer")
+        if self.tracer.enabled:
+            reasons.append("tracer_enabled")
+        if type(self.router).__dict__.get("fast_path_mode") not in (
+            "epidemic",
+            "direct",
+        ):
+            reasons.append("router_mode")
+        return reasons
+
     def _fast_path_eligible(self) -> bool:
-        """The bitset front only models fault-free, unbounded,
-        untraced runs of routers whose policy it reproduces exactly."""
-        return (
-            self.faults is None
-            and self.buffer_size is None
-            and not self.tracer.enabled
-            and type(self.router).__dict__.get("fast_path_mode")
-            in ("epidemic", "direct")
-        )
+        return not self._fast_path_rejections()
+
+    def _record_rejections(self, reasons: List[str]) -> None:
+        for reason in reasons:
+            self.metrics.counter(
+                "repro.dtn.fast_path_rejected", {"reason": reason}
+            ).inc()
 
     def _use_fast_path(self) -> bool:
         if self.fast_path is False:
+            self._record_rejections(["disabled"])
             return False
-        eligible = self._fast_path_eligible()
+        reasons = self._fast_path_rejections()
         if self.fast_path is True:
-            if not eligible:
+            if reasons:
+                self._record_rejections(reasons)
                 raise ValueError(
                     "fast_path=True requires a fault-free, unbounded-buffer, "
                     "untraced run under an epidemic or direct-delivery router"
                 )
             return True
-        return eligible and self.eg.num_contacts >= FROZEN_MIN_CONTACTS
+        if not reasons and self.eg.num_contacts < FROZEN_MIN_CONTACTS:
+            reasons = ["too_few_contacts"]
+        self._record_rejections(reasons)
+        return not reasons
 
     def _run_general(self) -> int:
         """The general per-message loop; returns contacts processed."""

@@ -34,6 +34,8 @@ import numpy as np
 
 from repro.errors import AlgorithmError, ConvergenceError, NodeNotFoundError
 from repro.observability.instrument import timed
+from repro.observability.profiling import profiled
+from repro.observability.telemetry import record_cache_event
 
 Node = Hashable
 
@@ -59,11 +61,21 @@ def generation_cached(owner, factory):
     (bumped by every topology mutation).  Used by ``Graph.frozen``,
     ``DiGraph.frozen`` and ``EvolvingGraph.frozen`` so the invalidation
     rule cannot drift between substrates.
+
+    Every call emits one ``repro.cache.frozen`` counter event labeled
+    with the owner's type: ``miss`` (first freeze), ``refreeze``
+    (rebuild after a topology mutation), or ``hit`` (snapshot reused).
     """
     cached = owner._frozen
-    if cached is None or cached.generation != owner._generation:
-        cached = factory(owner)
-        owner._frozen = cached
+    if cached is None:
+        record_cache_event(owner, "miss")
+    elif cached.generation != owner._generation:
+        record_cache_event(owner, "refreeze")
+    else:
+        record_cache_event(owner, "hit")
+        return cached
+    cached = factory(owner)
+    owner._frozen = cached
     return cached
 
 
@@ -291,6 +303,7 @@ class FrozenGraph:
                 start, min(start + _BITSET_BATCH, self.n), dtype=np.int64
             )
 
+    @profiled("repro.graphs.csr.eccentricities")
     def eccentricities(self) -> np.ndarray:
         """Per-node eccentricity over the reachable set (index order)."""
         ecc = np.empty(self.n, dtype=np.int64)
@@ -302,6 +315,7 @@ class FrozenGraph:
             ecc[batch] = self._bitset_sweep(batch)[2]
         return ecc
 
+    @profiled("repro.graphs.csr.all_pairs_distance_sums")
     def all_pairs_distance_sums(self) -> np.ndarray:
         """Sum of hop distances from each node to its reachable set.
 
@@ -371,6 +385,7 @@ class FrozenGraph:
     # ------------------------------------------------------------------
     # centralities and clustering
     # ------------------------------------------------------------------
+    @profiled("repro.graphs.csr.closeness_centrality")
     def closeness_centrality(self) -> Dict[Node, float]:
         """Wasserman–Faust closeness, identical to the reference formula."""
         n = self.n
@@ -483,6 +498,7 @@ class FrozenGraph:
             for i, node in enumerate(self.node_list)
         }
 
+    @profiled("repro.graphs.csr.betweenness_centrality")
     def betweenness_centrality(self, normalized: bool = True) -> Dict[Node, float]:
         """Brandes' exact betweenness over interned indices.
 

@@ -23,6 +23,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.graphs.csr import FROZEN_MIN_NODES
+from repro.observability.telemetry import record_dispatch
 from repro.graphs.graph import DiGraph, Graph
 from repro.graphs.traversal import bfs_distances_reference
 
@@ -177,7 +178,9 @@ def closeness_centrality(graph: Graph) -> Dict[Node, float]:
     larger = more central.
     """
     if graph.num_nodes >= FROZEN_MIN_NODES:
+        record_dispatch("graphs.closeness_centrality", fast=True)
         return graph.frozen().closeness_centrality()
+    record_dispatch("graphs.closeness_centrality", fast=False)
     return closeness_centrality_reference(graph)
 
 
@@ -202,7 +205,9 @@ def closeness_centrality_reference(graph: Graph) -> Dict[Node, float]:
 def betweenness_centrality(graph: Graph, normalized: bool = True) -> Dict[Node, float]:
     """Brandes' exact betweenness for unweighted undirected graphs."""
     if graph.num_nodes >= FROZEN_MIN_NODES:
+        record_dispatch("graphs.betweenness_centrality", fast=True)
         return graph.frozen().betweenness_centrality(normalized=normalized)
+    record_dispatch("graphs.betweenness_centrality", fast=False)
     betweenness: Dict[Node, float] = {node: 0.0 for node in graph.nodes()}
     for source in graph.nodes():
         stack: List[Node] = []
@@ -269,7 +274,9 @@ def eigenvector_centrality(
 def clustering_coefficient(graph: Graph, node: Node) -> float:
     """Fraction of a node's neighbor pairs that are themselves adjacent."""
     if graph.num_nodes >= FROZEN_MIN_NODES and graph.has_node(node):
+        record_dispatch("graphs.clustering_coefficient", fast=True)
         return graph.frozen().clustering_coefficient(node)
+    record_dispatch("graphs.clustering_coefficient", fast=False)
     return clustering_coefficient_reference(graph, node)
 
 
@@ -292,7 +299,9 @@ def average_clustering(graph: Graph) -> float:
     if graph.num_nodes == 0:
         return 0.0
     if graph.num_nodes >= FROZEN_MIN_NODES:
+        record_dispatch("graphs.average_clustering", fast=True)
         return graph.frozen().average_clustering()
+    record_dispatch("graphs.average_clustering", fast=False)
     return average_clustering_reference(graph)
 
 

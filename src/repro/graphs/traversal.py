@@ -22,6 +22,7 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tupl
 from repro.errors import AlgorithmError, NodeNotFoundError
 from repro.graphs.csr import FROZEN_MIN_NODES
 from repro.graphs.graph import DiGraph, Graph
+from repro.observability.telemetry import record_dispatch
 
 Node = Hashable
 AnyGraph = Union[Graph, DiGraph]
@@ -58,7 +59,9 @@ def bfs_distances(graph: AnyGraph, source: Node) -> Dict[Node, int]:
     if not graph.has_node(source):
         raise NodeNotFoundError(source)
     if graph.num_nodes >= FROZEN_MIN_NODES:
+        record_dispatch("graphs.bfs_distances", fast=True)
         return graph.frozen().bfs_distances(source)
+    record_dispatch("graphs.bfs_distances", fast=False)
     return bfs_distances_reference(graph, source)
 
 
@@ -193,7 +196,9 @@ def connected_components(graph: Graph) -> List[Set[Node]]:
     if isinstance(graph, DiGraph):
         raise TypeError("connected_components expects an undirected Graph")
     if graph.num_nodes >= FROZEN_MIN_NODES:
+        record_dispatch("graphs.connected_components", fast=True)
         return graph.frozen().connected_components()
+    record_dispatch("graphs.connected_components", fast=False)
     return connected_components_reference(graph)
 
 
@@ -218,7 +223,9 @@ def is_connected(graph: Graph) -> bool:
     if graph.num_nodes == 0:
         return True
     if graph.num_nodes >= FROZEN_MIN_NODES:
+        record_dispatch("graphs.is_connected", fast=True)
         return graph.frozen().is_connected()
+    record_dispatch("graphs.is_connected", fast=False)
     return len(bfs_distances(graph, next(iter(graph.nodes())))) == graph.num_nodes
 
 
@@ -286,8 +293,10 @@ def largest_strongly_connected_component(graph: DiGraph) -> DiGraph:
 def eccentricity(graph: AnyGraph, node: Node) -> int:
     """Max hop distance from ``node`` to any reachable node."""
     if graph.num_nodes >= FROZEN_MIN_NODES and graph.has_node(node):
+        record_dispatch("graphs.eccentricity", fast=True)
         fg = graph.frozen()
         return fg.eccentricity_of(fg.index_of(node))
+    record_dispatch("graphs.eccentricity", fast=False)
     dist = bfs_distances(graph, node)
     return max(dist.values()) if dist else 0
 
@@ -301,7 +310,9 @@ def diameter(graph: Graph) -> int:
     if graph.num_nodes == 0:
         return 0
     if graph.num_nodes >= FROZEN_MIN_NODES:
+        record_dispatch("graphs.diameter", fast=True)
         return graph.frozen().diameter()
+    record_dispatch("graphs.diameter", fast=False)
     if not is_connected(graph):
         raise AlgorithmError("diameter is undefined on a disconnected graph")
     return max(eccentricity(graph, node) for node in graph.nodes())

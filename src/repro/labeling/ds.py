@@ -18,6 +18,7 @@ from typing import Dict, Hashable, Optional, Set, Tuple
 import numpy as np
 
 from repro.graphs.csr import FROZEN_MIN_NODES
+from repro.observability.telemetry import record_dispatch
 from repro.graphs.graph import Graph
 from repro.runtime.engine import Network, NodeAlgorithm, NodeContext
 
@@ -46,6 +47,7 @@ def neighbor_designated_ds(
     if priorities is None:
         priorities = _default_priorities(graph)
     if graph.num_nodes >= FROZEN_MIN_NODES:
+        record_dispatch("labeling.neighbor_designated_ds", fast=True)
         fg = graph.frozen()
         prio = np.array(
             [priorities[node] for node in fg.node_list], dtype=np.float64
@@ -56,6 +58,7 @@ def neighbor_designated_ds(
             nodes[i]: nodes[int(winners[i])] for i in range(fg.n)
         }
         return set(selected_by.values()), selected_by
+    record_dispatch("labeling.neighbor_designated_ds", fast=False)
     return neighbor_designated_ds_reference(graph, priorities)
 
 

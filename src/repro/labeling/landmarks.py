@@ -30,7 +30,9 @@ import numpy as np
 
 from repro.errors import AlgorithmError, NodeNotFoundError
 from repro.graphs.csr import FROZEN_MIN_NODES
+from repro.observability.telemetry import record_dispatch
 from repro.observability.instrument import timed
+from repro.observability.profiling import profiled
 
 Node = Hashable
 HopLabel = Tuple[int, Node]
@@ -46,6 +48,7 @@ def select_landmarks(graph, count: int) -> List[Node]:
 
 
 @timed("repro.labeling.distance_gateway_labels")
+@profiled("repro.labeling.distance_gateway_labels")
 def distance_gateway_labels(
     graph, landmarks: Iterable[Node]
 ) -> Dict[Node, HopLabel]:
@@ -60,6 +63,7 @@ def distance_gateway_labels(
     if not lms:
         raise ValueError("need at least one landmark")
     if graph.num_nodes >= FROZEN_MIN_NODES:
+        record_dispatch("labeling.distance_gateway_labels", fast=True)
         fg = graph.frozen()
         sources = np.array([fg.index_of(lm) for lm in lms], dtype=np.int64)
         level, landmark = fg.multi_source_labels(sources)
@@ -68,6 +72,7 @@ def distance_gateway_labels(
             nodes[i]: (int(level[i]), nodes[int(landmark[i])])
             for i in np.flatnonzero(level >= 0)
         }
+    record_dispatch("labeling.distance_gateway_labels", fast=False)
     return distance_gateway_labels_reference(graph, lms)
 
 
@@ -101,6 +106,7 @@ def distance_gateway_labels_reference(
 
 
 @timed("repro.labeling.weighted_distance_gateway_labels")
+@profiled("repro.labeling.weighted_distance_gateway_labels")
 def weighted_distance_gateway_labels(
     graph,
     landmarks: Iterable[Node],
@@ -117,6 +123,7 @@ def weighted_distance_gateway_labels(
     if not lms:
         raise ValueError("need at least one landmark")
     if graph.num_nodes >= FROZEN_MIN_NODES:
+        record_dispatch("labeling.weighted_distance_gateway_labels", fast=True)
         fg = graph.frozen()
         sources = np.array([fg.index_of(lm) for lm in lms], dtype=np.int64)
         weights = fg.edge_weights(graph, weight, default)
@@ -127,6 +134,7 @@ def weighted_distance_gateway_labels(
             nodes[i]: (float(dist[i]), nodes[int(landmark[i])])
             for i in np.flatnonzero(reach)
         }
+    record_dispatch("labeling.weighted_distance_gateway_labels", fast=False)
     return weighted_distance_gateway_labels_reference(graph, lms, weight, default)
 
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import NodeNotFoundError
 from repro.graphs.csr import FROZEN_MIN_NODES
+from repro.observability.telemetry import record_dispatch
 from repro.graphs.graph import Graph
 from repro.runtime.engine import Network, NodeAlgorithm, NodeContext
 
@@ -60,6 +61,7 @@ def compute_mis(
     if priorities is None:
         priorities = id_priorities(graph)
     if graph.num_nodes >= FROZEN_MIN_NODES:
+        record_dispatch("labeling.compute_mis", fast=True)
         fg = graph.frozen()
         prio = np.array(
             [priorities[node] for node in fg.node_list], dtype=np.float64
@@ -67,6 +69,7 @@ def compute_mis(
         mask, rounds = fg.mis_rounds(prio)
         nodes = fg.node_list
         return {nodes[i] for i in np.flatnonzero(mask)}, rounds
+    record_dispatch("labeling.compute_mis", fast=False)
     return compute_mis_reference(graph, priorities)
 
 

@@ -26,13 +26,16 @@ from typing import Dict, Hashable, Tuple
 
 from repro.errors import ConvergenceError
 from repro.graphs.csr import FROZEN_MIN_NODES
+from repro.observability.telemetry import record_dispatch
 from repro.graphs.graph import DiGraph
 from repro.observability.instrument import timed
+from repro.observability.profiling import profiled
 
 Node = Hashable
 
 
 @timed("repro.labeling.pagerank")
+@profiled("repro.labeling.pagerank")
 def pagerank(
     graph: DiGraph,
     damping: float = 0.85,
@@ -48,12 +51,14 @@ def pagerank(
     if not 0.0 < damping < 1.0:
         raise ValueError(f"damping must be in (0, 1), got {damping}")
     if graph.num_nodes >= FROZEN_MIN_NODES:
+        record_dispatch("labeling.pagerank", fast=True)
         fg = graph.frozen()
         score, iterations = fg.pagerank_scores(damping, tolerance, max_iterations)
         return (
             {node: float(score[i]) for i, node in enumerate(fg.node_list)},
             iterations,
         )
+    record_dispatch("labeling.pagerank", fast=False)
     return pagerank_reference(graph, damping, tolerance, max_iterations)
 
 
@@ -93,6 +98,7 @@ def pagerank_reference(
 
 
 @timed("repro.labeling.hits")
+@profiled("repro.labeling.hits")
 def hits(
     graph: DiGraph,
     tolerance: float = 1e-10,
@@ -105,6 +111,7 @@ def hits(
     :meth:`FrozenGraph.hits_scores` above the freeze threshold.
     """
     if graph.num_nodes >= FROZEN_MIN_NODES:
+        record_dispatch("labeling.hits", fast=True)
         fg = graph.frozen()
         hub, authority, iterations = fg.hits_scores(tolerance, max_iterations)
         nodes_list = fg.node_list
@@ -113,6 +120,7 @@ def hits(
             {node: float(authority[i]) for i, node in enumerate(nodes_list)},
             iterations,
         )
+    record_dispatch("labeling.hits", fast=False)
     return hits_reference(graph, tolerance, max_iterations)
 
 

@@ -13,6 +13,16 @@ here rather than per-module ad-hoc counters:
 * :mod:`repro.observability.export` — JSONL event logs, Prometheus
   text exposition, and the :class:`BenchReport` writer behind every
   ``benchmarks/out/<experiment>.json`` / ``BENCH_<experiment>.json``.
+* :mod:`repro.observability.profiling` — opt-in ``profile_span`` /
+  ``@profiled`` wall-time + tracemalloc accounting on the hot kernel
+  entry points (no-op while disabled, like tracing).
+* :mod:`repro.observability.telemetry` — the frozen-cache
+  (hit/miss/refreeze) and fast-path-vs-reference dispatch counters.
+* :mod:`repro.observability.regression` — the ``repro.perf/v1``
+  append-only ledger plus the median-of-last-k regression gate
+  (``REPRO_PERF_GATE`` / ``REPRO_PERF_GATE_THRESHOLD``).
+* :mod:`repro.observability.report` — ``python -m
+  repro.observability.report``, the consolidated perf dashboard.
 
 Import the tracing module as ``trace`` for the idiomatic spelling::
 
@@ -22,8 +32,29 @@ Import the tracing module as ``trace`` for the idiomatic spelling::
         ...
 """
 
+from repro.observability import profiling
 from repro.observability import tracing as trace
 from repro.observability.instrument import timed
+from repro.observability.profiling import get_profiler, profile_span, profiled
+from repro.observability.regression import (
+    PERF_SCHEMA,
+    PerfRegressionError,
+    Regression,
+    append_history,
+    apply_gate,
+    build_perf_record,
+    detect_regressions,
+    gate_mode,
+    gate_threshold,
+    load_history,
+    validate_perf_record,
+)
+from repro.observability.telemetry import (
+    cache_counts,
+    dispatch_counts,
+    record_cache_event,
+    record_dispatch,
+)
 from repro.observability.export import (
     BENCH_SCHEMA,
     BenchReport,
@@ -52,17 +83,36 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PERF_SCHEMA",
+    "PerfRegressionError",
+    "Regression",
     "Tracer",
+    "append_history",
+    "apply_gate",
+    "build_perf_record",
+    "cache_counts",
+    "detect_regressions",
+    "dispatch_counts",
+    "gate_mode",
+    "gate_threshold",
+    "get_profiler",
     "get_registry",
     "get_tracer",
+    "load_history",
     "parse_prometheus",
+    "profile_span",
+    "profiled",
+    "profiling",
     "read_jsonl",
+    "record_cache_event",
+    "record_dispatch",
     "set_registry",
     "timed",
     "to_jsonl",
     "to_prometheus",
     "trace",
     "validate_bench_report",
+    "validate_perf_record",
     "write_atomic",
     "write_jsonl",
 ]

@@ -47,8 +47,13 @@ def write_atomic(path: str, text: str) -> str:
             handle.write(text)
         os.replace(tmp_path, path)
     except BaseException:
-        if os.path.exists(tmp_path):
+        # Unlink unconditionally: an exists() pre-check races against a
+        # concurrent writer claiming the same name, and a failed replace
+        # may or may not have consumed the temp file.
+        try:
             os.unlink(tmp_path)
+        except OSError:
+            pass
         raise
     return path
 
@@ -107,6 +112,14 @@ def _prom_name(name: str) -> str:
     return sanitized
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double-quote and newline must be backslash-escaped."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Mapping[str, Any], extra: Optional[Mapping[str, Any]] = None) -> str:
     merged: Dict[str, Any] = dict(labels)
     if extra:
@@ -114,7 +127,8 @@ def _prom_labels(labels: Mapping[str, Any], extra: Optional[Mapping[str, Any]] =
     if not merged:
         return ""
     rendered = ",".join(
-        f'{_prom_name(str(key))}="{str(value)}"' for key, value in sorted(merged.items())
+        f'{_prom_name(str(key))}="{_prom_escape(str(value))}"'
+        for key, value in sorted(merged.items())
     )
     return "{" + rendered + "}"
 

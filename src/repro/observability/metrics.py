@@ -55,6 +55,15 @@ class Metric:
     def snapshot_value(self) -> Any:
         raise NotImplementedError
 
+    def dump_value(self) -> Any:
+        """Picklable raw state for cross-process transfer (see
+        :meth:`MetricsRegistry.dump_state`)."""
+        raise NotImplementedError
+
+    def merge_value(self, value: Any) -> None:
+        """Fold another metric's :meth:`dump_value` into this one."""
+        raise NotImplementedError
+
 
 class Counter(Metric):
     """A monotonically increasing total.
@@ -88,6 +97,12 @@ class Counter(Metric):
     def snapshot_value(self) -> int:
         return self._value
 
+    def dump_value(self) -> int:
+        return self._value
+
+    def merge_value(self, value: Any) -> None:
+        self.inc(int(value))
+
 
 class Gauge(Metric):
     """A value that can move in both directions."""
@@ -113,6 +128,13 @@ class Gauge(Metric):
 
     def snapshot_value(self) -> float:
         return self._value
+
+    def dump_value(self) -> float:
+        return self._value
+
+    def merge_value(self, value: Any) -> None:
+        # Gauges are point-in-time: the merged (later) observation wins.
+        self.set(float(value))
 
 
 class Histogram(Metric):
@@ -182,6 +204,12 @@ class Histogram(Metric):
 
     def snapshot_value(self) -> Dict[str, Any]:
         return self.summary()
+
+    def dump_value(self) -> List[float]:
+        return list(self._values)
+
+    def merge_value(self, value: Any) -> None:
+        self._values.extend(value)
 
 
 class MetricsRegistry:
@@ -276,6 +304,51 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
             self._kinds.clear()
+
+    # -- cross-process transfer ----------------------------------------
+    _KIND_CLASSES: Dict[str, type] = {}  # filled in below the class body
+
+    def dump_state(self) -> List[Dict[str, Any]]:
+        """Picklable plain-data form of every metric, for shipping a
+        worker registry back to the parent of a ``run_sweep`` fan-out.
+
+        Counters dump their total, gauges their value, histograms their
+        raw sample list — everything :meth:`merge_state` needs to fold
+        the series into another registry losslessly.
+        """
+        return [
+            {
+                "name": metric.name,
+                "labels": list(metric.labels),
+                "kind": metric.kind,
+                "value": metric.dump_value(),
+            }
+            for metric in self.metrics()
+        ]
+
+    def merge_state(self, state: Iterable[Mapping[str, Any]]) -> None:
+        """Fold a :meth:`dump_state` payload into this registry.
+
+        Counter totals add, histogram samples extend, gauges take the
+        incoming value; series missing here are created.  Raises on a
+        kind conflict, same as the get-or-create accessors.
+        """
+        for entry in state:
+            cls = self._KIND_CLASSES[entry["kind"]]
+            labels = {key: value for key, value in entry["labels"]}
+            metric = self._get(cls, entry["name"], labels)
+            metric.merge_value(entry["value"])
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold every series of ``other`` into this registry."""
+        self.merge_state(other.dump_state())
+
+
+MetricsRegistry._KIND_CLASSES = {
+    Counter.kind: Counter,
+    Gauge.kind: Gauge,
+    Histogram.kind: Histogram,
+}
 
 
 _global_registry = MetricsRegistry("global")

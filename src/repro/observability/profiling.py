@@ -1,0 +1,289 @@
+"""Opt-in profiling spans: wall time plus tracemalloc memory accounting.
+
+Tracing (:mod:`repro.observability.tracing`) answers *what happened*;
+profiling answers *what it cost*.  A profile span measures one region
+of execution — a frozen-kernel sweep, a DTN run, a batched routing
+fold — capturing its wall-clock duration and, when memory capture is
+on, its ``tracemalloc`` peak above entry and net allocation delta.
+
+Like the tracer, the profiler is **disabled by default** and its
+disabled path is a single attribute check returning a shared no-op
+context manager, so the ``@profiled`` hooks on the library's hot entry
+points stay within the engine-overhead budget.  Memory capture is a
+second, separate opt-in (``enable(memory=True)``) because tracemalloc
+itself slows allocation-heavy code by an order of magnitude.
+
+Usage::
+
+    from repro.observability import profiling
+
+    profiling.enable(memory=True)
+    with profiling.profile_span("labeling.pagerank", n=5000):
+        pagerank_centrality(graph)
+    profiling.get_profiler().summary(top=5)   # slowest span names
+    profiling.disable()
+
+Every finished span also observes ``<name>.duration_s`` (and, with
+memory on, ``<name>.peak_kib``) into the global metrics registry, so
+profile data flows into benchmark reports and the perf ledger without
+extra wiring.  Records are plain dicts, ready for
+:func:`repro.observability.export.write_jsonl`.
+
+Nested-span memory accounting: each span resets the tracemalloc peak
+on entry and folds its own observed peak back into its parent on exit,
+so a parent's ``peak_kib`` is the true maximum over its whole extent,
+not just the tail after its last child closed.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+import tracemalloc
+from typing import Any, Callable, Dict, List, Optional, TypeVar
+
+from repro.observability.metrics import get_registry
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_KIB = 1024.0
+
+
+class _NoopProfileSpan:
+    """Shared do-nothing span returned while profiling is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopProfileSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopProfileSpan()
+
+
+class ProfileSpan:
+    """One live profiled region; becomes a record dict when it closes."""
+
+    __slots__ = (
+        "profiler", "name", "attrs", "depth", "started_at",
+        "_t0", "_mem0", "_child_peak",
+    )
+
+    def __init__(
+        self,
+        profiler: "Profiler",
+        name: str,
+        attrs: Dict[str, Any],
+        depth: int,
+        mem0: Optional[int],
+    ) -> None:
+        self.profiler = profiler
+        self.name = name
+        self.attrs = attrs
+        self.depth = depth
+        self.started_at = time.time()
+        self._mem0 = mem0  # traced bytes at entry; None = memory off
+        self._child_peak = 0  # max peak folded back from closed children
+        self._t0 = time.perf_counter()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "ProfileSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        duration = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.profiler._finish(self, duration)
+
+
+class Profiler:
+    """Collects profile records; wall time always, memory on request."""
+
+    def __init__(self, enabled: bool = False, memory: bool = False) -> None:
+        self.enabled = enabled
+        self.capture_memory = memory
+        self.records: List[Dict[str, Any]] = []
+        self._local = threading.local()
+        self._started_tracemalloc = False
+
+    # -- lifecycle ------------------------------------------------------
+    def enable(self, memory: bool = False) -> None:
+        """Turn profiling on; ``memory=True`` also starts tracemalloc."""
+        self.enabled = True
+        self.capture_memory = memory
+        if memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+
+    def disable(self) -> None:
+        """Turn profiling off (records are kept until cleared)."""
+        self.enabled = False
+        self.capture_memory = False
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_tracemalloc = False
+
+    def clear(self) -> None:
+        self.records = []
+        self._local = threading.local()
+
+    # -- span machinery -------------------------------------------------
+    def _stack(self) -> List[ProfileSpan]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs: Any):
+        """Open a profiled region; use as a context manager."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        mem0: Optional[int] = None
+        if self.capture_memory and tracemalloc.is_tracing():
+            mem0 = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+        stack = self._stack()
+        span = ProfileSpan(
+            profiler=self,
+            name=name,
+            attrs=attrs,
+            depth=len(stack),
+            mem0=mem0,
+        )
+        stack.append(span)
+        return span
+
+    def _finish(self, span: ProfileSpan, duration: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # out-of-order close: drop it and deeper spans
+            while stack and stack[-1] is not span:
+                stack.pop()
+            stack.pop()
+        record: Dict[str, Any] = {
+            "type": "profile",
+            "name": span.name,
+            "depth": span.depth,
+            "ts": span.started_at,
+            "duration_s": duration,
+            "attrs": span.attrs,
+        }
+        registry = get_registry()
+        registry.histogram(f"{span.name}.duration_s").observe(duration)
+        if span._mem0 is not None and tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            peak = max(peak, span._child_peak)
+            peak_kib = max(0.0, (peak - span._mem0) / _KIB)
+            alloc_kib = (current - span._mem0) / _KIB
+            record["peak_kib"] = peak_kib
+            record["alloc_kib"] = alloc_kib
+            registry.histogram(f"{span.name}.peak_kib").observe(peak_kib)
+            if stack:  # fold our peak into the parent, then resume its window
+                parent = stack[-1]
+                parent._child_peak = max(parent._child_peak, peak)
+                tracemalloc.reset_peak()
+        self.records.append(record)
+
+    # -- queries --------------------------------------------------------
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        return [
+            record
+            for record in self.records
+            if name is None or record["name"] == name
+        ]
+
+    def summary(self, top: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Per-name aggregates, slowest (by total time) first.
+
+        Each entry carries ``name``, ``count``, ``total_s``, ``max_s``
+        and — when memory capture produced them — ``max_peak_kib``.
+        """
+        by_name: Dict[str, Dict[str, Any]] = {}
+        for record in self.records:
+            entry = by_name.setdefault(
+                record["name"],
+                {"name": record["name"], "count": 0, "total_s": 0.0, "max_s": 0.0},
+            )
+            entry["count"] += 1
+            entry["total_s"] += record["duration_s"]
+            entry["max_s"] = max(entry["max_s"], record["duration_s"])
+            if "peak_kib" in record:
+                entry["max_peak_kib"] = max(
+                    entry.get("max_peak_kib", 0.0), record["peak_kib"]
+                )
+        ordered = sorted(by_name.values(), key=lambda e: -e["total_s"])
+        return ordered[:top] if top is not None else ordered
+
+    def memory_summary(self) -> Dict[str, Dict[str, float]]:
+        """``name -> {peak_kib, alloc_kib}`` maxima (memory spans only)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for record in self.records:
+            if "peak_kib" not in record:
+                continue
+            entry = out.setdefault(
+                record["name"], {"peak_kib": 0.0, "alloc_kib": 0.0}
+            )
+            entry["peak_kib"] = max(entry["peak_kib"], record["peak_kib"])
+            entry["alloc_kib"] = max(entry["alloc_kib"], record["alloc_kib"])
+        return out
+
+
+_global_profiler = Profiler(enabled=False)
+
+
+def get_profiler() -> Profiler:
+    """The process-global profiler (disabled unless :func:`enable` ran)."""
+    return _global_profiler
+
+
+def profile_span(name: str, **attrs: Any):
+    """Open a span on the global profiler (module-level convenience)."""
+    return _global_profiler.span(name, **attrs)
+
+
+def enable(memory: bool = False) -> None:
+    """Turn on the global profiler; ``memory=True`` adds tracemalloc."""
+    _global_profiler.enable(memory=memory)
+
+
+def disable() -> None:
+    """Turn off the global profiler (records are kept until cleared)."""
+    _global_profiler.disable()
+
+
+def enabled() -> bool:
+    return _global_profiler.enabled
+
+
+def profiled(name: str) -> Callable[[F], F]:
+    """Decorate a hot entry point with an opt-in profile span.
+
+    While the profiler is disabled the wrapper is one attribute check
+    plus the call — cheap enough for every routed kernel entry point.
+    When enabled, each call records wall time (and memory, when memory
+    capture is on) under ``name``.
+    """
+
+    def decorator(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _global_profiler.enabled:
+                return fn(*args, **kwargs)
+            with _global_profiler.span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorator

@@ -1,0 +1,402 @@
+"""Consolidated perf dashboard over BENCH feeds and the perf ledger.
+
+``python -m repro.observability.report`` scans every committed
+``BENCH_*.json`` feed (the ``repro.bench/v1`` documents the benchmark
+harnesses emit at the repo top level) plus the append-only
+``benchmarks/out/history.jsonl`` perf ledger, and renders one
+dashboard — markdown by default, JSON with ``--json``:
+
+* **speedup floors** — for every perf feed whose table carries
+  ``kernel`` and ``speedup`` columns, the minimum speedup at the
+  largest benchmarked size (the number the tier-1 floor tests gate on);
+* **trajectory** — for every experiment in the ledger, the latest
+  run's ``*_median_s`` timings against the median of the prior
+  last-k records, worst delta first;
+* **cache hit rates** — the ``repro.cache.frozen`` counters per owner
+  type, aggregated across feeds and ledger records;
+* **top-N slowest spans** — the slowest ``*_median_s`` cases across
+  all feed timing maps;
+* **memory ceilings** — the largest per-span tracemalloc peaks the
+  profiler recorded into the ledger.
+
+The dashboard is itself a schema'd document (``repro.report/v1``) so
+downstream tooling can diff two dashboards the same way the bench
+feeds are diffed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.observability.regression import (
+    DEFAULT_BASELINE_K,
+    detect_regressions,
+    load_history,
+)
+from repro.observability.telemetry import CACHE_METRIC, _LABELED
+
+REPORT_SCHEMA = "repro.report/v1"
+
+#: Feed table columns that mark a perf-comparison table.
+_KERNEL_COL = "kernel"
+_SPEEDUP_COL = "speedup"
+_SIZE_COLS = ("requested n", "n")
+
+
+# ----------------------------------------------------------------------
+# inputs
+# ----------------------------------------------------------------------
+def scan_bench_feeds(top_dir: str) -> Dict[str, Dict[str, Any]]:
+    """Load every ``BENCH_*.json`` under ``top_dir``, keyed by
+    experiment name (falling back to the filename stem)."""
+    feeds: Dict[str, Dict[str, Any]] = {}
+    for path in sorted(glob.glob(os.path.join(top_dir, "BENCH_*.json"))):
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except ValueError:
+            continue
+        if not isinstance(document, dict):
+            continue
+        stem = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        feeds[str(document.get("experiment") or stem)] = document
+    return feeds
+
+
+# ----------------------------------------------------------------------
+# section builders
+# ----------------------------------------------------------------------
+def speedup_summary(feeds: Mapping[str, Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Per perf feed: each kernel's speedup at the largest size, plus
+    the feed-wide floor (the minimum of those)."""
+    out: List[Dict[str, Any]] = []
+    for experiment in sorted(feeds):
+        document = feeds[experiment]
+        header = document.get("header") or []
+        rows = document.get("rows") or []
+        if _KERNEL_COL not in header or _SPEEDUP_COL not in header or not rows:
+            continue
+        kernel_col = header.index(_KERNEL_COL)
+        speedup_col = header.index(_SPEEDUP_COL)
+        size_col = next(
+            (header.index(c) for c in _SIZE_COLS if c in header), None
+        )
+        if size_col is not None:
+            largest = max(row[size_col] for row in rows)
+            top_rows = [row for row in rows if row[size_col] == largest]
+        else:
+            largest = None
+            top_rows = rows
+        kernels = {
+            str(row[kernel_col]): float(row[speedup_col]) for row in top_rows
+        }
+        if not kernels:
+            continue
+        floor_kernel = min(kernels, key=kernels.get)
+        out.append(
+            {
+                "experiment": experiment,
+                "largest_size": largest,
+                "kernels": kernels,
+                "floor": kernels[floor_kernel],
+                "floor_kernel": floor_kernel,
+            }
+        )
+    return out
+
+
+def _merge_labeled_counts(
+    snapshot: Mapping[str, Any],
+    metric_name: str,
+    into: Dict[str, Dict[str, int]],
+    outer_label: str,
+    inner_label: str,
+) -> None:
+    for key, value in snapshot.items():
+        match = _LABELED.match(key)
+        if match is None or match.group("name") != metric_name:
+            continue
+        labels = dict(
+            pair.partition("=")[::2] for pair in match.group("labels").split(",")
+        )
+        outer = labels.get(outer_label, "?")
+        inner = labels.get(inner_label, "?")
+        bucket = into.setdefault(outer, {})
+        bucket[inner] = bucket.get(inner, 0) + int(value)
+
+
+def cache_summary(
+    feeds: Mapping[str, Mapping[str, Any]],
+    ledger: Sequence[Mapping[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """Aggregate ``repro.cache.frozen`` counters across every feed's
+    metrics snapshot and every ledger record; adds a ``hit_rate`` per
+    owner type (hits over all freeze-path calls)."""
+    merged: Dict[str, Dict[str, int]] = {}
+    for document in feeds.values():
+        metrics = document.get("metrics")
+        if isinstance(metrics, Mapping):
+            _merge_labeled_counts(metrics, CACHE_METRIC, merged, "owner", "event")
+    for record in ledger:
+        cache = record.get("cache")
+        if not isinstance(cache, Mapping):
+            continue
+        for owner, events in cache.items():
+            if not isinstance(events, Mapping):
+                continue
+            bucket = merged.setdefault(str(owner), {})
+            for event, count in events.items():
+                bucket[str(event)] = bucket.get(str(event), 0) + int(count)
+    out: Dict[str, Dict[str, Any]] = {}
+    for owner, events in sorted(merged.items()):
+        total = sum(events.values())
+        entry: Dict[str, Any] = dict(events)
+        entry["hit_rate"] = (events.get("hit", 0) / total) if total else 0.0
+        out[owner] = entry
+    return out
+
+
+def slowest_spans(
+    feeds: Mapping[str, Mapping[str, Any]], top: int = 10
+) -> List[Dict[str, Any]]:
+    """The ``top`` slowest ``*_median_s`` cases across all feeds."""
+    cases: List[Dict[str, Any]] = []
+    for experiment, document in feeds.items():
+        timings = document.get("timings")
+        if not isinstance(timings, Mapping):
+            continue
+        for key, value in timings.items():
+            if key.endswith("_median_s") and isinstance(value, (int, float)):
+                cases.append(
+                    {"experiment": experiment, "case": key, "median_s": float(value)}
+                )
+    cases.sort(key=lambda c: -c["median_s"])
+    return cases[:top]
+
+
+def trajectory_summary(
+    ledger: Sequence[Mapping[str, Any]], k: int = DEFAULT_BASELINE_K
+) -> List[Dict[str, Any]]:
+    """Latest-vs-baseline delta per experiment in the ledger.
+
+    Uses the same median-of-last-``k`` baseline as the regression
+    detector but reports *every* compared key's worst slowdown, not
+    just threshold breaches, so drift is visible before it gates.
+    """
+    by_experiment: Dict[str, List[Mapping[str, Any]]] = {}
+    for record in ledger:
+        experiment = record.get("experiment")
+        if isinstance(experiment, str):
+            by_experiment.setdefault(experiment, []).append(record)
+    out: List[Dict[str, Any]] = []
+    for experiment in sorted(by_experiment):
+        records = by_experiment[experiment]
+        current, history = records[-1], records[:-1]
+        entry: Dict[str, Any] = {
+            "experiment": experiment,
+            "runs": len(records),
+            "generated_at": current.get("generated_at"),
+            "regressions": [],
+            "worst_slowdown": None,
+        }
+        if history:
+            # threshold barely above 1.0 => report every slowdown
+            deltas = detect_regressions(history, current, k=k, threshold=1.000001)
+            entry["worst_slowdown"] = deltas[0].slowdown if deltas else 1.0
+            entry["regressions"] = [
+                {
+                    "key": d.key,
+                    "baseline_s": d.baseline_s,
+                    "current_s": d.current_s,
+                    "slowdown": d.slowdown,
+                }
+                for d in deltas[:5]
+            ]
+        out.append(entry)
+    return out
+
+
+def memory_summary(ledger: Sequence[Mapping[str, Any]]) -> Dict[str, Dict[str, float]]:
+    """Largest per-span profiler peaks recorded into the ledger."""
+    out: Dict[str, Dict[str, float]] = {}
+    for record in ledger:
+        memory = record.get("memory")
+        if not isinstance(memory, Mapping):
+            continue
+        for span, stats in memory.items():
+            if not isinstance(stats, Mapping):
+                continue
+            entry = out.setdefault(str(span), {"peak_kib": 0.0, "alloc_kib": 0.0})
+            for field in ("peak_kib", "alloc_kib"):
+                value = stats.get(field)
+                if isinstance(value, (int, float)):
+                    entry[field] = max(entry[field], float(value))
+    return dict(sorted(out.items(), key=lambda kv: -kv[1]["peak_kib"]))
+
+
+# ----------------------------------------------------------------------
+# the dashboard
+# ----------------------------------------------------------------------
+def build_dashboard(
+    top_dir: str,
+    history_path: Optional[str] = None,
+    top: int = 10,
+) -> Dict[str, Any]:
+    """Assemble the full ``repro.report/v1`` dashboard document."""
+    if history_path is None:
+        history_path = os.path.join(top_dir, "benchmarks", "out", "history.jsonl")
+    feeds = scan_bench_feeds(top_dir)
+    ledger = load_history(history_path)
+    return {
+        "schema": REPORT_SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "feeds": sorted(feeds),
+        "ledger_path": history_path,
+        "ledger_records": len(ledger),
+        "speedups": speedup_summary(feeds),
+        "trajectory": trajectory_summary(ledger),
+        "cache": cache_summary(feeds, ledger),
+        "slowest": slowest_spans(feeds, top=top),
+        "memory": memory_summary(ledger),
+    }
+
+
+def render_markdown(dashboard: Mapping[str, Any]) -> str:
+    """The human-facing view of :func:`build_dashboard`'s output."""
+    lines: List[str] = [
+        "# Perf observatory",
+        "",
+        f"Generated {dashboard.get('generated_at', '?')} · "
+        f"{len(dashboard.get('feeds', []))} BENCH feeds · "
+        f"{dashboard.get('ledger_records', 0)} ledger records "
+        f"({dashboard.get('ledger_path', '?')})",
+        "",
+    ]
+
+    speedups = dashboard.get("speedups", [])
+    lines.append("## Speedup floors (largest size per feed)")
+    lines.append("")
+    if speedups:
+        lines.append("| experiment | size | floor | floor kernel | kernels |")
+        lines.append("|---|---|---|---|---|")
+        for entry in speedups:
+            kernels = ", ".join(
+                f"{k} {v:.1f}x" for k, v in sorted(entry["kernels"].items())
+            )
+            lines.append(
+                f"| {entry['experiment']} | {entry['largest_size']} "
+                f"| {entry['floor']:.1f}x | {entry['floor_kernel']} | {kernels} |"
+            )
+    else:
+        lines.append("(no perf-comparison feeds found)")
+    lines.append("")
+
+    trajectory = dashboard.get("trajectory", [])
+    lines.append("## Trajectory (ledger, latest vs median-of-last-k)")
+    lines.append("")
+    if trajectory:
+        lines.append("| experiment | runs | worst slowdown | top drifting case |")
+        lines.append("|---|---|---|---|")
+        for entry in trajectory:
+            worst = entry.get("worst_slowdown")
+            worst_text = f"{worst:.2f}x" if isinstance(worst, float) else "n/a"
+            top_case = entry["regressions"][0]["key"] if entry["regressions"] else "—"
+            lines.append(
+                f"| {entry['experiment']} | {entry['runs']} | {worst_text} | {top_case} |"
+            )
+    else:
+        lines.append("(ledger empty — run a perf benchmark to populate it)")
+    lines.append("")
+
+    cache = dashboard.get("cache", {})
+    lines.append("## Frozen-cache hit rates")
+    lines.append("")
+    if cache:
+        lines.append("| owner | hit | miss | refreeze | hit rate |")
+        lines.append("|---|---|---|---|---|")
+        for owner, stats in cache.items():
+            lines.append(
+                f"| {owner} | {stats.get('hit', 0)} | {stats.get('miss', 0)} "
+                f"| {stats.get('refreeze', 0)} | {stats.get('hit_rate', 0.0):.1%} |"
+            )
+    else:
+        lines.append("(no cache telemetry recorded yet)")
+    lines.append("")
+
+    slowest = dashboard.get("slowest", [])
+    lines.append(f"## Top {len(slowest)} slowest cases")
+    lines.append("")
+    if slowest:
+        lines.append("| experiment | case | median |")
+        lines.append("|---|---|---|")
+        for entry in slowest:
+            lines.append(
+                f"| {entry['experiment']} | {entry['case']} | {entry['median_s']:.4f}s |"
+            )
+    else:
+        lines.append("(no timings found)")
+    lines.append("")
+
+    memory = dashboard.get("memory", {})
+    lines.append("## Memory ceilings (profiler peaks from the ledger)")
+    lines.append("")
+    if memory:
+        lines.append("| span | peak | net alloc |")
+        lines.append("|---|---|---|")
+        for span, stats in memory.items():
+            lines.append(
+                f"| {span} | {stats['peak_kib']:.0f} KiB | {stats['alloc_kib']:.0f} KiB |"
+            )
+    else:
+        lines.append("(no memory profiles in the ledger — run a benchmark with "
+                     "`profiling.enable(memory=True)`)")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.report",
+        description="Consolidated perf dashboard over BENCH feeds and the ledger.",
+    )
+    parser.add_argument(
+        "--top-dir", default=".", help="repo root holding the BENCH_*.json feeds"
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        help="perf ledger path (default <top-dir>/benchmarks/out/history.jsonl)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the JSON document, not markdown"
+    )
+    parser.add_argument("--out", default=None, help="write to this file instead of stdout")
+    parser.add_argument(
+        "--top", type=int, default=10, help="slowest-case list length (default 10)"
+    )
+    options = parser.parse_args(argv)
+
+    dashboard = build_dashboard(
+        options.top_dir, history_path=options.history, top=options.top
+    )
+    if options.json:
+        text = json.dumps(dashboard, indent=2, sort_keys=True) + "\n"
+    else:
+        text = render_markdown(dashboard)
+    if options.out:
+        from repro.observability.export import write_atomic
+
+        write_atomic(options.out, text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

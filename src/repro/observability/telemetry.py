@@ -1,0 +1,82 @@
+"""Cache and dispatch telemetry for the frozen-index fast paths.
+
+Two small families of counters on the global metrics registry:
+
+``repro.cache.frozen{owner=...,event=hit|miss|refreeze}``
+    Emitted by :func:`repro.graphs.csr.generation_cached`, the one
+    shared frozen-snapshot cache idiom.  A *miss* is the first freeze
+    for an owner, a *refreeze* is a rebuild after the owner mutated,
+    and a *hit* reuses the cached snapshot.  ``owner`` is the owner's
+    class name (``Graph``, ``DiGraph``, ``EvolvingGraph``).
+
+``repro.dispatch.calls{kernel=...,path=fast|reference}``
+    Emitted at every ``FROZEN_MIN_*`` gate: one count per public call,
+    labeled with which implementation actually ran.  This makes the
+    question "did the big run take the vectorized path?" answerable
+    from a metrics snapshot instead of a debugger.
+
+Both helpers are one registry lookup plus an integer add, and they are
+called at entry-point granularity (never per node / per contact), so
+they stay within the disabled-mode overhead budget.  Import the module
+from kernel code — not individual counters — so tests can swap the
+registry via :func:`repro.observability.metrics.set_registry`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict
+
+from repro.observability.metrics import MetricsRegistry, get_registry
+
+CACHE_METRIC = "repro.cache.frozen"
+DISPATCH_METRIC = "repro.dispatch.calls"
+
+_LABELED = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$")
+
+
+def record_cache_event(owner: Any, event: str) -> None:
+    """Count one frozen-cache *hit* / *miss* / *refreeze* for ``owner``."""
+    get_registry().counter(
+        CACHE_METRIC, {"owner": type(owner).__name__, "event": event}
+    ).inc()
+
+
+def record_dispatch(kernel: str, fast: bool) -> None:
+    """Count one kernel call routed to the fast or reference path."""
+    get_registry().counter(
+        DISPATCH_METRIC, {"kernel": kernel, "path": "fast" if fast else "reference"}
+    ).inc()
+
+
+def _labeled_counts(metric_name: str, registry: MetricsRegistry):
+    """Yield ``(labels_dict, value)`` for every series of ``metric_name``."""
+    for key, value in registry.snapshot().items():
+        match = _LABELED.match(key)
+        if match is None or match.group("name") != metric_name:
+            continue
+        labels: Dict[str, str] = {}
+        for pair in match.group("labels").split(","):
+            label, _, label_value = pair.partition("=")
+            labels[label] = label_value
+        yield labels, value
+
+
+def cache_counts(registry: MetricsRegistry = None) -> Dict[str, Dict[str, int]]:
+    """``{owner: {event: count}}`` view of the frozen-cache counters."""
+    registry = registry if registry is not None else get_registry()
+    out: Dict[str, Dict[str, int]] = {}
+    for labels, value in _labeled_counts(CACHE_METRIC, registry):
+        owner = labels.get("owner", "?")
+        out.setdefault(owner, {})[labels.get("event", "?")] = int(value)
+    return out
+
+
+def dispatch_counts(registry: MetricsRegistry = None) -> Dict[str, Dict[str, int]]:
+    """``{kernel: {path: count}}`` view of the dispatch counters."""
+    registry = registry if registry is not None else get_registry()
+    out: Dict[str, Dict[str, int]] = {}
+    for labels, value in _labeled_counts(DISPATCH_METRIC, registry):
+        kernel = labels.get("kernel", "?")
+        out.setdefault(kernel, {})[labels.get("path", "?")] = int(value)
+    return out

@@ -35,9 +35,11 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graphs.csr import FROZEN_MIN_NODES, FrozenGraph
+from repro.observability.telemetry import record_dispatch
 from repro.graphs.unit_disk import positions_of
 from repro.labeling.kleinberg_routing import greedy_grid_route
 from repro.observability.instrument import timed
+from repro.observability.profiling import profiled
 from repro.remapping.feature_space import FeatureSpace, greedy_profile_route
 from repro.remapping.geo_routing import greedy_route
 from repro.remapping.hyperbolic import HyperbolicEmbedding, greedy_route_hyperbolic
@@ -340,6 +342,7 @@ def _result_from_routes(
 # geographic routing (Fig. 5a)
 # ----------------------------------------------------------------------
 @timed("repro.remapping.evaluate_geo_routing")
+@profiled("repro.remapping.evaluate_geo_routing")
 def evaluate_geo_routing(
     graph,
     pairs: Sequence[Pair],
@@ -352,7 +355,9 @@ def evaluate_geo_routing(
     equality with :func:`evaluate_geo_routing_reference` either way.
     """
     if graph.num_nodes < FROZEN_MIN_NODES:
+        record_dispatch("remapping.evaluate_geo_routing", fast=False)
         return evaluate_geo_routing_reference(graph, pairs, positions, max_hops)
+    record_dispatch("remapping.evaluate_geo_routing", fast=True)
     pos = positions if positions is not None else positions_of(graph)
     fg = graph.frozen()
     sources, targets = _pair_indices(fg, pairs)
@@ -388,6 +393,7 @@ def evaluate_geo_routing_reference(
 # hyperbolic routing (Fig. 5b)
 # ----------------------------------------------------------------------
 @timed("repro.remapping.evaluate_hyperbolic_routing")
+@profiled("repro.remapping.evaluate_hyperbolic_routing")
 def evaluate_hyperbolic_routing(
     graph,
     embedding: HyperbolicEmbedding,
@@ -401,9 +407,11 @@ def evaluate_hyperbolic_routing(
     the reference's 1e-12 strict-progress threshold.
     """
     if graph.num_nodes < FROZEN_MIN_NODES:
+        record_dispatch("remapping.evaluate_hyperbolic_routing", fast=False)
         return evaluate_hyperbolic_routing_reference(
             graph, embedding, pairs, max_hops
         )
+    record_dispatch("remapping.evaluate_hyperbolic_routing", fast=True)
     fg = graph.frozen()
     sources, targets = _pair_indices(fg, pairs)
     distinct, slot = np.unique(targets, return_inverse=True)
@@ -438,6 +446,7 @@ def evaluate_hyperbolic_routing_reference(
 # Kleinberg grid routing (Sec. I)
 # ----------------------------------------------------------------------
 @timed("repro.remapping.evaluate_kleinberg_routing")
+@profiled("repro.remapping.evaluate_kleinberg_routing")
 def evaluate_kleinberg_routing(
     graph,
     pairs: Sequence[Pair],
@@ -450,7 +459,9 @@ def evaluate_kleinberg_routing(
     repr); optimal hops via BFS over the reversed arcs.
     """
     if graph.num_nodes < FROZEN_MIN_NODES:
+        record_dispatch("remapping.evaluate_kleinberg_routing", fast=False)
         return evaluate_kleinberg_routing_reference(graph, pairs, max_hops)
+    record_dispatch("remapping.evaluate_kleinberg_routing", fast=True)
     fg = graph.frozen()
     sources, targets = _pair_indices(fg, pairs)
     distinct, slot = np.unique(targets, return_inverse=True)
@@ -483,6 +494,7 @@ def evaluate_kleinberg_routing_reference(
 # F-space hypercube routing (Sec. III-C)
 # ----------------------------------------------------------------------
 @timed("repro.remapping.evaluate_fspace_routing")
+@profiled("repro.remapping.evaluate_fspace_routing")
 def evaluate_fspace_routing(
     space: FeatureSpace,
     pairs: Sequence[Pair],
@@ -500,7 +512,9 @@ def evaluate_fspace_routing(
     ]
     graph = space.strong_link_graph()
     if graph.num_nodes < FROZEN_MIN_NODES:
+        record_dispatch("remapping.evaluate_fspace_routing", fast=False)
         return evaluate_fspace_routing_reference(space, normalized, max_hops)
+    record_dispatch("remapping.evaluate_fspace_routing", fast=True)
     fg = graph.frozen()
     sources, targets = _pair_indices(fg, normalized)
     distinct, slot = np.unique(targets, return_inverse=True)

@@ -18,6 +18,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 from repro.errors import NodeNotFoundError
 from repro.temporal.evolving import EvolvingGraph
 from repro.temporal.frozen import FROZEN_MIN_CONTACTS
+from repro.observability.telemetry import record_dispatch
 from repro.temporal.journeys import earliest_arrival, earliest_arrival_reference
 
 Node = Hashable
@@ -59,8 +60,10 @@ def is_time_i_connected(eg: EvolvingGraph, start: int) -> bool:
     one bit-parallel batched scan instead of one scan per source.
     """
     if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        record_dispatch("temporal.is_time_i_connected", fast=True)
         _, reached = eg.frozen().flooding_stats(start)
         return bool((reached == eg.num_nodes).all())
+    record_dispatch("temporal.is_time_i_connected", fast=False)
     return is_time_i_connected_reference(eg, start)
 
 
@@ -139,6 +142,7 @@ def temporal_eccentricities(
     per-source scan each.  ``None`` where a flood never completes.
     """
     if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        record_dispatch("temporal.temporal_eccentricities", fast=True)
         fc = eg.frozen()
         latest, reached = fc.flooding_stats(start)
         n = eg.num_nodes
@@ -146,6 +150,7 @@ def temporal_eccentricities(
             node: int(latest[i]) - start if int(reached[i]) == n else None
             for i, node in enumerate(fc.node_list)
         }
+    record_dispatch("temporal.temporal_eccentricities", fast=False)
     return {
         node: flooding_time_reference(eg, node, start) for node in eg.nodes()
     }
@@ -158,12 +163,14 @@ def dynamic_diameter(eg: EvolvingGraph, start: int = 0) -> Optional[int]:
     flooding time)".  ``None`` when some flood never completes.
     """
     if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        record_dispatch("temporal.dynamic_diameter", fast=True)
         worst = 0
         for time in temporal_eccentricities(eg, start).values():
             if time is None:
                 return None
             worst = max(worst, time)
         return worst
+    record_dispatch("temporal.dynamic_diameter", fast=False)
     return dynamic_diameter_reference(eg, start)
 
 

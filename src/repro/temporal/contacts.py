@@ -131,8 +131,11 @@ class ContactTrace:
             raise ValueError(f"slot must be positive, got {slot}")
         if horizon is None:
             horizon = max(1, int(math.ceil(self.end_time / slot)))
+        from repro.observability.telemetry import record_dispatch
+
         eg = EvolvingGraph(horizon=horizon, nodes=self.nodes)
         if len(self.records) >= FROZEN_MIN_CONTACTS:
+            record_dispatch("temporal.to_evolving", fast=True)
             starts = np.fromiter(
                 (r.start for r in self.records), dtype=np.float64
             )
@@ -151,6 +154,7 @@ class ContactTrace:
                 for unit in range(first, last + 1)
             )
             return eg
+        record_dispatch("temporal.to_evolving", fast=False)
         for record in self.records:
             first = int(math.floor(record.start / slot))
             last = int(math.ceil(record.end / slot)) - 1

@@ -23,6 +23,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.errors import NodeNotFoundError
 from repro.temporal.evolving import EvolvingGraph
 from repro.temporal.frozen import FROZEN_MIN_CONTACTS
+from repro.observability.telemetry import record_dispatch
 
 Node = Hashable
 Hop = Tuple[Node, Node, int]  # (from, to, contact time)
@@ -112,7 +113,9 @@ def foremost_tree(
     if not eg.has_node(source):
         raise NodeNotFoundError(source)
     if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        record_dispatch("temporal.foremost_tree", fast=True)
         return eg.frozen().foremost_tree(source, start)
+    record_dispatch("temporal.foremost_tree", fast=False)
     return foremost_tree_reference(eg, source, start)
 
 
@@ -167,7 +170,9 @@ def earliest_arrival(
     if not eg.has_node(source):
         raise NodeNotFoundError(source)
     if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        record_dispatch("temporal.earliest_arrival", fast=True)
         return eg.frozen().earliest_arrival(source, start)
+    record_dispatch("temporal.earliest_arrival", fast=False)
     return earliest_arrival_reference(eg, source, start)
 
 
@@ -306,7 +311,9 @@ def latest_departure(
     if deadline is None:
         deadline = eg.horizon
     if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        record_dispatch("temporal.latest_departure", fast=True)
         return eg.frozen().latest_departure(target, deadline)
+    record_dispatch("temporal.latest_departure", fast=False)
     return latest_departure_reference(eg, target, deadline)
 
 

@@ -36,6 +36,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 from repro.errors import NodeNotFoundError
 from repro.temporal.evolving import EvolvingGraph
 from repro.temporal.frozen import FROZEN_MIN_CONTACTS
+from repro.observability.telemetry import record_dispatch
 from repro.temporal.journeys import Hop, Journey
 
 Node = Hashable
@@ -49,7 +50,9 @@ def _weighted_contacts(eg: EvolvingGraph) -> List[Tuple[int, Node, Node, float]]
     bump); callers must not mutate the returned list.
     """
     if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        record_dispatch("temporal.weighted_contacts", fast=True)
         return eg.frozen().weighted_contacts()
+    record_dispatch("temporal.weighted_contacts", fast=False)
     return [
         (time, u, v, eg.weight(u, v, time))
         for time, u, v in eg.all_contacts()
@@ -74,7 +77,9 @@ def min_delay_journey(
     if source == target:
         return Journey(source=source, hops=())
     if eg.num_contacts >= FROZEN_MIN_CONTACTS:
+        record_dispatch("temporal.min_delay_journey", fast=True)
         return _min_delay_journey_frozen(eg, source, target, start)
+    record_dispatch("temporal.min_delay_journey", fast=False)
     return min_delay_journey_reference(eg, source, target, start)
 
 
@@ -282,8 +287,10 @@ def max_bandwidth_journey(
     if source == target:
         return Journey(source=source, hops=()), math.inf
     if eg.num_contacts < FROZEN_MIN_CONTACTS:
+        record_dispatch("temporal.max_bandwidth_journey", fast=False)
         return max_bandwidth_journey_reference(eg, source, target, start)
 
+    record_dispatch("temporal.max_bandwidth_journey", fast=True)
     fc = eg.frozen()
     source_idx = fc.index_of(source)
     target_idx = fc.index_of(target)

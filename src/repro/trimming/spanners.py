@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Hashable, Optional, Set, Tuple
 
 from repro.graphs.csr import FROZEN_MIN_NODES
+from repro.observability.telemetry import record_dispatch
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import dijkstra
 from repro.observability.instrument import timed
@@ -151,7 +152,9 @@ def spanner_stretch(
         and _is_unit_weighted(spanner, weight, default_weight)
         and all(spanner.has_node(node) for node in graph.nodes())
     ):
+        record_dispatch("trimming.spanner_stretch", fast=True)
         return _hop_stretch(graph, spanner)
+    record_dispatch("trimming.spanner_stretch", fast=False)
 
     def graph_weight(u: Node, v: Node) -> float:
         return float(graph.edge_attr(u, v, weight, default_weight))

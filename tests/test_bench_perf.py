@@ -9,17 +9,19 @@ assertion that every fast-path output equals its pure-Python reference
 (the run raises otherwise).  No speedup floor at toy scale — that is
 the full run's job — only schema and equivalence.
 
-The trajectory tests at the bottom are *warn-only*: they re-time the
-fast-path kernels at the smallest committed size and emit a warning
-when a kernel regressed by more than 3x against the committed feed,
-without ever failing tier-1 (timings on shared CI boxes are too noisy
-to gate on).
+The trajectory tests at the bottom re-time the fast-path kernels at
+the smallest committed size and compare against the committed feed
+through the configurable perf gate
+(:mod:`repro.observability.regression`): warn by default (timings on
+shared dev boxes are too noisy to hard-gate), fail when the ``CI`` env
+var is set or ``REPRO_PERF_GATE=fail``, silent with
+``REPRO_PERF_GATE=off``.  ``REPRO_PERF_GATE_THRESHOLD`` overrides the
+3x slowdown factor.
 """
 
 import json
 import os
 import sys
-import warnings
 
 BENCH_DIR = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
@@ -32,11 +34,12 @@ import bench_perf_labeling  # noqa: E402
 import bench_perf_temporal  # noqa: E402
 from _util import time_repeated  # noqa: E402
 from repro.observability import BENCH_SCHEMA, validate_bench_report  # noqa: E402
+from repro.observability import regression  # noqa: E402
 
 TOP = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-#: Warn (never fail) when a fast-path kernel is this much slower than
-#: the committed feed's median at the same size.
+#: Default slowdown factor for the trajectory gate (see
+#: ``REPRO_PERF_GATE_THRESHOLD`` to override).
 TRAJECTORY_SLOWDOWN = 3.0
 
 
@@ -144,7 +147,7 @@ def test_committed_perf_labeling_feed_is_valid_and_meets_targets():
 
 
 # ----------------------------------------------------------------------
-# warn-only perf-trajectory guard
+# perf-trajectory guard (configurable gate; warn by default, fail in CI)
 # ----------------------------------------------------------------------
 def _committed_timings(feed_name):
     path = os.path.join(TOP, feed_name)
@@ -152,11 +155,18 @@ def _committed_timings(feed_name):
 
 
 def _flag_regression(kernel, committed_s, current_s):
-    if committed_s > 0 and current_s > TRAJECTORY_SLOWDOWN * committed_s:
-        warnings.warn(
-            f"perf trajectory: {kernel} now {current_s:.4f}s vs committed "
-            f"median {committed_s:.4f}s (> {TRAJECTORY_SLOWDOWN:g}x slower)",
-            stacklevel=2,
+    threshold = regression.gate_threshold(default=TRAJECTORY_SLOWDOWN)
+    if committed_s > 0 and current_s > threshold * committed_s:
+        regression.apply_gate(
+            [
+                regression.Regression(
+                    experiment="trajectory",
+                    key=kernel,
+                    baseline_s=committed_s,
+                    current_s=current_s,
+                    threshold=threshold,
+                )
+            ]
         )
 
 

@@ -1,0 +1,124 @@
+"""Exporter hardening: atomic-write failure injection and Prometheus
+round-trips with labeled metrics and hostile label values."""
+
+import os
+
+import pytest
+
+from repro.observability.export import (
+    parse_prometheus,
+    to_prometheus,
+    write_atomic,
+)
+from repro.observability.metrics import MetricsRegistry
+
+
+class TestWriteAtomicFailureInjection:
+    def test_failed_replace_leaves_no_temp_file(self, tmp_path, monkeypatch):
+        """If the final rename blows up, the temp file must be cleaned
+        up and the destination must not exist."""
+        target = tmp_path / "artifact.json"
+
+        def exploding_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk on fire"):
+            write_atomic(str(target), "payload")
+        assert not target.exists()
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+
+    def test_failed_replace_preserves_previous_content(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "artifact.json"
+        write_atomic(str(target), "old content")
+
+        monkeypatch.setattr(
+            os, "replace", lambda src, dst: (_ for _ in ()).throw(OSError("nope"))
+        )
+        with pytest.raises(OSError):
+            write_atomic(str(target), "new content")
+        assert target.read_text() == "old content"
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+
+    def test_cleanup_tolerates_replace_that_consumed_the_temp(
+        self, tmp_path, monkeypatch
+    ):
+        """A replace that moved the temp file *and then* raised must
+        not trigger a second error from the unlink fallback."""
+        target = tmp_path / "artifact.json"
+        real_replace = os.replace
+
+        def replace_then_raise(src, dst):
+            real_replace(src, dst)  # temp file is gone now
+            raise OSError("interrupted after rename")
+
+        monkeypatch.setattr(os, "replace", replace_then_raise)
+        with pytest.raises(OSError, match="interrupted after rename"):
+            write_atomic(str(target), "payload")
+        # the write itself landed; no stray temp files either way
+        assert target.read_text() == "payload"
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+
+    def test_success_leaves_only_the_artifact(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        assert write_atomic(str(target), "ok") == str(target)
+        assert sorted(os.listdir(tmp_path)) == ["artifact.json"]
+
+
+class TestPrometheusRoundTrip:
+    def test_labeled_counters_round_trip(self):
+        registry = MetricsRegistry("prom")
+        registry.counter(
+            "repro.dispatch.calls", {"kernel": "graphs.bfs", "path": "fast"}
+        ).inc(7)
+        registry.counter(
+            "repro.dispatch.calls", {"kernel": "graphs.bfs", "path": "reference"}
+        ).inc(2)
+        samples = parse_prometheus(to_prometheus(registry))
+        assert (
+            samples['repro_dispatch_calls{kernel="graphs.bfs",path="fast"}'] == 7.0
+        )
+        assert (
+            samples['repro_dispatch_calls{kernel="graphs.bfs",path="reference"}']
+            == 2.0
+        )
+
+    def test_labeled_histogram_round_trip(self):
+        registry = MetricsRegistry("prom")
+        histogram = registry.histogram("repro.latency", {"router": "epidemic"})
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        samples = parse_prometheus(to_prometheus(registry))
+        assert samples['repro_latency_count{router="epidemic"}'] == 3.0
+        assert samples['repro_latency_sum{router="epidemic"}'] == 6.0
+        assert samples['repro_latency{quantile="0.5",router="epidemic"}'] == 2.0
+
+    @pytest.mark.parametrize(
+        "hostile,escaped",
+        [
+            ('say "hi"', 'say \\"hi\\"'),
+            ("back\\slash", "back\\\\slash"),
+            ("line\nbreak", "line\\nbreak"),
+            ('all\\of "it"\ntogether', 'all\\\\of \\"it\\"\\ntogether'),
+        ],
+    )
+    def test_special_characters_in_label_values_are_escaped(
+        self, hostile, escaped
+    ):
+        registry = MetricsRegistry("prom")
+        registry.counter("repro.test.series", {"tag": hostile}).inc(5)
+        text = to_prometheus(registry)
+        line = f'repro_test_series{{tag="{escaped}"}} 5'
+        assert line in text.splitlines()
+        # escaping keeps every sample on one line, so the parser still
+        # sees exactly one sample with the right value
+        samples = parse_prometheus(text)
+        assert list(samples.values()) == [5.0]
+
+    def test_gauge_with_numeric_label_round_trips(self):
+        registry = MetricsRegistry("prom")
+        registry.gauge("repro.dtn.buffer_occupancy", {"node": 3}).set(11)
+        samples = parse_prometheus(to_prometheus(registry))
+        assert samples['repro_dtn_buffer_occupancy{node="3"}'] == 11.0

@@ -1,0 +1,214 @@
+"""Opt-in profiling spans (repro.observability.profiling).
+
+Disabled-by-default contract (the shared no-op span), wall-clock span
+records, tracemalloc peak/alloc accounting across nested spans, the
+``@profiled`` decorator, and the summary views the perf ledger feeds
+on.
+"""
+
+import pytest
+
+from repro.observability import profiling
+from repro.observability.metrics import MetricsRegistry, set_registry
+from repro.observability.profiling import Profiler, _NOOP_SPAN
+
+
+@pytest.fixture
+def fresh_registry():
+    """Swap in an empty global metrics registry for the test."""
+    registry = MetricsRegistry("test-profiling")
+    previous = set_registry(registry)
+    yield registry
+    set_registry(previous)
+
+
+@pytest.fixture
+def profiler():
+    """A private, enabled profiler (wall time only)."""
+    p = Profiler()
+    p.enable()
+    yield p
+    p.disable()
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_noop_singleton(self):
+        p = Profiler()
+        assert p.span("anything") is _NOOP_SPAN
+        assert p.span("other", n=5) is _NOOP_SPAN  # no per-call allocation
+
+    def test_disabled_span_records_nothing(self, fresh_registry):
+        p = Profiler()
+        with p.span("quiet"):
+            pass
+        assert p.records == []
+        assert fresh_registry.snapshot() == {}
+
+    def test_noop_span_accepts_attributes(self):
+        with _NOOP_SPAN as span:
+            span.set_attribute("k", 1)  # must not raise
+
+    def test_global_profiler_disabled_by_default(self):
+        assert not profiling.enabled()
+        assert profiling.profile_span("x") is _NOOP_SPAN
+
+
+class TestWallClockSpans:
+    def test_span_records_name_duration_and_attrs(self, profiler, fresh_registry):
+        with profiler.span("work", n=42) as span:
+            span.set_attribute("extra", "yes")
+        (record,) = profiler.records
+        assert record["type"] == "profile"
+        assert record["name"] == "work"
+        assert record["depth"] == 0
+        assert record["duration_s"] >= 0.0
+        assert record["attrs"] == {"n": 42, "extra": "yes"}
+
+    def test_span_observes_duration_histogram(self, profiler, fresh_registry):
+        with profiler.span("timed"):
+            pass
+        snapshot = fresh_registry.snapshot()
+        assert snapshot["timed.duration_s"]["count"] == 1
+
+    def test_nested_spans_record_depth(self, profiler, fresh_registry):
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                pass
+        by_name = {r["name"]: r for r in profiler.records}
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["inner"]["depth"] == 1
+        # children close before parents
+        assert profiler.records[0]["name"] == "inner"
+
+    def test_exception_is_recorded_and_propagates(self, profiler, fresh_registry):
+        with pytest.raises(ValueError):
+            with profiler.span("boom"):
+                raise ValueError("no")
+        (record,) = profiler.records
+        assert record["attrs"]["error"] == "ValueError"
+
+    def test_clear_drops_records(self, profiler, fresh_registry):
+        with profiler.span("once"):
+            pass
+        profiler.clear()
+        assert profiler.records == []
+
+
+class TestMemoryCapture:
+    def test_memory_span_reports_peak_above_entry(self, fresh_registry):
+        p = Profiler()
+        p.enable(memory=True)
+        try:
+            with p.span("alloc"):
+                blob = bytearray(512 * 1024)
+                del blob
+            (record,) = p.records
+            # 512 KiB was live inside the span; tracemalloc should see
+            # most of it above the entry watermark.
+            assert record["peak_kib"] > 256
+            # it was freed again, so net allocation is far below peak
+            assert record["alloc_kib"] < record["peak_kib"]
+            snapshot = fresh_registry.snapshot()
+            assert snapshot["alloc.peak_kib"]["count"] == 1
+        finally:
+            p.disable()
+
+    def test_parent_peak_covers_child_allocations(self, fresh_registry):
+        """A child's transient peak must fold back into the parent even
+        though the child reset the tracemalloc peak on entry."""
+        p = Profiler()
+        p.enable(memory=True)
+        try:
+            with p.span("parent"):
+                with p.span("child"):
+                    blob = bytearray(768 * 1024)
+                    del blob
+            by_name = {r["name"]: r for r in p.records}
+            assert by_name["child"]["peak_kib"] > 384
+            assert by_name["parent"]["peak_kib"] >= by_name["child"]["peak_kib"]
+        finally:
+            p.disable()
+
+    def test_disable_stops_tracemalloc_it_started(self):
+        import tracemalloc
+
+        was_tracing = tracemalloc.is_tracing()
+        if was_tracing:
+            pytest.skip("tracemalloc already on outside the profiler")
+        p = Profiler()
+        p.enable(memory=True)
+        assert tracemalloc.is_tracing()
+        p.disable()
+        assert not tracemalloc.is_tracing()
+
+
+class TestProfiledDecorator:
+    def test_profiled_is_transparent_when_disabled(self, fresh_registry):
+        calls = []
+
+        @profiling.profiled("repro.test.fn")
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        assert fn(3) == 6
+        assert calls == [3]
+        assert profiling.get_profiler().spans("repro.test.fn") == []
+
+    def test_profiled_records_when_enabled(self, fresh_registry):
+        @profiling.profiled("repro.test.fn2")
+        def fn():
+            return "ok"
+
+        profiling.enable()
+        try:
+            assert fn() == "ok"
+            assert len(profiling.get_profiler().spans("repro.test.fn2")) == 1
+        finally:
+            profiling.disable()
+            profiling.get_profiler().clear()
+
+    def test_profiled_preserves_function_metadata(self):
+        @profiling.profiled("repro.test.meta")
+        def documented():
+            """docstring survives"""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "docstring survives"
+
+
+class TestSummaries:
+    def test_summary_aggregates_per_name_slowest_first(self, profiler, fresh_registry):
+        import time
+
+        with profiler.span("slow"):
+            time.sleep(0.002)
+        for _ in range(2):
+            with profiler.span("quick"):
+                pass
+        summary = profiler.summary()
+        assert summary[0]["name"] == "slow"
+        by_name = {e["name"]: e for e in summary}
+        assert by_name["quick"]["count"] == 2
+        assert by_name["slow"]["total_s"] >= by_name["slow"]["max_s"] > 0
+        assert profiler.summary(top=1) == summary[:1]
+
+    def test_memory_summary_empty_without_memory_capture(
+        self, profiler, fresh_registry
+    ):
+        with profiler.span("no-mem"):
+            pass
+        assert profiler.memory_summary() == {}
+
+    def test_memory_summary_keeps_maxima(self, fresh_registry):
+        p = Profiler()
+        p.enable(memory=True)
+        try:
+            for size in (128, 512):
+                with p.span("sized"):
+                    blob = bytearray(size * 1024)
+                    del blob
+            summary = p.memory_summary()
+            assert summary["sized"]["peak_kib"] > 256  # the larger pass wins
+        finally:
+            p.disable()

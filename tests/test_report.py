@@ -1,0 +1,226 @@
+"""The consolidated perf dashboard (repro.observability.report).
+
+Section builders over synthetic feeds/ledgers, the assembled
+``repro.report/v1`` document, markdown rendering, the CLI entry point,
+and a live pass over this repo's committed BENCH feeds.
+"""
+
+import json
+import os
+
+from repro.observability.regression import append_history, build_perf_record
+from repro.observability.report import (
+    REPORT_SCHEMA,
+    build_dashboard,
+    cache_summary,
+    main,
+    memory_summary,
+    render_markdown,
+    scan_bench_feeds,
+    slowest_spans,
+    speedup_summary,
+    trajectory_summary,
+)
+
+TOP = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def fake_feed(experiment, header, rows, metrics=None, timings=None):
+    return {
+        "schema": "repro.bench/v1",
+        "experiment": experiment,
+        "title": experiment,
+        "header": header,
+        "rows": rows,
+        "notes": "",
+        "metrics": metrics or {},
+        "timings": timings or {},
+        "generated_at": "2026-01-01T00:00:00Z",
+    }
+
+
+def write_fixture_top_dir(tmp_path):
+    """A miniature repo top dir: two perf feeds, one non-perf feed,
+    one corrupt feed, and a three-run ledger with a 2x drift."""
+    perf = fake_feed(
+        "perf-demo",
+        ["n", "kernel", "speedup"],
+        [[100, "bfs", 12.0], [100, "cc", 30.0], [50, "bfs", 2.0]],
+        metrics={
+            "repro.cache.frozen{event=hit,owner=Graph}": 6,
+            "repro.cache.frozen{event=miss,owner=Graph}": 2,
+        },
+        timings={"bfs_n100_median_s": 0.5, "cc_n100_median_s": 0.1},
+    )
+    plain = fake_feed("fig-demo", ["metric", "value"], [["nodes", 10]])
+    (tmp_path / "BENCH_perf-demo.json").write_text(json.dumps(perf))
+    (tmp_path / "BENCH_fig-demo.json").write_text(json.dumps(plain))
+    (tmp_path / "BENCH_broken.json").write_text("{not json")
+
+    ledger = tmp_path / "benchmarks" / "out" / "history.jsonl"
+    for median in (0.10, 0.10, 0.20):
+        append_history(
+            str(ledger),
+            build_perf_record(
+                "perf-demo",
+                timings={"bfs_n100_median_s": median},
+                cache={"Graph": {"hit": 1, "miss": 1}},
+                memory={"repro.dtn.run": {"peak_kib": 64.0 * median * 10,
+                                          "alloc_kib": 1.0}},
+            ),
+        )
+    return str(tmp_path)
+
+
+class TestSections:
+    def test_scan_skips_corrupt_feeds(self, tmp_path):
+        top = write_fixture_top_dir(tmp_path)
+        feeds = scan_bench_feeds(top)
+        assert set(feeds) == {"perf-demo", "fig-demo"}
+
+    def test_speedup_summary_uses_largest_size_only(self, tmp_path):
+        feeds = scan_bench_feeds(write_fixture_top_dir(tmp_path))
+        (entry,) = speedup_summary(feeds)  # fig-demo has no speedup column
+        assert entry["experiment"] == "perf-demo"
+        assert entry["largest_size"] == 100
+        # the n=50 row (speedup 2.0) must not drag the floor down
+        assert entry["kernels"] == {"bfs": 12.0, "cc": 30.0}
+        assert entry["floor"] == 12.0 and entry["floor_kernel"] == "bfs"
+
+    def test_cache_summary_merges_feeds_and_ledger(self, tmp_path):
+        top = write_fixture_top_dir(tmp_path)
+        feeds = scan_bench_feeds(top)
+        ledger_path = os.path.join(top, "benchmarks", "out", "history.jsonl")
+        from repro.observability.regression import load_history
+
+        summary = cache_summary(feeds, load_history(ledger_path))
+        # feed: 6 hits + 2 misses; ledger: 3 runs x (1 hit + 1 miss)
+        assert summary["Graph"]["hit"] == 9
+        assert summary["Graph"]["miss"] == 5
+        assert summary["Graph"]["hit_rate"] == 9 / 14
+
+    def test_slowest_spans_ranked_and_truncated(self, tmp_path):
+        feeds = scan_bench_feeds(write_fixture_top_dir(tmp_path))
+        spans = slowest_spans(feeds, top=1)
+        assert spans == [
+            {"experiment": "perf-demo", "case": "bfs_n100_median_s", "median_s": 0.5}
+        ]
+
+    def test_trajectory_reports_the_2x_drift(self, tmp_path):
+        top = write_fixture_top_dir(tmp_path)
+        from repro.observability.regression import load_history
+
+        ledger = load_history(os.path.join(top, "benchmarks", "out", "history.jsonl"))
+        (entry,) = trajectory_summary(ledger)
+        assert entry["experiment"] == "perf-demo" and entry["runs"] == 3
+        assert entry["worst_slowdown"] == 2.0
+        assert entry["regressions"][0]["key"] == "bfs_n100_median_s"
+
+    def test_memory_summary_keeps_maxima(self, tmp_path):
+        top = write_fixture_top_dir(tmp_path)
+        from repro.observability.regression import load_history
+
+        ledger = load_history(os.path.join(top, "benchmarks", "out", "history.jsonl"))
+        summary = memory_summary(ledger)
+        assert summary["repro.dtn.run"]["peak_kib"] == 128.0  # largest run
+
+
+class TestDashboard:
+    def test_build_dashboard_document(self, tmp_path):
+        dashboard = build_dashboard(write_fixture_top_dir(tmp_path))
+        assert dashboard["schema"] == REPORT_SCHEMA
+        assert dashboard["feeds"] == ["fig-demo", "perf-demo"]
+        assert dashboard["ledger_records"] == 3
+        assert dashboard["speedups"][0]["floor"] == 12.0
+        json.dumps(dashboard)  # JSON-serializable end to end
+
+    def test_render_markdown_sections(self, tmp_path):
+        dashboard = build_dashboard(write_fixture_top_dir(tmp_path))
+        markdown = render_markdown(dashboard)
+        assert markdown.startswith("# Perf observatory")
+        for section in (
+            "## Speedup floors",
+            "## Trajectory",
+            "## Frozen-cache hit rates",
+            "slowest cases",
+            "## Memory ceilings",
+        ):
+            assert section in markdown
+        assert "| perf-demo | 100 | 12.0x | bfs |" in markdown
+        assert "2.00x" in markdown  # the drift is visible
+        assert "64.3%" in markdown  # 9/14 hit rate
+
+    def test_empty_top_dir_renders_placeholders(self, tmp_path):
+        markdown = render_markdown(build_dashboard(str(tmp_path)))
+        assert "(no perf-comparison feeds found)" in markdown
+        assert "(ledger empty" in markdown
+
+    def test_dashboard_over_this_repo(self):
+        """The committed BENCH feeds must all be picked up, and every
+        perf feed must contribute a speedup section."""
+        dashboard = build_dashboard(TOP)
+        committed = {
+            name[len("BENCH_"):-len(".json")]
+            for name in os.listdir(TOP)
+            if name.startswith("BENCH_") and name.endswith(".json")
+        }
+        assert committed  # the repo ships feeds
+        assert committed <= set(dashboard["feeds"])
+        perf_sections = {e["experiment"] for e in dashboard["speedups"]}
+        assert {"perf-csr", "perf-temporal", "perf-labeling"} <= perf_sections
+        render_markdown(dashboard)  # renders without raising
+
+
+class TestCli:
+    def test_cli_markdown_to_stdout(self, tmp_path, capsys):
+        assert main(["--top-dir", write_fixture_top_dir(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Perf observatory")
+
+    def test_cli_json_to_file(self, tmp_path):
+        top = write_fixture_top_dir(tmp_path)
+        out_path = str(tmp_path / "dashboard.json")
+        assert main(["--top-dir", top, "--json", "--out", out_path]) == 0
+        document = json.loads(open(out_path).read())
+        assert document["schema"] == REPORT_SCHEMA
+        assert document["ledger_records"] == 3
+
+    def test_cli_explicit_history_and_top(self, tmp_path):
+        top = write_fixture_top_dir(tmp_path)
+        other_ledger = str(tmp_path / "elsewhere.jsonl")
+        append_history(
+            other_ledger,
+            build_perf_record("alt", timings={"x_median_s": 1.0}),
+        )
+        out_path = str(tmp_path / "dash.json")
+        assert (
+            main(
+                [
+                    "--top-dir", top,
+                    "--history", other_ledger,
+                    "--json",
+                    "--out", out_path,
+                    "--top", "1",
+                ]
+            )
+            == 0
+        )
+        document = json.loads(open(out_path).read())
+        assert document["ledger_records"] == 1
+        assert len(document["slowest"]) == 1
+
+    def test_module_entry_point(self, tmp_path):
+        import subprocess
+        import sys
+
+        top = write_fixture_top_dir(tmp_path)
+        src = os.path.join(TOP, "src")
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.observability.report", "--top-dir", top],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0
+        assert proc.stdout.startswith("# Perf observatory")
