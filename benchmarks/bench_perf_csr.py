@@ -146,6 +146,14 @@ def run(
                     f"{name} at n={graph.num_nodes}: speedup {speedup:.2f}x "
                     f"below the {require_speedup:g}x target"
                 )
+            # The frozen path must never lose to the reference — at ANY
+            # size (the n=552 components regression fixed by the
+            # vectorized min-label propagation stays fixed).
+            if require_speedup and name == "components" and speedup < 1.0:
+                raise AssertionError(
+                    f"components at n={graph.num_nodes}: frozen path "
+                    f"slower than the reference ({speedup:.2f}x < 1x)"
+                )
     return emit_table(
         EXPERIMENT,
         "dict-of-sets reference vs frozen CSR kernels (median of "

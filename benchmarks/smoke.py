@@ -303,6 +303,78 @@ def smoke_perf_labeling() -> Dict[str, Any]:
     }
 
 
+@smoke("scale")
+def smoke_scale() -> Dict[str, Any]:
+    """Toy instance of the million-node tier: sharded kernels under a
+    tiny budget, the out-of-core spill, and one shm publish/attach
+    round trip — the memory-ceiling assertion included, so a working-
+    set blowout fails tier-1 before the full bench ever runs."""
+    import tempfile
+
+    import bench_perf_scale
+    from repro.graphs import shm
+    from repro.graphs.csr import FrozenGraph
+    from repro.graphs.generators import degree_ordered_graph
+    from repro.observability import profiling, shm_counts
+
+    budget = 1_000_000
+    ceiling_mib = 256.0
+    rows: list = []
+    timings: Dict[str, float] = {}
+    bench_perf_scale._verify(400, budget, rows)
+    fg = degree_ordered_graph(1200, rng=np.random.default_rng(3))
+    profiling.enable(memory=True)
+    try:
+        sample = np.arange(0, fg.n, 5, dtype=np.int64)
+        bench_perf_scale._run_scale_kernel(
+            "distance-sums",
+            lambda: fg.all_pairs_distance_sums(sources=sample, memory_budget=budget),
+            fg,
+            sample.size,
+            budget,
+            ceiling_mib,
+            rows,
+            timings,
+        )
+        scratch = tempfile.mktemp(prefix="repro-smoke-scale-", suffix=".npy")
+        try:
+            bench_perf_scale._run_scale_kernel(
+                "distance-table",
+                lambda: fg.all_pairs_distance_table(
+                    sources=sample[:64], memory_budget=budget, path=scratch
+                ).shape,
+                fg,
+                64,
+                budget,
+                ceiling_mib,
+                rows,
+                timings,
+            )
+        finally:
+            if os.path.exists(scratch):
+                os.remove(scratch)
+    finally:
+        profiling.disable()
+    with fg.to_shared() as snapshot:
+        twin = FrozenGraph.from_shared(snapshot.handle)
+        if not np.array_equal(twin.indices, fg.indices):
+            raise AssertionError("shm attach diverged in the smoke tier")
+    shm.detach_all()
+    counts = shm_counts()
+    if counts["events"].get("graph", {}).get("publish", 0) < 1:
+        raise AssertionError("smoke scale tier published no shm segment")
+    return {
+        "title": "million-node tier mechanics (smoke)",
+        "header": bench_perf_scale.HEADER,
+        "rows": rows,
+        "notes": (
+            "Toy instance of benchmarks/bench_perf_scale.py: sharded "
+            "kernels proven bit-exact, memory ceiling asserted per span, "
+            "one shared-memory publish/attach/unlink cycle exercised."
+        ),
+    }
+
+
 @smoke("faults")
 def smoke_faults() -> Dict[str, Any]:
     import bench_faults

@@ -28,14 +28,20 @@ repr-order tie-break, which assumes distinct nodes have distinct
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.errors import AlgorithmError, ConvergenceError, NodeNotFoundError
 from repro.observability.instrument import timed
-from repro.observability.profiling import profiled
-from repro.observability.telemetry import record_cache_event
+from repro.observability.profiling import profile_span, profiled
+from repro.observability.telemetry import (
+    record_cache_event,
+    record_dispatch,
+    record_shard,
+    record_spill,
+)
 
 Node = Hashable
 
@@ -50,6 +56,82 @@ _INT64_MAX = np.iinfo(np.int64).max
 #: Sources per bit-parallel BFS batch (multiples of 64 pack evenly into
 #: uint64 frontier words).
 _BITSET_BATCH = 256
+
+#: Distance cap for the int16 out-of-core level blocks (any BFS depth
+#: beyond this would overflow the spill dtype).
+_LEVEL_MAX = np.iinfo(np.int16).max - 1
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A bounded-memory streaming plan for one source-sharded sweep.
+
+    ``batch`` sources advance together per shard; ``est_shard_bytes``
+    is the planner's estimate of one shard's transient working set
+    (frontier/visited/next bit planes, the flat edge gather, and the
+    per-level unpack).  ``feasible`` is False when even the smallest
+    shard exceeds ``budget_bytes`` — the sweep still runs (clamped to
+    the minimum batch), it just cannot honor the budget, and callers
+    that must hard-bound memory should treat that as an error.
+    """
+
+    n_sources: int
+    batch: int
+    shards: int
+    est_shard_bytes: int
+    budget_bytes: Optional[int]
+    feasible: bool = True
+
+    def batches(self, sources: np.ndarray):
+        """Yield ``sources`` in consecutive ``batch``-sized shards."""
+        for start in range(0, sources.shape[0], self.batch):
+            yield sources[start : start + self.batch]
+
+
+def shard_sources(
+    n_sources: int,
+    memory_budget: Optional[int] = None,
+    n: int = 0,
+    edges: int = 0,
+    max_batch: int = _BITSET_BATCH,
+    align: int = 64,
+    levels: bool = False,
+) -> ShardPlan:
+    """Plan source shards whose sweep working set fits ``memory_budget``.
+
+    The bit-parallel kernels materialize, per shard of ``b`` sources
+    over a graph with ``n`` nodes and ``edges`` CSR entries, roughly
+    ``ceil(b / 64) * 8 * (4n + edges)`` bytes of uint64 bit planes and
+    edge gathers plus ``n * b`` bytes of per-level unpack (``4x`` that
+    when a full level block is kept, ``levels=True``).  The planner
+    returns the largest batch (a multiple of ``align``, at most
+    ``max_batch``) whose estimate fits the budget; with no budget the
+    historical :data:`_BITSET_BATCH` default stands.
+    """
+    if align < 1:
+        raise ValueError(f"align must be >= 1, got {align}")
+    if memory_budget is not None and memory_budget <= 0:
+        raise ValueError(f"memory_budget must be positive, got {memory_budget}")
+
+    def estimate(b: int) -> int:
+        words = (b + 63) // 64
+        return words * 8 * (4 * n + edges) + n * b * (4 if levels else 1)
+
+    batch = max(align, (max_batch // align) * align)
+    feasible = True
+    if memory_budget is not None:
+        while batch > align and estimate(batch) > memory_budget:
+            batch -= align
+        feasible = estimate(batch) <= memory_budget
+    shards = -(-n_sources // batch) if n_sources else 0
+    return ShardPlan(
+        n_sources=int(n_sources),
+        batch=int(batch),
+        shards=int(shards),
+        est_shard_bytes=int(estimate(batch)),
+        budget_bytes=memory_budget,
+        feasible=feasible,
+    )
 
 
 def generation_cached(owner, factory):
@@ -109,8 +191,8 @@ class FrozenGraph:
             row = sorted(index[v] for v in adj[node])
             indices[int(indptr[i]) : int(indptr[i + 1])] = row
         self.directed = directed
-        self.node_list = nodes
-        self.index = index
+        self._nodes: Optional[List[Node]] = nodes
+        self._index: Optional[Dict[Node, int]] = index
         self.indptr = indptr
         self.indices = indices
         self.n = n
@@ -119,10 +201,115 @@ class FrozenGraph:
         self._edge_src: Optional[np.ndarray] = None
         self._repr_rank: Optional[np.ndarray] = None
         self._segments: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        record_dispatch("graphs.freeze", path="build")
+
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        node_list: Optional[Sequence[Node]] = None,
+        directed: bool = False,
+        generation: int = -1,
+        copy: bool = True,
+        validate: bool = True,
+        dispatch_path: Optional[str] = "arrays",
+    ) -> "FrozenGraph":
+        """Build a snapshot directly from CSR arrays — no dict graph.
+
+        The scale-out constructor: million-node generators and
+        shared-memory attachment both produce CSR columns natively, and
+        routing them through a dict-of-sets :class:`Graph` would cost
+        O(n + m) Python objects.  ``node_list=None`` means the identity
+        labeling ``0..n-1`` (materialized lazily).  ``copy=False``
+        adopts the arrays as-is (they must be int64 and, for the
+        kernels' tie-break guarantees, row-sorted); ``validate``
+        checks the CSR invariants and row sortedness.  ``dispatch_path``
+        labels the ``graphs.freeze`` dispatch count (``None`` skips it —
+        used by callers that record their own label, e.g. shm attach).
+        """
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if copy:
+            indptr = indptr.copy()
+            indices = indices.copy()
+        if indptr.ndim != 1 or indptr.shape[0] < 1:
+            raise ValueError("indptr must be a 1-D array of length n + 1")
+        n = int(indptr.shape[0]) - 1
+        if validate:
+            if int(indptr[0]) != 0 or int(indptr[-1]) != indices.shape[0]:
+                raise ValueError("indptr must span [0, len(indices)]")
+            if np.any(np.diff(indptr) < 0):
+                raise ValueError("indptr must be non-decreasing")
+            if indices.shape[0] and (
+                int(indices.min()) < 0 or int(indices.max()) >= n
+            ):
+                raise ValueError("indices must be valid node positions")
+        fg = cls.__new__(cls)
+        fg.directed = bool(directed)
+        fg._nodes = list(node_list) if node_list is not None else None
+        if fg._nodes is not None and len(fg._nodes) != n:
+            raise ValueError(
+                f"node_list has {len(fg._nodes)} entries for n={n}"
+            )
+        fg._index = None
+        fg.indptr = indptr
+        fg.indices = indices
+        fg.n = n
+        fg.degrees = np.diff(indptr)
+        fg.generation = int(generation)
+        fg._edge_src = None
+        fg._repr_rank = None
+        fg._segments = None
+        if dispatch_path is not None:
+            record_dispatch("graphs.freeze", path=dispatch_path)
+        return fg
+
+    # ------------------------------------------------------------------
+    # shared-memory publication (repro.graphs.shm)
+    # ------------------------------------------------------------------
+    def to_shared(self, backend: Optional[str] = None):
+        """Publish this snapshot's arrays into shared memory.
+
+        Returns a :class:`repro.graphs.shm.SharedSnapshot` owner whose
+        ``handle`` is a compact picklable ticket: workers call
+        :meth:`from_shared` (or ``handle.attach()``) to reconstruct a
+        read-only zero-copy view of the same CSR pages.  The owner must
+        ``close()`` (or exit its ``with`` block) to unlink the segment.
+        """
+        from repro.graphs import shm
+
+        return shm.share_graph(self, backend=backend)
+
+    @classmethod
+    def from_shared(cls, handle) -> "FrozenGraph":
+        """Attach a snapshot published by :meth:`to_shared` (zero copy).
+
+        The returned snapshot's arrays are read-only views over the
+        shared segment; per-process attachments are cached, so repeated
+        calls with the same handle return the same object.
+        """
+        from repro.graphs import shm
+
+        return shm.attach_cached(handle)
 
     # ------------------------------------------------------------------
     # basics
     # ------------------------------------------------------------------
+    @property
+    def node_list(self) -> List[Node]:
+        """Node objects in index order (identity lists materialize lazily)."""
+        if self._nodes is None:
+            self._nodes = list(range(self.n))
+        return self._nodes
+
+    @property
+    def index(self) -> Dict[Node, int]:
+        """Node → index interning map (built lazily for array snapshots)."""
+        if self._index is None:
+            self._index = {node: i for i, node in enumerate(self.node_list)}
+        return self._index
+
     @property
     def num_edges(self) -> int:
         m = int(self.indices.shape[0])
@@ -296,76 +483,245 @@ class FrozenGraph:
             frontier = nxt
         return sums, reached, ecc
 
-    def _bitset_batches(self):
-        """Yield (source index array,) batches covering every node."""
-        for start in range(0, self.n, _BITSET_BATCH):
-            yield np.arange(
-                start, min(start + _BITSET_BATCH, self.n), dtype=np.int64
-            )
+    def _sweep_plan(
+        self,
+        n_sources: int,
+        memory_budget: Optional[int],
+        levels: bool = False,
+    ) -> ShardPlan:
+        """The shard plan for a bitset sweep over this snapshot."""
+        return shard_sources(
+            n_sources,
+            memory_budget=memory_budget,
+            n=self.n,
+            edges=int(self.indices.shape[0]),
+            levels=levels,
+        )
+
+    def _source_array(
+        self, sources: Optional[Union[Sequence[int], np.ndarray]]
+    ) -> np.ndarray:
+        """``sources`` as an int64 index array (default: every node)."""
+        if sources is None:
+            return np.arange(self.n, dtype=np.int64)
+        return np.atleast_1d(np.asarray(sources, dtype=np.int64))
+
+    def _streamed_sweep(
+        self,
+        kernel: str,
+        sources: Optional[Union[Sequence[int], np.ndarray]],
+        memory_budget: Optional[int],
+    ):
+        """Yield ``(slice, sums, reached, ecc)`` per shard of sources.
+
+        The one streaming loop under the sum/eccentricity/closeness
+        family: shards are planned by :func:`shard_sources`, each shard
+        is profiled (``repro.graphs.csr.shard`` spans carry the memory
+        peaks into the ledger) and counted into the shard telemetry, and
+        per-shard results are folded by the caller as they arrive — the
+        full O(sources x n) intermediate never exists.
+        """
+        srcs = self._source_array(sources)
+        plan = self._sweep_plan(srcs.shape[0], memory_budget)
+        offset = 0
+        for shard in plan.batches(srcs):
+            with profile_span(
+                "repro.graphs.csr.shard", kernel=kernel, sources=int(shard.shape[0])
+            ):
+                sums, reached, ecc = self._bitset_sweep(shard)
+            record_shard(kernel)
+            yield slice(offset, offset + shard.shape[0]), sums, reached, ecc
+            offset += shard.shape[0]
 
     @profiled("repro.graphs.csr.eccentricities")
-    def eccentricities(self) -> np.ndarray:
-        """Per-node eccentricity over the reachable set (index order)."""
-        ecc = np.empty(self.n, dtype=np.int64)
+    def eccentricities(
+        self,
+        sources: Optional[Union[Sequence[int], np.ndarray]] = None,
+        memory_budget: Optional[int] = None,
+    ) -> np.ndarray:
+        """Eccentricity over the reachable set, per requested source.
+
+        Default: every node, index order.  ``sources`` restricts the
+        sweep (the result aligns with the given order);
+        ``memory_budget`` bounds the per-shard working set via
+        :func:`shard_sources`.
+        """
+        srcs = self._source_array(sources)
+        ecc = np.empty(srcs.shape[0], dtype=np.int64)
         if self.directed:
-            for i in range(self.n):
-                ecc[i] = self.bfs_levels(i).max()
+            for j, i in enumerate(srcs):
+                ecc[j] = self.bfs_levels(int(i)).max()
             return ecc
-        for batch in self._bitset_batches():
-            ecc[batch] = self._bitset_sweep(batch)[2]
+        for out, _sums, _reached, shard_ecc in self._streamed_sweep(
+            "eccentricities", srcs, memory_budget
+        ):
+            ecc[out] = shard_ecc
         return ecc
 
     @profiled("repro.graphs.csr.all_pairs_distance_sums")
-    def all_pairs_distance_sums(self) -> np.ndarray:
-        """Sum of hop distances from each node to its reachable set.
+    def all_pairs_distance_sums(
+        self,
+        sources: Optional[Union[Sequence[int], np.ndarray]] = None,
+        memory_budget: Optional[int] = None,
+    ) -> np.ndarray:
+        """Sum of hop distances from each source to its reachable set.
 
         The all-pairs BFS sweep behind closeness and the Wiener index;
-        undirected snapshots run the bit-parallel batched sweep, one
-        vectorized BFS per source otherwise.
+        undirected snapshots stream the bit-parallel shards (bounded by
+        ``memory_budget`` when given), one vectorized BFS per source
+        otherwise.  ``sources=None`` sweeps every node in index order.
         """
-        sums = np.zeros(self.n, dtype=np.int64)
+        srcs = self._source_array(sources)
+        sums = np.zeros(srcs.shape[0], dtype=np.int64)
         if self.directed:
-            for i in range(self.n):
-                level = self.bfs_levels(i)
-                sums[i] = level[level > 0].sum()
+            for j, i in enumerate(srcs):
+                level = self.bfs_levels(int(i))
+                sums[j] = level[level > 0].sum()
             return sums
-        for batch in self._bitset_batches():
-            sums[batch] = self._bitset_sweep(batch)[0]
+        for out, shard_sums, _reached, _ecc in self._streamed_sweep(
+            "all_pairs_distance_sums", srcs, memory_budget
+        ):
+            sums[out] = shard_sums
         return sums
+
+    def _bitset_level_block(self, sources: np.ndarray) -> np.ndarray:
+        """Full per-source BFS level block for one shard, shape (n, batch).
+
+        Same frontier mechanics as :meth:`_bitset_sweep`, but the fresh
+        bits of every depth are unpacked into an int16 level matrix —
+        the unit the out-of-core distance table spills shard by shard.
+        Unreachable entries stay -1.
+        """
+        batch = sources.shape[0]
+        words = (batch + 63) // 64
+        n = self.n
+        cols = np.arange(batch, dtype=np.int64)
+        frontier = np.zeros((n, words), dtype=np.uint64)
+        bits = np.left_shift(np.uint64(1), (cols % 64).astype(np.uint64))
+        np.bitwise_or.at(frontier, (sources, cols // 64), bits)
+        visited = frontier.copy()
+        levels = np.full((n, batch), _UNREACHABLE, dtype=np.int16)
+        levels[sources, cols] = 0
+        rows, starts = self._row_segments()
+        indices = self.indices
+        depth = 0
+        while True:
+            nxt = np.zeros((n, words), dtype=np.uint64)
+            if rows.size:
+                nxt[rows] = np.bitwise_or.reduceat(
+                    frontier[indices], starts, axis=0
+                )
+            np.bitwise_and(nxt, ~visited, out=nxt)
+            if not nxt.any():
+                break
+            depth += 1
+            if depth > _LEVEL_MAX:  # pragma: no cover - needs a 32k-hop path
+                raise AlgorithmError(
+                    "BFS depth overflows the int16 level block"
+                )
+            visited |= nxt
+            fresh = np.unpackbits(
+                nxt.view(np.uint8), axis=1, bitorder="little"
+            )[:, :batch].view(bool)
+            levels[fresh] = depth
+            frontier = nxt
+        return levels
+
+    def all_pairs_distance_table(
+        self,
+        sources: Optional[Union[Sequence[int], np.ndarray]] = None,
+        memory_budget: Optional[int] = None,
+        path: Optional[str] = None,
+    ) -> np.ndarray:
+        """Per-source BFS level rows — the true out-of-core path.
+
+        Returns a ``(len(sources), n)`` int16 matrix of hop levels
+        (-1 unreachable).  With ``path`` the matrix is a NumPy memmap
+        over a scratch file and each shard's block is written (and
+        counted into ``repro.shard.spill_bytes``) as soon as it is
+        folded, so peak resident memory stays at one shard's working
+        set regardless of how many sources are tabulated.
+        """
+        srcs = self._source_array(sources)
+        shape = (int(srcs.shape[0]), self.n)
+        if path is not None:
+            table = np.lib.format.open_memmap(
+                path, mode="w+", dtype=np.int16, shape=shape
+            )
+        else:
+            table = np.empty(shape, dtype=np.int16)
+        if self.directed:
+            for j, i in enumerate(srcs):
+                table[j] = self.bfs_levels(int(i)).astype(np.int16)
+            return table
+        plan = self._sweep_plan(srcs.shape[0], memory_budget, levels=True)
+        offset = 0
+        for shard in plan.batches(srcs):
+            with profile_span(
+                "repro.graphs.csr.shard",
+                kernel="all_pairs_distance_table",
+                sources=int(shard.shape[0]),
+            ):
+                block = self._bitset_level_block(shard).T
+                table[offset : offset + shard.shape[0]] = block
+            record_shard("all_pairs_distance_table")
+            if path is not None:
+                record_spill(int(block.nbytes))
+            offset += shard.shape[0]
+        if path is not None:
+            table.flush()
+        return table
 
     # ------------------------------------------------------------------
     # connectivity
     # ------------------------------------------------------------------
     def component_labels(self) -> Tuple[np.ndarray, int]:
-        """(label per node index, number of components); undirected only."""
+        """(label per node index, number of components); undirected only.
+
+        Pointer-jumping min-label propagation: each round every node
+        pulls the minimum label of its neighborhood (one segment-min
+        ``reduceat``) and then compresses one hop (``labels[labels]``),
+        so labels converge in O(log n) vectorized rounds instead of one
+        Python-level BFS per component — the fix for the fast path
+        losing to the dict BFS at small n.  At the fixpoint every edge
+        joins equal labels, so a component's label is its minimum node
+        index; densifying by ascending root index reproduces the seed-
+        scan discovery order of the old per-seed loop exactly.
+        """
         if self.directed:
             raise TypeError("component_labels expects an undirected snapshot")
-        labels = np.full(self.n, -1, dtype=np.int64)
-        count = 0
-        for seed in range(self.n):
-            if labels[seed] >= 0:
-                continue
-            labels[seed] = count
-            frontier = np.array([seed], dtype=np.int64)
-            while frontier.size:
-                nbrs = self._neighbors_flat(frontier)
-                if nbrs.size == 0:
-                    break
-                fresh = nbrs[labels[nbrs] < 0]
-                if fresh.size == 0:
-                    break
-                frontier = np.unique(fresh)
-                labels[frontier] = count
-            count += 1
-        return labels, count
+        n = self.n
+        if n == 0:
+            return np.empty(0, dtype=np.int64), 0
+        labels = np.arange(n, dtype=np.int64)
+        rows, starts = self._row_segments()
+        indices = self.indices
+        while True:
+            pulled = labels
+            if rows.size:
+                seg = np.minimum.reduceat(labels[indices], starts)
+                np.minimum(labels[rows], seg, out=seg)
+                pulled = labels.copy()
+                pulled[rows] = seg
+            jumped = np.minimum(pulled, pulled[pulled])
+            if np.array_equal(jumped, labels):
+                break
+            labels = jumped
+        roots, dense = np.unique(labels, return_inverse=True)
+        return dense.astype(np.int64, copy=False), int(roots.shape[0])
 
     def connected_components(self) -> List[Set[Node]]:
         """Components as node sets, largest first (discovery-order stable)."""
         labels, count = self.component_labels()
-        components: List[Set[Node]] = [set() for _ in range(count)]
         nodes = self.node_list
-        for i in range(self.n):
-            components[int(labels[i])].add(nodes[i])
+        if count <= 1:
+            return [set(nodes)] if self.n else []
+        order = np.argsort(labels, kind="stable")
+        boundaries = np.flatnonzero(np.diff(labels[order])) + 1
+        components = [
+            {nodes[i] for i in group.tolist()}
+            for group in np.split(order, boundaries)
+        ]
         components.sort(key=len, reverse=True)
         return components
 
@@ -386,22 +742,33 @@ class FrozenGraph:
     # centralities and clustering
     # ------------------------------------------------------------------
     @profiled("repro.graphs.csr.closeness_centrality")
-    def closeness_centrality(self) -> Dict[Node, float]:
-        """Wasserman–Faust closeness, identical to the reference formula."""
+    def closeness_centrality(
+        self, memory_budget: Optional[int] = None
+    ) -> Dict[Node, float]:
+        """Wasserman–Faust closeness, identical to the reference formula.
+
+        ``memory_budget`` bounds the per-shard working set of the
+        underlying bit-parallel sweep (see :func:`shard_sources`); the
+        per-node fold happens shard by shard, so the result dict is the
+        only O(n) output ever held.
+        """
         n = self.n
         result: Dict[Node, float] = {}
+        nodes = self.node_list
         if not self.directed:
-            for batch in self._bitset_batches():
-                sums, reached, _ = self._bitset_sweep(batch)
-                for j, i in enumerate(batch):
-                    result[self.node_list[i]] = self._closeness_value(
+            srcs = np.arange(n, dtype=np.int64)
+            for out, sums, reached, _ecc in self._streamed_sweep(
+                "closeness_centrality", srcs, memory_budget
+            ):
+                for j, i in enumerate(srcs[out]):
+                    result[nodes[i]] = self._closeness_value(
                         int(reached[j]) - 1, int(sums[j])
                     )
             return result
         for i in range(n):
             level = self.bfs_levels(i)
             reached_mask = level >= 0
-            result[self.node_list[i]] = self._closeness_value(
+            result[nodes[i]] = self._closeness_value(
                 int(reached_mask.sum()) - 1, int(level[reached_mask].sum())
             )
         return result
@@ -744,20 +1111,16 @@ class FrozenGraph:
     # ------------------------------------------------------------------
     # landmark labels: multi-source distance + gateway (Sec. III/IV)
     # ------------------------------------------------------------------
-    def multi_source_labels(
-        self, sources: Union[Sequence[int], np.ndarray]
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Hop distance to, and index of, the nearest source per node.
+    def _label_sweep(self, srcs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """One multi-source BFS over (sorted, distinct) source indices.
 
-        One level-synchronous multi-source BFS: every node gets the hop
-        distance to its closest source and the source index achieving
-        it, ties resolved toward the smallest repr rank — exactly the
-        per-landmark-BFS-in-repr-order reference (which keeps only
-        strictly smaller distances).  Unreachable nodes get (-1, -1).
+        Returns per-node ``(hop level, repr rank of the nearest
+        source)`` — the raw (distance, rank) key the public label
+        kernels fold and convert.  Unreachable nodes get
+        ``(-1, _INT64_MAX)``.
         """
         n = self.n
         rank = self._repr_ranks()
-        srcs = np.unique(np.atleast_1d(np.asarray(sources, dtype=np.int64)))
         level = np.full(n, _UNREACHABLE, dtype=np.int64)
         lab_rank = np.full(n, _INT64_MAX, dtype=np.int64)
         level[srcs] = 0
@@ -784,6 +1147,51 @@ class FrozenGraph:
             np.minimum.at(lab_rank, nd, lab_rank[flat_src[new]])
             frontier = np.unique(nd)
             level[frontier] = depth
+        return level, lab_rank
+
+    def multi_source_labels(
+        self,
+        sources: Union[Sequence[int], np.ndarray],
+        memory_budget: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Hop distance to, and index of, the nearest source per node.
+
+        Level-synchronous multi-source BFS: every node gets the hop
+        distance to its closest source and the source index achieving
+        it, ties resolved toward the smallest repr rank — exactly the
+        per-landmark-BFS-in-repr-order reference (which keeps only
+        strictly smaller distances).  Unreachable nodes get (-1, -1).
+
+        With ``memory_budget`` the sources are streamed in
+        :func:`shard_sources` shards and the per-shard (distance, rank)
+        keys folded by lexicographic minimum — associativity makes the
+        fold bit-identical to the single whole-set sweep while the
+        working set stays at one shard's frontier.
+        """
+        n = self.n
+        rank = self._repr_ranks()
+        srcs = np.unique(np.atleast_1d(np.asarray(sources, dtype=np.int64)))
+        plan = self._sweep_plan(srcs.shape[0], memory_budget)
+        if memory_budget is None or plan.shards <= 1:
+            level, lab_rank = self._label_sweep(srcs)
+        else:
+            level = np.full(n, _UNREACHABLE, dtype=np.int64)
+            lab_rank = np.full(n, _INT64_MAX, dtype=np.int64)
+            for shard in plan.batches(srcs):
+                with profile_span(
+                    "repro.graphs.csr.shard",
+                    kernel="multi_source_labels",
+                    sources=int(shard.shape[0]),
+                ):
+                    s_level, s_rank = self._label_sweep(shard)
+                record_shard("multi_source_labels")
+                better = (s_level >= 0) & (
+                    (level < 0)
+                    | (s_level < level)
+                    | ((s_level == level) & (s_rank < lab_rank))
+                )
+                level[better] = s_level[better]
+                lab_rank[better] = s_rank[better]
         landmark = np.full(n, -1, dtype=np.int64)
         reach = level >= 0
         if reach.any():

@@ -1,0 +1,516 @@
+"""Shared-memory publication of frozen snapshots (the scale-out plane).
+
+A frozen snapshot is a handful of immutable NumPy arrays, which makes
+it the natural unit of sharing between sweep workers: instead of
+pickling a whole graph into every task (re-serializing megabytes of
+CSR per point), the owner *publishes* the arrays once into a
+``multiprocessing.shared_memory`` segment and hands workers a compact
+picklable :class:`SharedHandle`.  Attaching reconstructs read-only,
+zero-copy array views over the same physical pages — no rebuild, no
+copy, no per-task serialization.
+
+Layout: all arrays are packed into one segment at 64-byte-aligned
+offsets, described by the handle's :class:`ArraySpec` tuple.  Node
+objects are not forced through the segment: an identity node list
+(``0..n-1``) is encoded as a flag, plain-int node lists travel as one
+extra int64 array, and anything else rides pickled inside the handle
+(correct, just not zero-copy).
+
+Backends: ``shm`` (POSIX shared memory, the default) with a
+memory-mapped temp-file fallback (``mmap``) for hosts without a usable
+``/dev/shm``.  The owner is responsible for :meth:`SharedSnapshot.close`
+— unlinking the segment / deleting the backing file — and is itself a
+context manager; attachments are cached per process by
+:func:`attach_cached` so a forked worker pays the mapping cost once.
+
+Every lifecycle step is counted into the global metrics registry
+(``repro.shm.events{kind,event}`` and ``repro.shm.bytes{kind}``; see
+:mod:`repro.observability.telemetry`), so sweep telemetry shows how
+many segments were published, attached, reused, and unlinked.
+
+CPython < 3.13 caveat: attaching a segment by name registers it with
+the process's ``resource_tracker``, which would *unlink* it when any
+attaching process exits — exactly wrong for a worker pool reading an
+owner's segment.  :func:`_attach_segment` unregisters the tracker
+entry for non-owner attachments, so crashed or finished workers never
+tear down pages the owner still serves (covered by the worker-crash
+lifecycle tests).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import secrets
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.observability.telemetry import record_dispatch, record_shm_event
+
+#: Segment-name prefix — lifecycle tests scan ``/dev/shm`` for leaks
+#: under this prefix, so every segment this module creates must use it.
+SEGMENT_PREFIX = "repro-shm-"
+
+#: Array offsets are aligned so every view starts on a cache line.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one published array inside the segment."""
+
+    key: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class SharedHandle:
+    """Compact picklable description of a published snapshot.
+
+    ``kind`` selects the reconstructor (``graph`` / ``contacts`` /
+    ``arrays``), ``meta`` carries the scalar attributes
+    (``n``, ``directed``, ``generation``, ...), and ``nodes`` is
+    ``None`` for an identity node list, the string ``"array"`` when
+    the node objects travel as the ``__nodes__`` int64 array, or the
+    literal tuple of node objects otherwise.
+    """
+
+    kind: str
+    backend: str  # "shm" | "mmap"
+    name: str  # segment name (shm) or backing-file path (mmap)
+    size: int
+    specs: Tuple[ArraySpec, ...]
+    meta: Tuple[Tuple[str, Any], ...] = ()
+    nodes: Any = None
+
+    @property
+    def meta_dict(self) -> Dict[str, Any]:
+        return dict(self.meta)
+
+    def attach(self):
+        """Reconstruct the published object (cached per process)."""
+        return attach_cached(self)
+
+
+class _Segment:
+    """One mapped segment: the buffer plus how to detach/unlink it."""
+
+    def __init__(self, backend: str, name: str, buf, closer, unlinker) -> None:
+        self.backend = backend
+        self.name = name
+        self.buf = buf
+        self._closer = closer
+        self._unlinker = unlinker
+        self.closed = False
+
+    def close(self, unlink: bool) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.buf = None
+        self._closer()
+        if unlink:
+            self._unlinker()
+
+
+def _shm_closer(segment):
+    """Close a ``SharedMemory`` even while NumPy views pin the mapping.
+
+    ``SharedMemory.close()`` raises ``BufferError`` if any exported
+    buffer (our zero-copy views) is still alive.  In that case disarm
+    the stdlib handle instead — the pages unmap when the last view
+    dies — and close the descriptor so nothing leaks meanwhile.
+    """
+
+    def _close() -> None:
+        try:
+            segment.close()
+        except BufferError:
+            segment._buf = None
+            segment._mmap = None
+            fd = getattr(segment, "_fd", -1)
+            if fd >= 0:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+                segment._fd = -1
+
+    return _close
+
+
+def _shm_unlinker(segment):
+    """Unlink an owned segment without resource-tracker noise.
+
+    A same-process attach may have unregistered the name (see
+    :func:`_attach_segment`); re-registering first is idempotent and
+    keeps ``unlink()``'s own unregister from tripping a KeyError in
+    the tracker process.
+    """
+
+    def _unlink() -> None:
+        try:  # pragma: no cover - tracker layout is an implementation detail
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register(segment._name, "shared_memory")
+        except Exception:
+            pass
+        segment.unlink()
+
+    return _unlink
+
+
+def _create_segment(size: int, backend: Optional[str]) -> _Segment:
+    """Create a writable segment of ``size`` bytes (auto backend)."""
+    if backend in (None, "shm"):
+        try:
+            from multiprocessing import shared_memory
+
+            name = SEGMENT_PREFIX + secrets.token_hex(8)
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(size, 1), name=name
+            )
+            return _Segment(
+                "shm",
+                segment.name,
+                segment.buf,
+                _shm_closer(segment),
+                _shm_unlinker(segment),
+            )
+        except Exception:
+            if backend == "shm":
+                raise
+    # Memory-mapped file fallback (or explicit backend="mmap").
+    path = os.path.join(
+        tempfile.gettempdir(), SEGMENT_PREFIX + secrets.token_hex(8) + ".bin"
+    )
+    with open(path, "wb") as handle:
+        handle.truncate(max(size, 1))
+    fd = os.open(path, os.O_RDWR)
+    try:
+        mapped = mmap.mmap(fd, max(size, 1))
+    finally:
+        os.close(fd)
+
+    def _unlink() -> None:
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+
+    def _close() -> None:
+        try:
+            mapped.close()
+        except BufferError:
+            # Live views pin the mapping; it unmaps with the last one.
+            pass
+
+    return _Segment("mmap", path, memoryview(mapped), _close, _unlink)
+
+
+def _attach_segment(backend: str, name: str, size: int) -> _Segment:
+    """Map an existing segment read-only (never unlinks on close)."""
+    if backend == "shm":
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=name)
+        # Unregister from the resource tracker: a non-owner process
+        # exiting (or crashing) must not unlink the owner's segment.
+        try:  # pragma: no cover - tracker layout is an implementation detail
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        return _Segment(
+            "shm", segment.name, segment.buf, _shm_closer(segment), lambda: None
+        )
+    if backend == "mmap":
+        fd = os.open(name, os.O_RDONLY)
+        try:
+            mapped = mmap.mmap(fd, max(size, 1), prot=mmap.PROT_READ)
+        finally:
+            os.close(fd)
+
+        def _close() -> None:
+            try:
+                mapped.close()
+            except BufferError:
+                pass
+
+        return _Segment("mmap", name, memoryview(mapped), _close, lambda: None)
+    raise ValueError(f"unknown shared-memory backend {backend!r}")
+
+
+def _views(segment: _Segment, specs: Tuple[ArraySpec, ...]) -> Dict[str, np.ndarray]:
+    """Read-only zero-copy array views over a mapped segment."""
+    arrays: Dict[str, np.ndarray] = {}
+    for spec in specs:
+        dtype = np.dtype(spec.dtype)
+        view = np.frombuffer(
+            segment.buf,
+            dtype=dtype,
+            count=spec.nbytes // dtype.itemsize,
+            offset=spec.offset,
+        ).reshape(spec.shape)
+        view.flags.writeable = False
+        arrays[spec.key] = view
+    return arrays
+
+
+@dataclass
+class SharedSnapshot:
+    """Owner side of one published snapshot.
+
+    Holds the live segment plus the :class:`SharedHandle` to ship to
+    workers.  ``close()`` (or the context-manager exit) detaches *and
+    unlinks* — after that no new attachment can succeed and the pages
+    are freed once the last attached process unmaps them.
+    """
+
+    handle: SharedHandle
+    segment: _Segment
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def close(self) -> None:
+        if not self.segment.closed:
+            self.arrays = {}
+            self.segment.close(unlink=True)
+            record_shm_event(self.handle.kind, "unlink")
+
+    def __enter__(self) -> "SharedSnapshot":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def publish_arrays(
+    kind: str,
+    arrays: Dict[str, np.ndarray],
+    meta: Dict[str, Any],
+    nodes: Any = None,
+    backend: Optional[str] = None,
+) -> SharedSnapshot:
+    """Copy ``arrays`` into one shared segment; return the owner handle."""
+    specs = []
+    offset = 0
+    materialized = {key: np.ascontiguousarray(value) for key, value in arrays.items()}
+    for key, array in materialized.items():
+        offset = _aligned(offset)
+        specs.append(
+            ArraySpec(
+                key=key,
+                dtype=array.dtype.str,
+                shape=tuple(int(dim) for dim in array.shape),
+                offset=offset,
+            )
+        )
+        offset += array.nbytes
+    segment = _create_segment(offset, backend)
+    handle = SharedHandle(
+        kind=kind,
+        backend=segment.backend,
+        name=segment.name,
+        size=offset,
+        specs=tuple(specs),
+        meta=tuple(sorted(meta.items())),
+        nodes=nodes,
+    )
+    views = _views(segment, handle.specs)
+    for key, array in materialized.items():
+        if array.nbytes:
+            target = views[key]
+            target.flags.writeable = True
+            np.copyto(target, array)
+            target.flags.writeable = False
+    record_shm_event(kind, "publish", nbytes=offset)
+    return SharedSnapshot(handle=handle, segment=segment, arrays=views)
+
+
+def attach_arrays(handle: SharedHandle) -> Tuple[Dict[str, np.ndarray], _Segment]:
+    """Map a published segment; return (read-only views, live segment).
+
+    The caller (usually :func:`attach_cached`) must keep the segment
+    object alive as long as the views are in use.
+    """
+    segment = _attach_segment(handle.backend, handle.name, handle.size)
+    record_shm_event(handle.kind, "attach")
+    return _views(segment, handle.specs), segment
+
+
+# ----------------------------------------------------------------------
+# snapshot-type publishers / reconstructors
+# ----------------------------------------------------------------------
+def _pack_nodes(node_list, n: int) -> Tuple[Any, Dict[str, np.ndarray]]:
+    """(handle ``nodes`` field, extra arrays) for a node list.
+
+    Identity lists (``0..n-1`` ints, including the lazily-materialized
+    ``None``) ship as a flag; plain-int lists ship as one int64 array;
+    anything else rides pickled in the handle.
+    """
+    if node_list is None:
+        return None, {}
+    if all(type(node) is int for node in node_list):
+        packed = np.asarray(node_list, dtype=np.int64)
+        if n and np.array_equal(packed, np.arange(n, dtype=np.int64)):
+            return None, {}
+        return "array", {"__nodes__": packed}
+    return tuple(node_list), {}
+
+
+def _unpack_nodes(handle: SharedHandle, arrays: Dict[str, np.ndarray]):
+    """Node list (or ``None`` for identity) from a handle + its views."""
+    if handle.nodes is None:
+        return None
+    if handle.nodes == "array":
+        return [int(node) for node in arrays["__nodes__"]]
+    return list(handle.nodes)
+
+
+def share_graph(fg, backend: Optional[str] = None) -> SharedSnapshot:
+    """Publish a :class:`~repro.graphs.csr.FrozenGraph`'s arrays."""
+    nodes, extra = _pack_nodes(fg._nodes, fg.n)
+    arrays = {"indptr": fg.indptr, "indices": fg.indices, **extra}
+    meta = {
+        "n": int(fg.n),
+        "directed": bool(fg.directed),
+        "generation": int(fg.generation),
+    }
+    return publish_arrays("graph", arrays, meta, nodes=nodes, backend=backend)
+
+
+def attach_graph(handle: SharedHandle):
+    """Reconstruct a read-only FrozenGraph over an attached segment."""
+    from repro.graphs.csr import FrozenGraph
+
+    arrays, segment = attach_arrays(handle)
+    meta = handle.meta_dict
+    fg = FrozenGraph.from_arrays(
+        arrays["indptr"],
+        arrays["indices"],
+        node_list=_unpack_nodes(handle, arrays),
+        directed=bool(meta.get("directed", False)),
+        generation=int(meta.get("generation", -1)),
+        copy=False,
+        validate=False,
+        dispatch_path=None,
+    )
+    fg._shm_segment = segment  # keep the mapping alive with the views
+    record_dispatch("graphs.freeze", path="shm-attach")
+    return fg
+
+
+#: Array attributes of FrozenContacts republished verbatim (all the
+#: derived columns too, so attaching never re-sorts contacts).
+_CONTACT_ARRAYS = (
+    "times",
+    "ua",
+    "va",
+    "weights",
+    "group_times",
+    "group_ptr",
+    "g_src",
+    "g_dst",
+    "g_w",
+    "g_ptr",
+    "nbr_src_sorted",
+    "nbr_time",
+    "nbr_idx",
+    "nbr_w",
+    "nbr_indptr",
+    "repr_rank",
+)
+
+
+def share_contacts(fc, backend: Optional[str] = None) -> SharedSnapshot:
+    """Publish a :class:`~repro.temporal.frozen.FrozenContacts`."""
+    nodes, extra = _pack_nodes(fc.node_list, fc.n)
+    arrays = {name: getattr(fc, name) for name in _CONTACT_ARRAYS}
+    arrays.update(extra)
+    meta = {
+        "n": int(fc.n),
+        "horizon": int(fc.horizon),
+        "generation": int(fc.generation),
+        "num_contacts": int(fc.num_contacts),
+    }
+    return publish_arrays("contacts", arrays, meta, nodes=nodes, backend=backend)
+
+
+def attach_contacts(handle: SharedHandle):
+    """Reconstruct a read-only FrozenContacts over an attached segment."""
+    from repro.temporal.frozen import FrozenContacts
+
+    arrays, segment = attach_arrays(handle)
+    meta = handle.meta_dict
+    n = int(meta.get("n", 0))
+    nodes = _unpack_nodes(handle, arrays)
+    fc = FrozenContacts.__new__(FrozenContacts)
+    fc.node_list = list(range(n)) if nodes is None else nodes
+    fc.index = {node: i for i, node in enumerate(fc.node_list)}
+    fc.n = n
+    fc.horizon = int(meta.get("horizon", 0))
+    fc.generation = int(meta.get("generation", -1))
+    fc.num_contacts = int(meta.get("num_contacts", 0))
+    for name in _CONTACT_ARRAYS:
+        setattr(fc, name, arrays[name])
+    fc._contacts_from_cache = {}
+    fc._weighted_from_cache = {}
+    fc._weighted_list = None
+    fc._shm_segment = segment
+    return fc
+
+
+_RECONSTRUCTORS = {"graph": attach_graph, "contacts": attach_contacts}
+
+#: Per-process attachment cache: a forked worker maps each segment once
+#: and every task after that is a ``reuse``.
+_ATTACH_CACHE: Dict[Tuple[str, str], Any] = {}
+
+
+def attach_cached(handle: SharedHandle):
+    """Attach ``handle``, reusing this process's prior attachment."""
+    key = (handle.backend, handle.name)
+    cached = _ATTACH_CACHE.get(key)
+    if cached is not None:
+        record_shm_event(handle.kind, "reuse")
+        return cached
+    reconstruct = _RECONSTRUCTORS.get(handle.kind)
+    if reconstruct is None:
+        raise ValueError(f"no reconstructor for shared kind {handle.kind!r}")
+    attached = reconstruct(handle)
+    _ATTACH_CACHE[key] = attached
+    return attached
+
+
+def detach_all() -> None:
+    """Drop this process's attachment cache (mainly for tests)."""
+    for attached in _ATTACH_CACHE.values():
+        segment = getattr(attached, "_shm_segment", None)
+        if segment is not None:
+            kind = "graph" if hasattr(attached, "indptr") else "contacts"
+            segment.close(unlink=False)
+            record_shm_event(kind, "detach")
+    _ATTACH_CACHE.clear()

@@ -54,6 +54,10 @@ from repro.observability.telemetry import (
     dispatch_counts,
     record_cache_event,
     record_dispatch,
+    record_shard,
+    record_shm_event,
+    record_spill,
+    shm_counts,
 )
 from repro.observability.export import (
     BENCH_SCHEMA,
@@ -106,7 +110,11 @@ __all__ = [
     "read_jsonl",
     "record_cache_event",
     "record_dispatch",
+    "record_shard",
+    "record_shm_event",
+    "record_spill",
     "set_registry",
+    "shm_counts",
     "timed",
     "to_jsonl",
     "to_prometheus",

@@ -61,8 +61,16 @@ def build_perf_record(
     cache: Optional[Mapping[str, Any]] = None,
     dispatch: Optional[Mapping[str, Any]] = None,
     memory: Optional[Mapping[str, Any]] = None,
+    shm: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """One ``repro.perf/v1`` ledger record for an experiment run."""
+    """One ``repro.perf/v1`` ledger record for an experiment run.
+
+    ``memory`` is the profiler's per-span summary
+    (``{span: {"peak_kib": ..., "alloc_kib": ...}}``) — its peaks are
+    gated like timings (see :func:`detect_regressions`).  ``shm`` is
+    the scale-out counter view from
+    :func:`repro.observability.telemetry.shm_counts`.
+    """
     return {
         "schema": PERF_SCHEMA,
         "experiment": experiment,
@@ -71,6 +79,7 @@ def build_perf_record(
         "cache": {k: dict(v) for k, v in (cache or {}).items()},
         "dispatch": {k: dict(v) for k, v in (dispatch or {}).items()},
         "memory": {k: dict(v) for k, v in (memory or {}).items()},
+        "shm": dict(shm or {}),
     }
 
 
@@ -90,7 +99,7 @@ def validate_perf_record(record: Mapping[str, Any]) -> List[str]:
         for key, value in timings.items():
             if not isinstance(value, (int, float)):
                 problems.append(f"timings[{key!r}] must be a number")
-    for field in ("cache", "dispatch", "memory"):
+    for field in ("cache", "dispatch", "memory", "shm"):
         if not isinstance(record.get(field, {}), Mapping):
             problems.append(f"{field} must be an object")
     return problems
@@ -140,22 +149,34 @@ def load_history(
 # ----------------------------------------------------------------------
 @dataclass
 class Regression:
-    """One timing key that slowed down past the threshold."""
+    """One gated metric that grew past the threshold.
+
+    Timing keys carry ``unit="s"`` (the historical shape — the
+    ``*_s``-suffixed fields keep their names for ledger compatibility);
+    memory-ceiling keys (``memory:<span>.peak_kib``) carry
+    ``unit="KiB"``.
+    """
 
     experiment: str
     key: str
     baseline_s: float
     current_s: float
     threshold: float
+    unit: str = "s"
 
     @property
     def slowdown(self) -> float:
         return self.current_s / self.baseline_s if self.baseline_s > 0 else float("inf")
 
     def describe(self) -> str:
+        if self.unit == "s":
+            current, baseline = f"{self.current_s:.6f}s", f"{self.baseline_s:.6f}s"
+        else:
+            current = f"{self.current_s:.1f}{self.unit}"
+            baseline = f"{self.baseline_s:.1f}{self.unit}"
         return (
             f"perf regression [{self.experiment}] {self.key}: "
-            f"{self.current_s:.6f}s vs baseline median {self.baseline_s:.6f}s "
+            f"{current} vs baseline median {baseline} "
             f"({self.slowdown:.2f}x > {self.threshold:g}x)"
         )
 
@@ -178,29 +199,26 @@ def detect_regressions(
 
     ``history`` is a list of prior ledger records for the *same*
     experiment (oldest first; ``current`` must not be among them).
-    Only ``*_median_s`` timing keys are compared — they are the stable
-    per-case statistics ``run_sweep`` emits — and a key needs at least
-    one prior observation to be gated.  Returns the offending keys as
-    :class:`Regression` entries, worst slowdown first.
+    Two families of keys are gated, each against a median-of-last-``k``
+    baseline and each needing at least one prior observation:
+
+    * ``*_median_s`` timing keys — the stable per-case statistics
+      ``run_sweep`` emits (``unit="s"``);
+    * profiler memory peaks — each ``memory[span]["peak_kib"]`` is
+      gated as ``memory:<span>.peak_kib`` (``unit="KiB"``), so a
+      memory-ceiling blowout fails CI exactly like a slowdown.
+
+    Returns the offending keys as :class:`Regression` entries, worst
+    growth first.
     """
     if threshold is None:
         threshold = gate_threshold()
     experiment = str(current.get("experiment", "?"))
-    current_timings = current.get("timings", {})
-    if not isinstance(current_timings, Mapping):
-        return []
     regressions: List[Regression] = []
-    for key, value in current_timings.items():
-        if not key.endswith("_median_s") or not isinstance(value, (int, float)):
-            continue
-        prior = [
-            record["timings"][key]
-            for record in history[-k:]
-            if isinstance(record.get("timings"), Mapping)
-            and isinstance(record["timings"].get(key), (int, float))
-        ]
+
+    def gate(key: str, value: float, prior: List[float], unit: str) -> None:
         if not prior:
-            continue
+            return
         baseline = _median(prior)
         if baseline > 0 and value > threshold * baseline:
             regressions.append(
@@ -210,8 +228,43 @@ def detect_regressions(
                     baseline_s=baseline,
                     current_s=float(value),
                     threshold=threshold,
+                    unit=unit,
                 )
             )
+
+    current_timings = current.get("timings", {})
+    if isinstance(current_timings, Mapping):
+        for key, value in current_timings.items():
+            if not key.endswith("_median_s") or not isinstance(value, (int, float)):
+                continue
+            prior = [
+                record["timings"][key]
+                for record in history[-k:]
+                if isinstance(record.get("timings"), Mapping)
+                and isinstance(record["timings"].get(key), (int, float))
+            ]
+            gate(key, float(value), prior, "s")
+
+    current_memory = current.get("memory", {})
+    if isinstance(current_memory, Mapping):
+        for span, summary in current_memory.items():
+            if not isinstance(summary, Mapping):
+                continue
+            peak = summary.get("peak_kib")
+            if not isinstance(peak, (int, float)):
+                continue
+            prior = []
+            for record in history[-k:]:
+                spans = record.get("memory")
+                if not isinstance(spans, Mapping):
+                    continue
+                prior_summary = spans.get(span)
+                if isinstance(prior_summary, Mapping) and isinstance(
+                    prior_summary.get("peak_kib"), (int, float)
+                ):
+                    prior.append(float(prior_summary["peak_kib"]))
+            gate(f"memory:{span}.peak_kib", float(peak), prior, "KiB")
+
     regressions.sort(key=lambda r: -r.slowdown)
     return regressions
 

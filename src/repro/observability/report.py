@@ -17,7 +17,10 @@ dashboard — markdown by default, JSON with ``--json``:
 * **top-N slowest spans** — the slowest ``*_median_s`` cases across
   all feed timing maps;
 * **memory ceilings** — the largest per-span tracemalloc peaks the
-  profiler recorded into the ledger.
+  profiler recorded into the ledger;
+* **scale-out** — shared-memory lifecycle counts, per-kernel shard
+  counts and per-shard peaks, spill bytes, and the ceiling-vs-actual
+  margins from the committed ``BENCH_perf-scale.json`` rows.
 
 The dashboard is itself a schema'd document (``repro.report/v1``) so
 downstream tooling can diff two dashboards the same way the bench
@@ -222,6 +225,86 @@ def trajectory_summary(
     return out
 
 
+def scale_summary(
+    feeds: Mapping[str, Mapping[str, Any]],
+    ledger: Sequence[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """The scale-out panel: shm lifecycle, shards, spill, ceilings.
+
+    Shared-memory attach/publish/reuse counts, per-kernel shard counts,
+    and spill bytes come from the ``shm`` field every ledger record now
+    carries; per-shard peak memory comes from the profiler spans named
+    ``*.shard``; the ceiling-vs-actual margins come from the committed
+    ``BENCH_perf-scale.json`` rows (tightest margin first).
+    """
+    events: Dict[str, Dict[str, int]] = {}
+    shm_bytes: Dict[str, int] = {}
+    shards: Dict[str, int] = {}
+    spill = 0
+    for record in ledger:
+        shm = record.get("shm")
+        if not isinstance(shm, Mapping):
+            continue
+        kinds = shm.get("events")
+        if isinstance(kinds, Mapping):
+            for kind, kind_events in kinds.items():
+                if not isinstance(kind_events, Mapping):
+                    continue
+                bucket = events.setdefault(str(kind), {})
+                for event, count in kind_events.items():
+                    bucket[str(event)] = bucket.get(str(event), 0) + int(count)
+        published = shm.get("bytes")
+        if isinstance(published, Mapping):
+            for kind, nbytes in published.items():
+                shm_bytes[str(kind)] = shm_bytes.get(str(kind), 0) + int(nbytes)
+        per_kernel = shm.get("shards")
+        if isinstance(per_kernel, Mapping):
+            for kernel, count in per_kernel.items():
+                shards[str(kernel)] = shards.get(str(kernel), 0) + int(count)
+        if isinstance(shm.get("spill_bytes"), (int, float)):
+            spill += int(shm["spill_bytes"])
+    shard_peaks = {
+        span: stats
+        for span, stats in memory_summary(ledger).items()
+        if span.endswith(".shard")
+    }
+    ceilings: List[Dict[str, Any]] = []
+    scale_feed = feeds.get("perf-scale")
+    if isinstance(scale_feed, Mapping):
+        header = scale_feed.get("header") or []
+        rows = scale_feed.get("rows") or []
+        wanted = ("tier", "case", "peak MiB", "ceiling MiB")
+        if all(column in header for column in wanted):
+            tier_col, case_col, peak_col, ceiling_col = (
+                header.index(column) for column in wanted
+            )
+            for row in rows:
+                if len(row) <= max(peak_col, ceiling_col) or row[tier_col] != "scale":
+                    continue
+                try:
+                    peak = float(row[peak_col])
+                    ceiling = float(row[ceiling_col])
+                except (TypeError, ValueError):
+                    continue
+                ceilings.append(
+                    {
+                        "case": str(row[case_col]),
+                        "peak_mib": peak,
+                        "ceiling_mib": ceiling,
+                        "margin_mib": ceiling - peak,
+                    }
+                )
+            ceilings.sort(key=lambda entry: entry["margin_mib"])
+    return {
+        "shm_events": events,
+        "shm_bytes": shm_bytes,
+        "shards": shards,
+        "spill_bytes": spill,
+        "shard_peaks": shard_peaks,
+        "ceilings": ceilings,
+    }
+
+
 def memory_summary(ledger: Sequence[Mapping[str, Any]]) -> Dict[str, Dict[str, float]]:
     """Largest per-span profiler peaks recorded into the ledger."""
     out: Dict[str, Dict[str, float]] = {}
@@ -264,6 +347,7 @@ def build_dashboard(
         "cache": cache_summary(feeds, ledger),
         "slowest": slowest_spans(feeds, top=top),
         "memory": memory_summary(ledger),
+        "scale": scale_summary(feeds, ledger),
     }
 
 
@@ -357,6 +441,53 @@ def render_markdown(dashboard: Mapping[str, Any]) -> str:
         lines.append("(no memory profiles in the ledger — run a benchmark with "
                      "`profiling.enable(memory=True)`)")
     lines.append("")
+
+    scale = dashboard.get("scale", {})
+    lines.append("## Scale-out (shared memory, shards, spill)")
+    lines.append("")
+    shm_events = scale.get("shm_events", {})
+    if shm_events:
+        lines.append("| kind | publish | attach | reuse | detach | unlink | bytes |")
+        lines.append("|---|---|---|---|---|---|---|")
+        for kind in sorted(shm_events):
+            stats = shm_events[kind]
+            nbytes = scale.get("shm_bytes", {}).get(kind, 0)
+            lines.append(
+                f"| {kind} | {stats.get('publish', 0)} | {stats.get('attach', 0)} "
+                f"| {stats.get('reuse', 0)} | {stats.get('detach', 0)} "
+                f"| {stats.get('unlink', 0)} | {nbytes} |"
+            )
+    else:
+        lines.append("(no shared-memory telemetry in the ledger yet)")
+    lines.append("")
+    shards = scale.get("shards", {})
+    if shards:
+        shard_text = ", ".join(
+            f"{kernel} ×{count}" for kernel, count in sorted(shards.items())
+        )
+        spill = scale.get("spill_bytes", 0)
+        lines.append(f"Shards streamed: {shard_text}; spill bytes: {spill}.")
+        lines.append("")
+    shard_peaks = scale.get("shard_peaks", {})
+    if shard_peaks:
+        lines.append("| shard span | peak | net alloc |")
+        lines.append("|---|---|---|")
+        for span, stats in shard_peaks.items():
+            lines.append(
+                f"| {span} | {stats['peak_kib']:.0f} KiB "
+                f"| {stats['alloc_kib']:.0f} KiB |"
+            )
+        lines.append("")
+    ceilings = scale.get("ceilings", [])
+    if ceilings:
+        lines.append("| scale case | peak MiB | ceiling MiB | margin MiB |")
+        lines.append("|---|---|---|---|")
+        for entry in ceilings:
+            lines.append(
+                f"| {entry['case']} | {entry['peak_mib']:.1f} "
+                f"| {entry['ceiling_mib']:.1f} | {entry['margin_mib']:.1f} |"
+            )
+        lines.append("")
     return "\n".join(lines)
 
 

@@ -1,6 +1,6 @@
-"""Cache and dispatch telemetry for the frozen-index fast paths.
+"""Cache, dispatch, and scale-out telemetry for the frozen fast paths.
 
-Two small families of counters on the global metrics registry:
+Counter families on the global metrics registry:
 
 ``repro.cache.frozen{owner=...,event=hit|miss|refreeze}``
     Emitted by :func:`repro.graphs.csr.generation_cached`, the one
@@ -9,17 +9,29 @@ Two small families of counters on the global metrics registry:
     and a *hit* reuses the cached snapshot.  ``owner`` is the owner's
     class name (``Graph``, ``DiGraph``, ``EvolvingGraph``).
 
-``repro.dispatch.calls{kernel=...,path=fast|reference}``
+``repro.dispatch.calls{kernel=...,path=fast|reference|...}``
     Emitted at every ``FROZEN_MIN_*`` gate: one count per public call,
-    labeled with which implementation actually ran.  This makes the
-    question "did the big run take the vectorized path?" answerable
-    from a metrics snapshot instead of a debugger.
+    labeled with which implementation actually ran.  Beyond the two
+    gate paths, the scale-out plane labels snapshot constructions
+    (``kernel=graphs.freeze`` with ``path=build|arrays|shm-attach``)
+    and shared-memory sweep tasks (``path=shm-attach``), so "did the
+    workers rebuild the graph?" is answerable from a snapshot.
 
-Both helpers are one registry lookup plus an integer add, and they are
-called at entry-point granularity (never per node / per contact), so
-they stay within the disabled-mode overhead budget.  Import the module
-from kernel code — not individual counters — so tests can swap the
-registry via :func:`repro.observability.metrics.set_registry`.
+``repro.shm.events{kind=...,event=publish|attach|reuse|detach|unlink}``
+    Shared-memory segment lifecycle (:mod:`repro.graphs.shm`), labeled
+    with the payload kind (``graph`` / ``contacts``) — plus
+    ``repro.shm.bytes{kind=...}`` accumulating published bytes.
+
+``repro.shard.sweeps{kernel=...}`` / ``repro.shard.spill_bytes``
+    One count per streamed source shard a kernel processed, and the
+    bytes spilled to memmapped scratch by the out-of-core path.
+
+All helpers are one registry lookup plus an integer add, and they are
+called at entry-point / per-shard granularity (never per node / per
+contact), so they stay within the disabled-mode overhead budget.
+Import the module from kernel code — not individual counters — so
+tests can swap the registry via
+:func:`repro.observability.metrics.set_registry`.
 """
 
 from __future__ import annotations
@@ -31,6 +43,10 @@ from repro.observability.metrics import MetricsRegistry, get_registry
 
 CACHE_METRIC = "repro.cache.frozen"
 DISPATCH_METRIC = "repro.dispatch.calls"
+SHM_METRIC = "repro.shm.events"
+SHM_BYTES_METRIC = "repro.shm.bytes"
+SHARD_METRIC = "repro.shard.sweeps"
+SPILL_METRIC = "repro.shard.spill_bytes"
 
 _LABELED = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$")
 
@@ -42,11 +58,41 @@ def record_cache_event(owner: Any, event: str) -> None:
     ).inc()
 
 
-def record_dispatch(kernel: str, fast: bool) -> None:
-    """Count one kernel call routed to the fast or reference path."""
+def record_dispatch(kernel: str, fast: bool = True, path: str = None) -> None:
+    """Count one kernel call routed to the fast or reference path.
+
+    ``path`` overrides the fast/reference label for routes outside the
+    two-way gates — e.g. ``"shm-attach"`` for shared-memory sweep
+    tasks, ``"build"`` / ``"arrays"`` for snapshot constructions.
+    """
+    if path is None:
+        path = "fast" if fast else "reference"
     get_registry().counter(
-        DISPATCH_METRIC, {"kernel": kernel, "path": "fast" if fast else "reference"}
+        DISPATCH_METRIC, {"kernel": kernel, "path": path}
     ).inc()
+
+
+def record_shm_event(kind: str, event: str, nbytes: int = 0) -> None:
+    """Count one shared-memory lifecycle event for a payload ``kind``.
+
+    ``nbytes`` (used by *publish*) also accumulates into the
+    ``repro.shm.bytes`` counter so the report can show how much data
+    lives in segments.
+    """
+    registry = get_registry()
+    registry.counter(SHM_METRIC, {"kind": kind, "event": event}).inc()
+    if nbytes:
+        registry.counter(SHM_BYTES_METRIC, {"kind": kind}).inc(int(nbytes))
+
+
+def record_shard(kernel: str, count: int = 1) -> None:
+    """Count ``count`` streamed source shards processed by ``kernel``."""
+    get_registry().counter(SHARD_METRIC, {"kernel": kernel}).inc(int(count))
+
+
+def record_spill(nbytes: int) -> None:
+    """Accumulate bytes spilled to memmapped scratch (out-of-core path)."""
+    get_registry().counter(SPILL_METRIC).inc(int(nbytes))
 
 
 def _labeled_counts(metric_name: str, registry: MetricsRegistry):
@@ -80,3 +126,30 @@ def dispatch_counts(registry: MetricsRegistry = None) -> Dict[str, Dict[str, int
         kernel = labels.get("kernel", "?")
         out.setdefault(kernel, {})[labels.get("path", "?")] = int(value)
     return out
+
+
+def shm_counts(registry: MetricsRegistry = None) -> Dict[str, Any]:
+    """Scale-out counters in one nested view.
+
+    ``{"events": {kind: {event: count}}, "bytes": {kind: total},
+    "shards": {kernel: count}, "spill_bytes": total}`` — the shape the
+    perf ledger records and the report's scale panel consume.
+    """
+    registry = registry if registry is not None else get_registry()
+    events: Dict[str, Dict[str, int]] = {}
+    for labels, value in _labeled_counts(SHM_METRIC, registry):
+        kind = labels.get("kind", "?")
+        events.setdefault(kind, {})[labels.get("event", "?")] = int(value)
+    published: Dict[str, int] = {}
+    for labels, value in _labeled_counts(SHM_BYTES_METRIC, registry):
+        published[labels.get("kind", "?")] = int(value)
+    shards: Dict[str, int] = {}
+    for labels, value in _labeled_counts(SHARD_METRIC, registry):
+        shards[labels.get("kernel", "?")] = int(value)
+    spill = int(registry.snapshot().get(SPILL_METRIC, 0))
+    return {
+        "events": events,
+        "bytes": published,
+        "shards": shards,
+        "spill_bytes": spill,
+    }

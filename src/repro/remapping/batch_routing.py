@@ -34,8 +34,9 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.graphs.csr import FROZEN_MIN_NODES, FrozenGraph
-from repro.observability.telemetry import record_dispatch
+from repro.graphs.csr import FROZEN_MIN_NODES, FrozenGraph, shard_sources
+from repro.observability.profiling import profile_span
+from repro.observability.telemetry import record_dispatch, record_shard
 from repro.graphs.unit_disk import positions_of
 from repro.labeling.kleinberg_routing import greedy_grid_route
 from repro.observability.instrument import timed
@@ -279,6 +280,7 @@ def _optimal_for_pairs(
     fg: FrozenGraph,
     sources: np.ndarray,
     targets: np.ndarray,
+    memory_budget: Optional[int] = None,
 ) -> np.ndarray:
     """Shortest-path hops source → target per pair (-1 if unreachable).
 
@@ -288,37 +290,50 @@ def _optimal_for_pairs(
     a node reaches a target in d+1 hops iff some out-neighbor (forward
     arcs; plain neighbor when undirected) reaches it in d.  A pair is
     resolved the round its source first holds its target's bit, so no
-    full level matrix is ever built.  Targets beyond 63 go in further
-    chunks.
+    full level matrix is ever built.  Target chunks come from the
+    :func:`~repro.graphs.csr.shard_sources` planner (63 bits per int64
+    word at most); ``memory_budget`` shrinks the chunk width.
     """
     distinct, slot = np.unique(targets, return_inverse=True)
     optimal = np.full(sources.shape[0], -1, dtype=np.int64)
     if distinct.size == 0:
         return optimal
     rows, seg_starts = fg._row_segments()
-    for base in range(0, distinct.size, 63):
-        chunk = distinct[base : base + 63]
+    plan = shard_sources(
+        int(distinct.size),
+        memory_budget=memory_budget,
+        n=fg.n,
+        edges=int(fg.indices.shape[0]),
+        max_batch=63,
+        align=1,
+    )
+    for base in range(0, int(distinct.size), plan.batch):
+        chunk = distinct[base : base + plan.batch]
         k = chunk.size
-        state = np.zeros(fg.n, dtype=np.int64)
-        state[chunk] |= np.int64(1) << np.arange(k, dtype=np.int64)
-        pending = np.flatnonzero((slot >= base) & (slot < base + k))
-        bit = np.int64(1) << (slot[pending] - base)
-        done = (state[sources[pending]] & bit) != 0
-        optimal[pending[done]] = 0
-        pending, bit = pending[~done], bit[~done]
-        depth = 0
-        while pending.size and depth <= fg.n:
-            depth += 1
-            merged = state[rows] | np.bitwise_or.reduceat(
-                state[fg.indices], seg_starts
-            )
-            if np.array_equal(merged, state[rows]):
-                break  # masks stable: the rest is unreachable
-            state[rows] = merged
-            hit = (state[sources[pending]] & bit) != 0
-            if hit.any():
-                optimal[pending[hit]] = depth
-                pending, bit = pending[~hit], bit[~hit]
+        with profile_span(
+            "repro.remapping.shard", kernel="_optimal_for_pairs", targets=int(k)
+        ):
+            record_shard("_optimal_for_pairs")
+            state = np.zeros(fg.n, dtype=np.int64)
+            state[chunk] |= np.int64(1) << np.arange(k, dtype=np.int64)
+            pending = np.flatnonzero((slot >= base) & (slot < base + k))
+            bit = np.int64(1) << (slot[pending] - base)
+            done = (state[sources[pending]] & bit) != 0
+            optimal[pending[done]] = 0
+            pending, bit = pending[~done], bit[~done]
+            depth = 0
+            while pending.size and depth <= fg.n:
+                depth += 1
+                merged = state[rows] | np.bitwise_or.reduceat(
+                    state[fg.indices], seg_starts
+                )
+                if np.array_equal(merged, state[rows]):
+                    break  # masks stable: the rest is unreachable
+                state[rows] = merged
+                hit = (state[sources[pending]] & bit) != 0
+                if hit.any():
+                    optimal[pending[hit]] = depth
+                    pending, bit = pending[~hit], bit[~hit]
     return optimal
 
 

@@ -31,6 +31,7 @@ if BENCH_DIR not in sys.path:
 
 import bench_perf_csr  # noqa: E402  (benchmarks/bench_perf_csr.py)
 import bench_perf_labeling  # noqa: E402
+import bench_perf_scale  # noqa: E402
 import bench_perf_temporal  # noqa: E402
 from _util import time_repeated  # noqa: E402
 from repro.observability import BENCH_SCHEMA, validate_bench_report  # noqa: E402
@@ -144,6 +145,56 @@ def test_committed_perf_labeling_feed_is_valid_and_meets_targets():
             assert row[speedup_col] >= floor, row
             seen.add(row[kernel_col])
     assert seen == set(floors)  # every gated kernel appears at the top size
+
+
+def test_perf_scale_toy_run_validates_schema_and_tiers(tmp_path):
+    result = bench_perf_scale.run(
+        scale_n=3000,
+        verify_n=500,
+        memory_budget=4 * 1024 * 1024,
+        ceiling_mib=512.0,
+        jobs=2,
+        tasks=3,
+        out_dir=str(tmp_path),
+        top_dir=str(tmp_path),
+    )
+    assert result.experiment == "perf-scale"
+    document = json.loads(open(result.json_path).read())
+    assert document["schema"] == BENCH_SCHEMA
+    assert validate_bench_report(document) == []
+    assert open(result.bench_path).read() == open(result.json_path).read()
+    tiers = {row[0] for row in result.rows}
+    assert {"verify", "scale", "sweep"} <= tiers
+    # the shm sweep and its pickle baseline both report a wall time
+    assert "sweep_shm_s" in document["timings"]
+    assert "sweep_pickle_s" in document["timings"]
+    # every scale row stayed under the asserted ceiling
+    header = document["header"]
+    peak_col = header.index("peak MiB")
+    ceiling_col = header.index("ceiling MiB")
+    for row in document["rows"]:
+        if row[0] == "scale":
+            assert float(row[peak_col]) <= float(row[ceiling_col])
+
+
+def test_committed_perf_scale_feed_has_million_node_rows():
+    path = os.path.join(TOP, "BENCH_perf-scale.json")
+    document = json.loads(open(path).read())
+    assert validate_bench_report(document) == []
+    header = document["header"]
+    n_col = header.index("n")
+    peak_col = header.index("peak MiB")
+    ceiling_col = header.index("ceiling MiB")
+    scale_rows = [row for row in document["rows"] if row[0] == "scale"]
+    assert scale_rows, "committed feed must carry the scale tier"
+    assert max(int(row[n_col]) for row in scale_rows) >= 1_000_000
+    for row in scale_rows:
+        assert float(row[peak_col]) <= float(row[ceiling_col]), row
+    # the bit-exactness tier ran before any timing
+    assert any(row[0] == "verify" for row in document["rows"])
+    # shm sweep beat the per-task pickle baseline
+    timings = document["timings"]
+    assert timings["sweep_shm_s"] <= timings["sweep_pickle_s"]
 
 
 # ----------------------------------------------------------------------

@@ -22,9 +22,16 @@ from repro.observability import BENCH_SCHEMA, validate_bench_report  # noqa: E40
 def test_smoke_runs_every_figure_and_validates(tmp_path):
     results = smoke.run_all(out_dir=str(tmp_path), top_dir=str(tmp_path))
     assert set(results) == set(smoke.SMOKE_RUNNERS)
-    # Every figure of the paper, the DTN application table, and the
-    # chaos degradation sweep are covered.
-    assert {f"fig{i}" for i in range(1, 10)} | {"dtn", "faults"} <= set(results)
+    # Every figure of the paper, the DTN application table, the chaos
+    # degradation sweep, and the million-node tier mechanics are covered.
+    assert {f"fig{i}" for i in range(1, 10)} | {"dtn", "faults", "scale"} <= set(
+        results
+    )
+    # The scale smoke must have exercised the sharded tier with its
+    # memory ceiling intact (the runner raises past the ceiling).
+    scale_rows = results["scale"].rows
+    assert any(row[0] == "scale" for row in scale_rows)
+    assert any(row[0] == "verify" for row in scale_rows)
     for name, result in results.items():
         assert os.path.dirname(result.json_path) == str(tmp_path)
         document = json.loads(open(result.json_path).read())

@@ -159,6 +159,61 @@ class TestDetector:
         flagged = detect_regressions(history, current, threshold=1.5)
         assert [r.key for r in flagged] == ["b_median_s", "a_median_s"]
 
+    def test_memory_peaks_are_gated_like_timings(self):
+        """The scale tier's ceiling rides the same ledger: a span whose
+        tracked peak doubles against stable history must be flagged,
+        reported in KiB (not seconds)."""
+
+        def mem_record(peak):
+            return build_perf_record(
+                "exp",
+                timings={"kernel_median_s": 0.1},
+                memory={"repro.bench.scale.sums": {"peak_kib": peak}},
+            )
+
+        history = [mem_record(1000.0) for _ in range(3)]
+        flagged = detect_regressions(history, mem_record(2000.0), threshold=1.5)
+        assert len(flagged) == 1
+        regression = flagged[0]
+        assert regression.key == "memory:repro.bench.scale.sums.peak_kib"
+        assert regression.unit == "KiB"
+        assert regression.slowdown == pytest.approx(2.0)
+        assert "KiB" in regression.describe()
+        # stable memory passes
+        assert detect_regressions(history, mem_record(1100.0), threshold=1.5) == []
+
+    def test_memory_gate_needs_history_for_the_span(self):
+        history = [_record(0.1) for _ in range(3)]  # no memory section
+        current = build_perf_record(
+            "exp",
+            timings={"kernel_n100_median_s": 0.1},
+            memory={"brand.new.span": {"peak_kib": 9999.0}},
+        )
+        assert detect_regressions(history, current, threshold=1.5) == []
+
+
+class TestShmField:
+    def test_record_carries_shm_counters(self):
+        record = build_perf_record(
+            "perf-scale",
+            timings={"sweep_shm_s": 0.01},
+            shm={
+                "events": {"graph": {"publish": 1, "attach": 4}},
+                "bytes": {"graph": 123456},
+                "shards": {"all_pairs_distance_sums": 8},
+                "spill_bytes": 1 << 20,
+            },
+        )
+        assert validate_perf_record(record) == []
+        assert record["shm"]["shards"]["all_pairs_distance_sums"] == 8
+        # JSON round trip keeps it intact
+        assert json.loads(json.dumps(record))["shm"] == record["shm"]
+
+    def test_shm_defaults_to_empty(self):
+        record = build_perf_record("exp", timings={"a_median_s": 0.1})
+        assert record["shm"] == {}
+        assert validate_perf_record(record) == []
+
 
 class TestGate:
     def test_mode_defaults_to_warn(self, monkeypatch):

@@ -16,6 +16,7 @@ from repro.observability.report import (
     main,
     memory_summary,
     render_markdown,
+    scale_summary,
     scan_bench_feeds,
     slowest_spans,
     speedup_summary,
@@ -123,6 +124,66 @@ class TestSections:
         ledger = load_history(os.path.join(top, "benchmarks", "out", "history.jsonl"))
         summary = memory_summary(ledger)
         assert summary["repro.dtn.run"]["peak_kib"] == 128.0  # largest run
+
+    def test_scale_summary_merges_shm_shards_and_ceilings(self):
+        feeds = {
+            "perf-scale": fake_feed(
+                "perf-scale",
+                ["tier", "n", "m", "case", "wall s", "peak MiB",
+                 "ceiling MiB", "shards", "spill bytes"],
+                [
+                    ["verify", 500, 2000, "bit-exact x5", "-", "-", "-", "-", "-"],
+                    ["scale", 10**6, 4 * 10**6, "distance-sums",
+                     12.5, 900.0, 1536.0, 4, 0],
+                    ["scale", 10**6, 4 * 10**6, "distance-table",
+                     30.0, 1200.0, 1536.0, 4, 10**9],
+                ],
+            )
+        }
+        ledger = [
+            build_perf_record(
+                "perf-scale",
+                timings={"distance_sums_median_s": 12.5},
+                memory={"repro.graphs.csr.shard": {"peak_kib": 512.0,
+                                                   "alloc_kib": 8.0}},
+                shm={
+                    "events": {"graph": {"publish": 1, "attach": 2, "reuse": 3}},
+                    "bytes": {"graph": 40_000_000},
+                    "shards": {"all_pairs_distance_sums": 4},
+                    "spill_bytes": 10**9,
+                },
+            ),
+            build_perf_record(
+                "perf-scale",
+                timings={"x_median_s": 1.0},
+                shm={"events": {"graph": {"attach": 1}},
+                     "shards": {"all_pairs_distance_sums": 2}},
+            ),
+        ]
+        summary = scale_summary(feeds, ledger)
+        assert summary["shm_events"]["graph"] == {
+            "publish": 1, "attach": 3, "reuse": 3,
+        }
+        assert summary["shm_bytes"]["graph"] == 40_000_000
+        assert summary["shards"]["all_pairs_distance_sums"] == 6
+        assert summary["spill_bytes"] == 10**9
+        assert summary["shard_peaks"]["repro.graphs.csr.shard"]["peak_kib"] == 512.0
+        # tightest ceiling margin first; verify rows never contribute
+        assert [entry["case"] for entry in summary["ceilings"]] == [
+            "distance-table", "distance-sums",
+        ]
+        assert summary["ceilings"][0]["margin_mib"] == 336.0
+
+    def test_scale_summary_empty_inputs(self):
+        summary = scale_summary({}, [])
+        assert summary == {
+            "shm_events": {},
+            "shm_bytes": {},
+            "shards": {},
+            "spill_bytes": 0,
+            "shard_peaks": {},
+            "ceilings": [],
+        }
 
 
 class TestDashboard:

@@ -1,0 +1,101 @@
+"""``run_sweep(shared=)``: one published snapshot, zero worker rebuilds.
+
+The scale-out contract: when a sweep is handed a ``SharedSnapshot``,
+every task — serial or forked — attaches the already-published CSR
+arrays instead of unpickling (or rebuilding) the graph.  The merged
+telemetry must show one ``repro.dispatch.calls{path="shm-attach"}``
+per task and zero ``graphs.freeze{path="build"}`` events from the
+workers.
+"""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
+)
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+from _util import run_sweep  # noqa: E402
+from repro.graphs import shm  # noqa: E402
+from repro.graphs.generators import degree_ordered_graph  # noqa: E402
+from repro.observability.metrics import MetricsRegistry, set_registry  # noqa: E402
+from repro.observability.telemetry import dispatch_counts, shm_counts  # noqa: E402
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry("test-shared-sweep")
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+@pytest.fixture(autouse=True)
+def _clean_attach_cache():
+    shm.detach_all()
+    yield
+    shm.detach_all()
+
+
+def shared_point(item, fg):
+    """Picklable sweep body: touches the attached graph's arrays."""
+    return int(fg.indptr[item + 1] - fg.indptr[item]) + item * 1000
+
+
+def test_serial_shared_sweep_attaches_per_task(registry):
+    fg = degree_ordered_graph(400, rng=np.random.default_rng(21))
+    expected = [shared_point(i, fg) for i in (0, 1, 2)]
+    with fg.to_shared() as snapshot:
+        results = run_sweep([0, 1, 2], shared_point, shared=snapshot.handle)
+        assert results == expected
+        sweeps = dispatch_counts(registry)["benchmarks.run_sweep"]
+        assert sweeps == {"shm-attach": 3}
+        # first task maps the segment, the rest reuse the cached mapping
+        events = shm_counts(registry)["events"]["graph"]
+        assert events["attach"] == 1
+        assert events["reuse"] == 2
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="fork context only")
+def test_parallel_shared_sweep_zero_worker_rebuilds(registry):
+    fg = degree_ordered_graph(400, rng=np.random.default_rng(22))
+    items = list(range(6))
+    expected = [shared_point(i, fg) for i in items]
+    before = dispatch_counts(registry).get("graphs.freeze", {})
+    with fg.to_shared() as snapshot:
+        results = run_sweep(items, shared_point, jobs=2, shared=snapshot.handle)
+        assert results == expected
+        counts = dispatch_counts(registry)
+        # every task attached instead of rebuilding
+        assert counts["benchmarks.run_sweep"] == {"shm-attach": len(items)}
+        freeze = counts.get("graphs.freeze", {})
+        # no worker rebuilt the graph: the only freeze-event delta is
+        # the shm-attach reconstruction path
+        assert freeze.get("build", 0) == before.get("build", 0)
+        assert freeze.get("arrays", 0) == before.get("arrays", 0)
+        assert freeze.get("shm-attach", 0) >= 1
+        # merged worker state shows the attach events that actually
+        # mapped the segment (one per worker, the rest reuse)
+        events = shm_counts(registry)["events"]["graph"]
+        assert events["attach"] + events["reuse"] == len(items)
+        assert events["attach"] >= 1
+
+
+def test_shared_sweep_results_match_pickled_graph_sweep(registry):
+    from functools import partial
+
+    fg = degree_ordered_graph(300, rng=np.random.default_rng(23))
+    items = [0, 5, 10]
+    baseline = run_sweep(items, partial(_point_with_graph, fg))
+    with fg.to_shared() as snapshot:
+        shared = run_sweep(items, shared_point, shared=snapshot.handle)
+    assert shared == baseline
+
+
+def _point_with_graph(fg, item):
+    return shared_point(item, fg)

@@ -1,0 +1,225 @@
+"""Shared-memory snapshot plane: publish / attach lifecycle.
+
+Differential and property tests for ``repro.graphs.shm``: attached
+views must be bit-identical to the owner's arrays and strictly
+read-only; handles must survive a pickle round trip (that is how they
+reach pool workers); an attached segment must survive a worker crash
+(PR-3 faults style: the child dies hard, the parent's mapping is
+unaffected); and the owner must unlink on close so the test session
+leaks no ``/dev/shm`` entries.
+"""
+
+import os
+import pickle
+import signal
+
+import numpy as np
+import pytest
+
+from repro.graphs import shm
+from repro.graphs.csr import FrozenGraph
+from repro.graphs.generators import degree_ordered_graph
+from repro.observability.metrics import MetricsRegistry, set_registry
+from repro.observability.telemetry import dispatch_counts, shm_counts
+from repro.temporal.evolving import EvolvingGraph
+
+
+@pytest.fixture
+def registry():
+    """Swap in an empty global metrics registry for the test."""
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+@pytest.fixture(autouse=True)
+def _clean_attach_cache():
+    """Each test starts and ends with an empty per-process cache."""
+    shm.detach_all()
+    yield
+    shm.detach_all()
+
+
+def _frozen(n=600, seed=9):
+    return degree_ordered_graph(n, avg_degree=6.0, rng=np.random.default_rng(seed))
+
+
+def _contacts():
+    eg = EvolvingGraph(horizon=6, nodes=[f"u{i}" for i in range(8)])
+    rng = np.random.default_rng(4)
+    for _ in range(40):
+        u, v = rng.integers(0, 8, size=2)
+        if u != v:
+            eg.add_contact(f"u{u}", f"u{v}", int(rng.integers(0, 6)))
+    return eg.frozen()
+
+
+def _shm_entries():
+    if not os.path.isdir("/dev/shm"):
+        return []
+    return [
+        name
+        for name in os.listdir("/dev/shm")
+        if name.startswith(shm.SEGMENT_PREFIX)
+    ]
+
+
+class TestGraphRoundTrip:
+    def test_attached_views_bit_identical_and_read_only(self):
+        fg = _frozen()
+        with fg.to_shared() as snapshot:
+            attached = FrozenGraph.from_shared(snapshot.handle)
+            assert np.array_equal(attached.indptr, fg.indptr)
+            assert np.array_equal(attached.indices, fg.indices)
+            assert attached.n == fg.n
+            assert attached.node_list == fg.node_list
+            for view in (attached.indptr, attached.indices):
+                assert not view.flags.writeable
+                with pytest.raises(ValueError):
+                    view[0] = 1
+            # attached kernels agree with the owner's
+            assert np.array_equal(
+                attached.bfs_levels(0), fg.bfs_levels(0)
+            )
+
+    def test_handle_pickles_compactly(self):
+        fg = _frozen(300)
+        with fg.to_shared() as snapshot:
+            payload = pickle.dumps(snapshot.handle)
+            # the handle carries metadata, not the CSR payload
+            assert len(payload) < fg.indices.nbytes
+            restored = pickle.loads(payload)
+            attached = restored.attach()
+            assert np.array_equal(attached.indices, fg.indices)
+
+    def test_string_node_labels_survive(self):
+        eg_nodes = [f"site-{i}" for i in range(12)]
+        from repro.graphs.graph import Graph
+
+        g = Graph()
+        for node in eg_nodes:
+            g.add_node(node)
+        for i in range(11):
+            g.add_edge(eg_nodes[i], eg_nodes[i + 1])
+        fg = FrozenGraph(g)
+        with fg.to_shared() as snapshot:
+            attached = shm.attach_graph(snapshot.handle)
+            assert attached.node_list == fg.node_list
+            assert attached.index == fg.index
+
+
+class TestContactsRoundTrip:
+    def test_contacts_twin_bit_identical(self):
+        fc = _contacts()
+        with fc.to_shared() as snapshot:
+            attached = type(fc).from_shared(snapshot.handle)
+            for name in shm._CONTACT_ARRAYS:
+                ours = getattr(fc, name)
+                theirs = getattr(attached, name)
+                assert np.array_equal(ours, theirs), name
+                assert not theirs.flags.writeable
+            assert attached.node_list == fc.node_list
+            assert attached.earliest_arrival("u0") == fc.earliest_arrival("u0")
+            assert attached.latest_departure("u1", 6) == fc.latest_departure("u1", 6)
+
+
+class TestLifecycle:
+    def test_owner_close_unlinks_no_dev_shm_leak(self):
+        before = set(_shm_entries())
+        fg = _frozen(200)
+        snapshot = fg.to_shared()
+        if snapshot.handle.backend == "shm":
+            assert set(_shm_entries()) - before  # visible while live
+        snapshot.close()
+        assert set(_shm_entries()) <= before
+        # attaching after the unlink must fail, not hand back stale data
+        with pytest.raises((FileNotFoundError, OSError, ValueError)):
+            shm.attach_graph(snapshot.handle)
+
+    def test_close_is_idempotent(self):
+        snapshot = _frozen(100).to_shared()
+        snapshot.close()
+        snapshot.close()  # second close is a no-op
+
+    def test_attach_cached_reuses_mapping(self, registry):
+        fg = _frozen(150)
+        with fg.to_shared() as snapshot:
+            first = shm.attach_cached(snapshot.handle)
+            second = shm.attach_cached(snapshot.handle)
+            assert first is second
+            events = shm_counts(registry)["events"]["graph"]
+            assert events["attach"] == 1
+            assert events["reuse"] == 1
+
+    def test_detach_all_closes_cached_mappings(self, registry):
+        fg = _frozen(150)
+        with fg.to_shared() as snapshot:
+            attached = shm.attach_cached(snapshot.handle)
+            segment = attached._shm_segment
+            shm.detach_all()
+            assert segment.closed
+            assert shm_counts(registry)["events"]["graph"]["detach"] == 1
+
+    def test_mmap_backend_round_trip(self):
+        fg = _frozen(250)
+        snapshot = shm.share_graph(fg, backend="mmap")
+        try:
+            assert snapshot.handle.backend == "mmap"
+            attached = shm.attach_graph(snapshot.handle)
+            assert np.array_equal(attached.indices, fg.indices)
+            assert not attached.indices.flags.writeable
+            path = snapshot.handle.name
+            assert os.path.exists(path)
+        finally:
+            snapshot.close()
+        assert not os.path.exists(path)
+
+    def test_attach_records_shm_attach_dispatch(self, registry):
+        fg = _frozen(150)
+        with fg.to_shared() as snapshot:
+            shm.attach_graph(snapshot.handle)
+            counts = dispatch_counts(registry)["graphs.freeze"]
+            # exactly one freeze event for the attach, attributed to the
+            # shm path — no extra "build" record for the same graph
+            assert counts["shm-attach"] == 1
+            assert "build" not in counts
+
+
+class TestCrashSurvival:
+    def test_parent_views_survive_worker_crash(self):
+        """A child that attaches and dies hard must not hurt the owner.
+
+        This is the PR-3 faults posture applied to the shm plane: the
+        segment is owned by the publisher, so a crashing attacher can
+        neither unlink it nor invalidate other processes' mappings.
+        """
+        fg = _frozen(400)
+        with fg.to_shared() as snapshot:
+            expected = fg.indices.copy()
+            pid = os.fork()
+            if pid == 0:  # child: attach, then die without cleanup
+                try:
+                    attached = shm.attach_graph(snapshot.handle)
+                    assert np.array_equal(attached.indices, expected)
+                finally:
+                    os.kill(os.getpid(), signal.SIGKILL)
+            _, status = os.waitpid(pid, 0)
+            assert os.WIFSIGNALED(status)
+            assert os.WTERMSIG(status) == signal.SIGKILL
+            # the owner's views are intact and fresh attachments work
+            assert np.array_equal(fg.indices, expected)
+            again = shm.attach_graph(snapshot.handle)
+            assert np.array_equal(again.indices, expected)
+
+    def test_no_leaked_segments_after_crash(self):
+        before = set(_shm_entries())
+        fg = _frozen(300)
+        snapshot = fg.to_shared()
+        pid = os.fork()
+        if pid == 0:
+            shm.attach_graph(snapshot.handle)
+            os.kill(os.getpid(), signal.SIGKILL)
+        os.waitpid(pid, 0)
+        snapshot.close()
+        assert set(_shm_entries()) <= before
