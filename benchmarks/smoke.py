@@ -375,6 +375,48 @@ def smoke_scale() -> Dict[str, Any]:
     }
 
 
+@smoke("serving")
+def smoke_serving() -> Dict[str, Any]:
+    """Toy instance of the incremental serving tier: the same mixed
+    mutate/query stream as benchmarks/bench_serving.py through both
+    stacks, answer equality and zero steady-state refreezes asserted —
+    so a divergent patch merge or a refreeze leak fails tier-1."""
+    import bench_serving
+    from repro.labeling.landmarks import select_landmarks
+    from repro.observability.telemetry import cache_counts
+
+    n = 60
+    edges, script = bench_serving.build_workload(n, 4.0 / n, 2, 2, n)
+    landmarks = select_landmarks(bench_serving.make_graph(edges), 3)
+    base_answers = bench_serving.run_baseline(edges, script, landmarks)
+    refreezes_before = sum(
+        counts.get("refreeze", 0) for counts in cache_counts().values()
+    )
+    serve_answers = bench_serving.run_serving(edges, script, landmarks, 8)
+    refreezes_during = (
+        sum(counts.get("refreeze", 0) for counts in cache_counts().values())
+        - refreezes_before
+    )
+    if serve_answers != base_answers:
+        raise AssertionError("smoke serving: answers diverge from baseline")
+    if refreezes_during != 0:
+        raise AssertionError(
+            f"smoke serving: {refreezes_during} refreezes in steady state"
+        )
+    queries = len(script) * (bench_serving.FANOUT + 2)
+    return {
+        "title": "incremental serving vs refreeze-per-generation (smoke)",
+        "header": ["n", "blocks", "queries", "answers equal", "refreezes"],
+        "rows": [(n, len(script), queries, True, refreezes_during)],
+        "notes": (
+            "Toy instance of benchmarks/bench_serving.py; answer "
+            "equality between the stacks and zero repro.cache.frozen "
+            "events during the serving run asserted, no speedup floor "
+            "at this scale."
+        ),
+    }
+
+
 @smoke("faults")
 def smoke_faults() -> Dict[str, Any]:
     import bench_faults

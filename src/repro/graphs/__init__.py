@@ -9,6 +9,7 @@ fits, centralities).
 """
 
 from repro.graphs.csr import FROZEN_MIN_NODES, FrozenGraph
+from repro.graphs.delta import DEFAULT_PATCH_THRESHOLD, PatchedGraph
 from repro.graphs.graph import DiGraph, Graph
 from repro.graphs.intersection import (
     common_elements,
@@ -93,10 +94,12 @@ from repro.graphs.traversal import (
 )
 
 __all__ = [
+    "DEFAULT_PATCH_THRESHOLD",
     "DiGraph",
     "FROZEN_MIN_NODES",
     "FrozenGraph",
     "Graph",
+    "PatchedGraph",
     "GeneralizedHypercube",
     "Hyperedge",
     "MultilayerNetwork",

@@ -328,6 +328,20 @@ class FrozenGraph:
         """The (sorted, read-only) neighbor-index row of node index ``i``."""
         return self.indices[int(self.indptr[i]) : int(self.indptr[i + 1])]
 
+    def edge_slot(self, i: int, j: int) -> int:
+        """CSR position of entry (i -> j), or -1 if absent.
+
+        One binary search over the sorted row of ``i`` — the primitive
+        the patch buffer (:mod:`repro.graphs.delta`) uses to maintain
+        its per-entry aliveness mask in O(log degree) per mutation.
+        """
+        lo = int(self.indptr[i])
+        hi = int(self.indptr[i + 1])
+        pos = lo + int(np.searchsorted(self.indices[lo:hi], j))
+        if pos < hi and int(self.indices[pos]) == j:
+            return pos
+        return -1
+
     def __repr__(self) -> str:
         return (
             f"FrozenGraph(n={self.n}, m={self.num_edges}, "

@@ -1,0 +1,432 @@
+"""CSR patch buffers: delta-aware maintenance for frozen snapshots.
+
+The frozen-index plane (PRs 2/4/5) is batch-rebuild: any topology
+mutation bumps the owner's generation and the next ``frozen()`` call
+pays a full O(n + m) refreeze.  That is the wrong shape for a *served*
+graph where updates and queries interleave (ROADMAP item 1) — one edge
+flip should not cost a whole snapshot.
+
+:class:`PatchedGraph` wraps a base :class:`~repro.graphs.csr.FrozenGraph`
+with two pending-edge sets (inserts and deletes, kept as canonical
+index pairs) plus an aliveness mask over the base CSR entries:
+
+* **mutations** are O(degree) — interning a possibly-new endpoint,
+  flipping two mask entries, or recording an index pair;
+* **point reads** (``has_edge`` / ``degree`` / ``neighbor_row``) merge
+  the base row with the patch overlay on the fly;
+* **sweeps** go through :meth:`snapshot`, which *lazily* merges the
+  pending arrays into a fresh CSR via one vectorized
+  ``np.lexsort`` + :meth:`FrozenGraph.from_arrays` — never through the
+  dict-graph refreeze path, so ``repro.cache.frozen`` records zero
+  refreezes while a service is in steady state.  Above
+  ``threshold`` pending patches the merged snapshot *rebases* (becomes
+  the new base and the patch arrays clear); ``threshold=0`` rebases on
+  every snapshot, forcing the merge path at every step.
+
+Invariants (asserted by ``tests/test_incremental_differential.py`` and
+the property tests):
+
+* ``merge()`` is bit-exact with freezing the equivalently mutated
+  dict graph: same node order (first-touch append order — deletes keep
+  nodes, matching ``Graph.remove_edge``), same row-sorted ``indptr`` /
+  ``indices`` arrays;
+* validation parity with :class:`~repro.graphs.graph.Graph`:
+  self-loops raise ``ValueError``, duplicate inserts are no-ops,
+  deleting an absent edge raises
+  :class:`~repro.errors.EdgeNotFoundError`;
+* a delete of a pending insert *cancels* it (and vice versa: inserting
+  a pending-deleted base edge restores the mask) — the patch sets never
+  disagree about an edge.
+
+Directed snapshots are not supported: the serving indexes built on top
+(NSF peel, landmark labels) are undirected, like the paper's networks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.errors import EdgeNotFoundError, NodeNotFoundError
+from repro.graphs.csr import FrozenGraph
+from repro.observability.telemetry import record_patch_event
+
+Node = Hashable
+
+_UNREACHABLE = -1
+
+#: Default pending-patch count above which :meth:`PatchedGraph.snapshot`
+#: rebases (folds the patches into a new base CSR and clears them).
+DEFAULT_PATCH_THRESHOLD = 64
+
+
+class PatchedGraph:
+    """A frozen CSR snapshot plus a bounded buffer of edge patches.
+
+    >>> from repro.graphs.graph import Graph
+    >>> g = Graph([("a", "b"), ("b", "c")])
+    >>> pg = PatchedGraph(g.frozen())
+    >>> pg.insert_edge("a", "c")
+    True
+    >>> pg.delete_edge("b", "c")
+    >>> sorted(pg.neighbors("a")), pg.pending
+    (['b', 'c'], 2)
+    >>> pg.snapshot().bfs_distances("c")["b"]
+    2
+    """
+
+    def __init__(
+        self, base: FrozenGraph, threshold: int = DEFAULT_PATCH_THRESHOLD
+    ) -> None:
+        if base.directed:
+            raise TypeError("PatchedGraph expects an undirected snapshot")
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = int(threshold)
+        self.base = base
+        self._nodes: List[Node] = list(base.node_list)
+        self._index: Dict[Node, int] = dict(base.index)
+        #: Canonical (i, j) index pairs, i < j.  ``_adds`` are edges not
+        #: in the base CSR; ``_dels`` are base edges masked dead.
+        self._adds: Set[Tuple[int, int]] = set()
+        self._dels: Set[Tuple[int, int]] = set()
+        #: Aliveness of each base CSR entry (lazily allocated on the
+        #: first delete; ``None`` means "all alive").
+        self._alive: Optional[np.ndarray] = None
+        #: Per-node patch degree adjustment (adds minus dels), and the
+        #: add-overlay adjacency for merged point reads.
+        self._degree_delta: Dict[int, int] = {}
+        self._add_adj: Dict[int, Set[int]] = {}
+        #: Monotone mutation counter; keys the cached merged snapshot.
+        self.version = 0
+        self._merged: Optional[FrozenGraph] = None
+        self._merged_version = -1
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def node_list(self) -> List[Node]:
+        return self._nodes
+
+    @property
+    def pending(self) -> int:
+        """Number of pending patches (inserts + deletes)."""
+        return len(self._adds) + len(self._dels)
+
+    def index_of(self, node: Node) -> int:
+        try:
+            return self._index[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._index
+
+    def _intern(self, node: Node) -> int:
+        """Index of ``node``, appending it (first-touch order) if new."""
+        i = self._index.get(node)
+        if i is None:
+            i = len(self._nodes)
+            self._nodes.append(node)
+            self._index[node] = i
+        return i
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def _base_slot(self, i: int, j: int) -> int:
+        """Position of entry (i -> j) in the base CSR, or -1 if absent."""
+        base = self.base
+        if i >= base.n or j >= base.n:
+            return -1
+        return base.edge_slot(i, j)
+
+    def _base_has_edge(self, i: int, j: int) -> bool:
+        return self._base_slot(i, j) >= 0
+
+    def _set_alive(self, i: int, j: int, alive: bool) -> None:
+        """Flip both directed base CSR entries of undirected edge (i, j)."""
+        if self._alive is None:
+            self._alive = np.ones(self.base.indices.shape[0], dtype=bool)
+        self._alive[self._base_slot(i, j)] = alive
+        self._alive[self._base_slot(j, i)] = alive
+
+    def _bump_degrees(self, i: int, j: int, amount: int) -> None:
+        self._degree_delta[i] = self._degree_delta.get(i, 0) + amount
+        self._degree_delta[j] = self._degree_delta.get(j, 0) + amount
+
+    def insert_edge(self, u: Node, v: Node) -> bool:
+        """Add undirected edge (u, v); endpoints are auto-added.
+
+        Returns True if the topology changed, False for a duplicate
+        insert (a no-op, like ``Graph.add_edge`` on an existing edge —
+        in particular ``version`` does not bump).  Self-loops raise
+        ``ValueError`` with the same message as ``Graph.add_edge``.
+        """
+        if u == v:
+            raise ValueError(f"self-loop on {u!r} not allowed in a simple graph")
+        iu = self._intern(u)
+        iv = self._intern(v)
+        key = (iu, iv) if iu < iv else (iv, iu)
+        if key in self._dels:
+            # Re-inserting a pending-deleted base edge restores the mask.
+            self._dels.discard(key)
+            self._set_alive(key[0], key[1], True)
+            self._bump_degrees(key[0], key[1], 1)
+            record_patch_event("cancel")
+        elif key in self._adds or self._base_has_edge(key[0], key[1]):
+            return False
+        else:
+            self._adds.add(key)
+            self._add_adj.setdefault(iu, set()).add(iv)
+            self._add_adj.setdefault(iv, set()).add(iu)
+            self._bump_degrees(key[0], key[1], 1)
+            record_patch_event("insert")
+        self.version += 1
+        return True
+
+    def delete_edge(self, u: Node, v: Node) -> None:
+        """Remove undirected edge (u, v); absent edges raise.
+
+        Parity with ``Graph.remove_edge``: deleting an edge that is not
+        currently present (never existed, or already pending-deleted)
+        raises :class:`~repro.errors.EdgeNotFoundError`.  Deleting a
+        *pending insert* cancels it instead of recording a new patch.
+        """
+        iu = self._index.get(u)
+        iv = self._index.get(v)
+        if iu is None or iv is None:
+            raise EdgeNotFoundError(u, v)
+        key = (iu, iv) if iu < iv else (iv, iu)
+        if key in self._adds:
+            self._adds.discard(key)
+            self._add_adj[iu].discard(iv)
+            self._add_adj[iv].discard(iu)
+            self._bump_degrees(key[0], key[1], -1)
+            record_patch_event("cancel")
+        elif key not in self._dels and self._base_has_edge(key[0], key[1]):
+            self._dels.add(key)
+            self._set_alive(key[0], key[1], False)
+            self._bump_degrees(key[0], key[1], -1)
+            record_patch_event("delete")
+        else:
+            raise EdgeNotFoundError(u, v)
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # merged point reads
+    # ------------------------------------------------------------------
+    def has_edge(self, u: Node, v: Node) -> bool:
+        iu = self._index.get(u)
+        iv = self._index.get(v)
+        if iu is None or iv is None or iu == iv:
+            return False
+        key = (iu, iv) if iu < iv else (iv, iu)
+        if key in self._adds:
+            return True
+        if key in self._dels:
+            return False
+        return self._base_has_edge(key[0], key[1])
+
+    def degree(self, node: Node) -> int:
+        i = self.index_of(node)
+        base_deg = int(self.base.degrees[i]) if i < self.base.n else 0
+        return base_deg + self._degree_delta.get(i, 0)
+
+    def neighbor_row(self, i: int) -> np.ndarray:
+        """Merged (sorted) neighbor-index row of node index ``i``."""
+        base = self.base
+        if i < base.n:
+            row = base.neighbor_indices(i)
+            if self._alive is not None:
+                lo = int(base.indptr[i])
+                hi = int(base.indptr[i + 1])
+                row = row[self._alive[lo:hi]]
+        else:
+            row = np.empty(0, dtype=np.int64)
+        extra = self._add_adj.get(i)
+        if extra:
+            row = np.sort(
+                np.concatenate(
+                    [row, np.fromiter(extra, dtype=np.int64, count=len(extra))]
+                )
+            )
+        return row
+
+    def neighbors(self, node: Node) -> Set[Node]:
+        nodes = self._nodes
+        return {nodes[int(j)] for j in self.neighbor_row(self.index_of(node))}
+
+    # ------------------------------------------------------------------
+    # patch-aware BFS (the point-query kernel below the gateway)
+    # ------------------------------------------------------------------
+    def bfs_levels(
+        self, sources: Union[int, Sequence[int], np.ndarray]
+    ) -> np.ndarray:
+        """Multi-source BFS over base + patches, without merging.
+
+        Same contract as :meth:`FrozenGraph.bfs_levels` (hop level per
+        node index, -1 unreachable) over the patched topology: frontier
+        expansion gathers the base CSR rows through the aliveness mask
+        and unions the add-overlay rows.  Bit-exact with running the
+        same BFS on :meth:`snapshot` (asserted differentially).
+        """
+        base = self.base
+        # Patch-free (or already-merged) states delegate to the plain
+        # frozen kernel — same contract, lower constant factors.
+        if self.pending == 0 and self.n == base.n:
+            return base.bfs_levels(sources)
+        if self._merged is not None and self._merged_version == self.version:
+            return self._merged.bfs_levels(sources)
+        n = self.n
+        level = np.full(n, _UNREACHABLE, dtype=np.int64)
+        frontier = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        level[frontier] = 0
+        depth = 0
+        while frontier.size:
+            in_base = frontier[frontier < base.n]
+            parts: List[np.ndarray] = []
+            if in_base.size:
+                starts = base.indptr[in_base]
+                counts = base.indptr[in_base + 1] - starts
+                total = int(counts.sum())
+                if total:
+                    cum = np.cumsum(counts)
+                    bases = np.repeat(starts - (cum - counts), counts)
+                    positions = bases + np.arange(total, dtype=np.int64)
+                    if self._alive is not None:
+                        positions = positions[self._alive[positions]]
+                    parts.append(base.indices[positions])
+            if self._add_adj:
+                for i in frontier:
+                    extra = self._add_adj.get(int(i))
+                    if extra:
+                        parts.append(
+                            np.fromiter(extra, dtype=np.int64, count=len(extra))
+                        )
+            if not parts:
+                break
+            nbrs = np.concatenate(parts) if len(parts) > 1 else parts[0]
+            fresh = nbrs[level[nbrs] < 0]
+            if fresh.size == 0:
+                break
+            depth += 1
+            frontier = np.unique(fresh)
+            level[frontier] = depth
+        return level
+
+    # ------------------------------------------------------------------
+    # merge / snapshot
+    # ------------------------------------------------------------------
+    def merge(self) -> FrozenGraph:
+        """Fold base + patches into a fresh CSR snapshot (vectorized).
+
+        The alive-masked base arrays are already in CSR (source, target)
+        order, so no full sort is needed: the pending inserts (both
+        directions, lexsorted — a tiny array) are spliced in at their
+        ``searchsorted`` positions with one ``np.insert``.  Never a
+        dict-graph refreeze, so no ``repro.cache.frozen`` events.  The
+        result is bit-exact with freezing the equivalently mutated dict
+        graph (same node order, same sorted rows).
+        """
+        base = self.base
+        n = self.n
+        src = base._edge_sources()
+        dst = base.indices
+        if self._alive is not None:
+            src = src[self._alive]
+            dst = dst[self._alive]
+        if self._adds:
+            pairs = np.fromiter(
+                (i for pair in self._adds for i in pair),
+                dtype=np.int64,
+                count=2 * len(self._adds),
+            ).reshape(-1, 2)
+            add_src = np.concatenate([pairs[:, 0], pairs[:, 1]])
+            add_dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
+            order = np.lexsort((add_dst, add_src))
+            add_src = add_src[order]
+            add_dst = add_dst[order]
+            # Flat (source, target) keys are strictly increasing in CSR
+            # order and the added edges are absent from the base, so
+            # every insertion position is unambiguous.
+            positions = np.searchsorted(src * n + dst, add_src * n + add_dst)
+            dst = np.insert(dst, positions, add_dst)
+            counts = np.bincount(src, minlength=n) + np.bincount(
+                add_src, minlength=n
+            )
+        else:
+            counts = np.bincount(src, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        merged = FrozenGraph.from_arrays(
+            indptr,
+            dst,
+            node_list=list(self._nodes),
+            directed=False,
+            generation=self.version,
+            copy=False,
+            validate=False,
+            dispatch_path="patch-merge",
+        )
+        # Repr ranks (the peel tie-break) depend only on the node list,
+        # which merging never reorders — carry any cached ranks over so
+        # every merged snapshot doesn't re-sort 2000 reprs.  With lazy
+        # repairs the first peel often runs on a *merged* snapshot, so
+        # the previous merged instance (not the base) holds the cache.
+        previous = self._merged
+        for donor in (base, previous):
+            if donor is None or donor.n != self.n:
+                continue
+            if merged._repr_rank is None and donor._repr_rank is not None:
+                merged._repr_rank = donor._repr_rank
+            if merged._index is None and donor._index is not None:
+                merged._index = donor._index
+        record_patch_event("merge")
+        return merged
+
+    def snapshot(self) -> FrozenGraph:
+        """The current merged snapshot, lazily built and cached.
+
+        With no pending patches this is the base itself.  Otherwise the
+        merge runs at most once per mutation ``version``; above
+        ``threshold`` pending patches the merged snapshot *rebases* —
+        it becomes the new base and the patch buffer clears, bounding
+        both the overlay size point reads pay and the dead-entry mass
+        the masked gathers carry.
+        """
+        if self.pending == 0:
+            return self.base
+        if self._merged is not None and self._merged_version == self.version:
+            return self._merged
+        merged = self.merge()
+        if self.pending > self.threshold:
+            self._rebase(merged)
+        else:
+            self._merged = merged
+            self._merged_version = self.version
+        return merged
+
+    def _rebase(self, merged: FrozenGraph) -> None:
+        self.base = merged
+        self._adds.clear()
+        self._dels.clear()
+        self._alive = None
+        self._degree_delta.clear()
+        self._add_adj.clear()
+        self._merged = None
+        self._merged_version = -1
+        record_patch_event("rebase")
+
+    def __repr__(self) -> str:
+        return (
+            f"PatchedGraph(n={self.n}, base_m={self.base.num_edges}, "
+            f"pending={self.pending}, threshold={self.threshold}, "
+            f"version={self.version})"
+        )

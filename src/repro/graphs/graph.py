@@ -75,7 +75,12 @@ class Graph:
     # node operations
     # ------------------------------------------------------------------
     def add_node(self, node: Node, **attrs: Any) -> None:
-        """Add ``node``; merging ``attrs`` into its attribute dict."""
+        """Add ``node``; merging ``attrs`` into its attribute dict.
+
+        Re-adding an existing node is a no-op for the topology and does
+        not bump the mutation generation (attribute merges never
+        invalidate — snapshots capture adjacency only).
+        """
         if node not in self._adj:
             self._adj[node] = set()
             self._node_attrs[node] = {}
@@ -129,6 +134,12 @@ class Graph:
         """Add the undirected edge ``(u, v)``; endpoints are auto-added.
 
         Self-loops are rejected: the paper's networks are simple graphs.
+        Adding an edge that already exists is a topology no-op (attrs
+        still merge) and must not bump ``_generation`` — every mutation
+        path in this class guards the bump on an actual change, so
+        cached frozen snapshots survive no-op mutations
+        (``tests/test_generation_noop.py`` pins this by counting
+        ``repro.cache.frozen`` refreeze events).
         """
         if u == v:
             raise ValueError(f"self-loop on {u!r} not allowed in a simple graph")

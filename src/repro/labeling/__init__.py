@@ -30,6 +30,7 @@ from repro.labeling.ds import (
     distributed_neighbor_designated_ds,
     neighbor_designated_ds,
 )
+from repro.labeling.incremental import IncrementalLandmarkLabels
 from repro.labeling.kleinberg_routing import (
     ExponentSweepPoint,
     GreedyGridRoute,
@@ -85,6 +86,7 @@ __all__ = [
     "ExponentSweepPoint",
     "GreedyGridRoute",
     "HypercubeRoute",
+    "IncrementalLandmarkLabels",
     "SafetyLevels",
     "build_routing_network",
     "cds_size_comparison",

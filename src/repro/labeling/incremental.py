@@ -1,0 +1,222 @@
+"""Incremental landmark (distance, gateway) label repair.
+
+:func:`repro.labeling.landmarks.distance_gateway_labels` assigns every
+reachable node the lexicographically minimal key ``(hop distance to a
+landmark, landmark repr-rank)`` — the unique fixpoint of
+
+    key(x) = (0, rank_x)                        if x is a landmark
+    key(x) = min over neighbors y of key(y) + (1, 0)   otherwise
+
+under lexicographic order.  Because the edge "weight" (1, 0) strictly
+increases the key, this is a shortest-path semiring and the classical
+Ramalingam–Reps two-phase repair applies on edge deletion, while edge
+insertion needs only monotone decrease-only relaxation:
+
+* **Phase 1 (invalidate):** starting from the endpoints of every
+  touched edge, cascade nodes whose current key has no remaining
+  *valid* supporting neighbor (a non-invalidated ``y`` with
+  ``dist[y] + 1 == dist[x]`` and the same gateway rank).  Support
+  chains strictly decrease the distance, so they terminate at a
+  landmark (self-supported, never invalidated) — a surviving label is
+  therefore genuinely achievable in the new graph, and support cycles
+  of stale labels are impossible.
+* **Phase 2 (re-relax):** a lex-ordered Dijkstra seeded from (a) the
+  best boundary key of each invalidated node, and (b) both endpoints of
+  every inserted (still-present) edge.  Keys only decrease, so the pass
+  restores the unique fixpoint.
+
+The full-rebuild path stays the ground truth:
+``distance_gateway_labels_reference`` (per-landmark BFS in repr order)
+is asserted bit-exact against the repaired labels at every step of the
+differential harness.  Landmarks are fixed at construction; removing a
+landmark from the graph is not supported (the serving layer never
+removes nodes).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.csr import FrozenGraph
+from repro.observability.telemetry import record_repair
+
+Node = Hashable
+
+_INF = np.iinfo(np.int64).max
+
+
+class IncrementalLandmarkLabels:
+    """(distance, gateway) labels kept current across edge mutations.
+
+    ``landmarks`` are node objects; their repr-sorted order defines the
+    gateway ranks, matching the reference tie-break (nearest landmark,
+    ties to the repr-smallest one).
+    """
+
+    def __init__(self, fg: FrozenGraph, landmarks: Sequence[Node]) -> None:
+        lms = sorted(set(landmarks), key=repr)
+        if not lms:
+            raise ValueError("need at least one landmark")
+        for lm in lms:
+            if lm not in fg.index:
+                raise NodeNotFoundError(lm)
+        self.landmarks: List[Node] = lms
+        self._lm_indices = np.array(
+            [fg.index[lm] for lm in lms], dtype=np.int64
+        )
+        self._n = fg.n
+        self._dist = np.full(fg.n, _INF, dtype=np.int64)
+        self._rank = np.full(fg.n, _INF, dtype=np.int64)
+        self._full(fg)
+
+    def _full(self, fg: FrozenGraph) -> None:
+        """Rebuild both arrays with one multi-source sweep (batch path)."""
+        level, landmark = fg.multi_source_labels(self._lm_indices)
+        nodes = fg.node_list
+        rank_of = {lm: r for r, lm in enumerate(self.landmarks)}
+        self._dist.fill(_INF)
+        self._rank.fill(_INF)
+        reach = np.flatnonzero(level >= 0)
+        self._dist[reach] = level[reach]
+        for i in reach:
+            self._rank[i] = rank_of[nodes[int(landmark[i])]]
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def label_of(self, i: int) -> Tuple[int, Node]:
+        """(distance, gateway landmark) of node index ``i``; None-free.
+
+        Raises ``KeyError`` for unreachable nodes — callers use
+        :meth:`is_reachable` or :meth:`labels_map`.
+        """
+        if self._dist[i] == _INF:
+            raise KeyError(i)
+        return int(self._dist[i]), self.landmarks[int(self._rank[i])]
+
+    def is_reachable(self, i: int) -> bool:
+        return bool(self._dist[i] != _INF)
+
+    def labels_map(self, fg: FrozenGraph) -> Dict[Node, Tuple[int, Node]]:
+        """Node-facing view, comparable with the reference labels."""
+        nodes = fg.node_list
+        return {
+            nodes[i]: (int(self._dist[i]), self.landmarks[int(self._rank[i])])
+            for i in np.flatnonzero(self._dist != _INF)
+        }
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+    def _grow(self, n: int) -> None:
+        if n > self._n:
+            pad = np.full(n - self._n, _INF, dtype=np.int64)
+            self._dist = np.concatenate([self._dist, pad])
+            self._rank = np.concatenate([self._rank, pad])
+            self._n = n
+
+    def update(
+        self,
+        fg_new: FrozenGraph,
+        touched: Iterable[Tuple[int, int]],
+    ) -> str:
+        """Repair the labels for ``fg_new``; returns the repair mode.
+
+        ``touched`` must cover (as index pairs valid in ``fg_new``)
+        every edge inserted or deleted since the last repair; pairs that
+        were touched but ended up unchanged are harmless.  New nodes
+        (indices beyond the previous ``n``) extend the arrays as
+        unreachable and are picked up by the insert relaxation.
+        """
+        pairs = [(int(u), int(v)) for u, v in touched]
+        self._grow(fg_new.n)
+        if not pairs:
+            record_repair("labels", "noop")
+            return "noop"
+        dist = self._dist
+        rank = self._rank
+        is_lm = np.zeros(self._n, dtype=bool)
+        is_lm[self._lm_indices] = True
+        nbrs = fg_new.neighbor_indices
+
+        # Phase 1: cascade unsupported nodes from the touched endpoints.
+        invalid: set = set()
+        queue = deque()
+        for u, v in pairs:
+            queue.append(u)
+            queue.append(v)
+        while queue:
+            x = queue.popleft()
+            if x in invalid or is_lm[x] or dist[x] == _INF:
+                continue
+            dx = int(dist[x])
+            rx = int(rank[x])
+            supported = False
+            for y in nbrs(x):
+                y = int(y)
+                if (
+                    y not in invalid
+                    and dist[y] != _INF
+                    and int(dist[y]) + 1 == dx
+                    and rank[y] == rx
+                ):
+                    supported = True
+                    break
+            if supported:
+                continue
+            invalid.add(x)
+            for y in nbrs(x):
+                y = int(y)
+                if y not in invalid:
+                    queue.append(y)
+
+        # Phase 2: lex-ordered decrease-only relaxation.  Seeds: the
+        # best valid-boundary key of each invalidated node, plus both
+        # directions of every touched edge still present (insertions;
+        # stale pairs that no longer exist must not be relaxed across).
+        heap: List[Tuple[int, int, int]] = []
+        for x in invalid:
+            dist[x] = _INF
+            rank[x] = _INF
+        for x in invalid:
+            best_d = _INF
+            best_r = _INF
+            for y in nbrs(x):
+                y = int(y)
+                if dist[y] != _INF and (
+                    dist[y] + 1 < best_d
+                    or (dist[y] + 1 == best_d and rank[y] < best_r)
+                ):
+                    best_d = int(dist[y]) + 1
+                    best_r = int(rank[y])
+            if best_d != _INF:
+                heapq.heappush(heap, (best_d, best_r, x))
+        def present(u: int, v: int) -> bool:
+            row = nbrs(u)
+            pos = int(np.searchsorted(row, v))
+            return pos < row.shape[0] and int(row[pos]) == v
+
+        for u, v in {pair for pair in pairs if present(*pair)}:
+            for a, b in ((u, v), (v, u)):
+                if dist[b] != _INF:
+                    cand = (int(dist[b]) + 1, int(rank[b]))
+                    if cand < (int(dist[a]), int(rank[a])):
+                        heapq.heappush(heap, (cand[0], cand[1], a))
+        while heap:
+            d, r, x = heapq.heappop(heap)
+            if (d, r) >= (int(dist[x]), int(rank[x])):
+                continue
+            dist[x] = d
+            rank[x] = r
+            nd = d + 1
+            for y in nbrs(x):
+                y = int(y)
+                if (nd, r) < (int(dist[y]), int(rank[y])):
+                    heapq.heappush(heap, (nd, r, y))
+        record_repair("labels", "relax")
+        return "relax"

@@ -6,6 +6,7 @@ Man-made layering: destination-oriented DAGs with full / partial /
 binary-label link reversal, and height-driven (push-relabel) max-flow.
 """
 
+from repro.layering.incremental import IncrementalNSF
 from repro.layering.link_reversal import (
     Orientation,
     ReversalResult,
@@ -43,6 +44,7 @@ from repro.layering.pubsub import HierarchicalPubSub, PubSubStats
 
 __all__ = [
     "HierarchicalPubSub",
+    "IncrementalNSF",
     "LinkReversalAlgorithm",
     "MaxFlowResult",
     "NSFReport",

@@ -20,7 +20,11 @@ dashboard — markdown by default, JSON with ``--json``:
   profiler recorded into the ledger;
 * **scale-out** — shared-memory lifecycle counts, per-kernel shard
   counts and per-shard peaks, spill bytes, and the ceiling-vs-actual
-  margins from the committed ``BENCH_perf-scale.json`` rows.
+  margins from the committed ``BENCH_perf-scale.json`` rows;
+* **incremental serving** — mixed-stream throughput (baseline vs
+  serving queries/sec) from the committed ``BENCH_serving.json`` feed
+  plus the aggregated ``repro.serving.*`` patch/repair/gateway
+  counters.
 
 The dashboard is itself a schema'd document (``repro.report/v1``) so
 downstream tooling can diff two dashboards the same way the bench
@@ -305,6 +309,78 @@ def scale_summary(
     }
 
 
+def serving_summary(feeds: Mapping[str, Mapping[str, Any]]) -> Dict[str, Any]:
+    """The incremental-serving panel: mixed-stream throughput and the
+    serving-plane counters.
+
+    Stream rows (baseline vs serving queries/sec and the speedup) come
+    from the committed ``BENCH_serving.json`` table; the patch/repair/
+    gateway counters come from the ``repro.serving.*`` metrics snapshot
+    riding on the same feed, aggregated across all feeds that carry
+    them.
+    """
+    streams: List[Dict[str, Any]] = []
+    serving_feed = feeds.get("serving")
+    if isinstance(serving_feed, Mapping):
+        header = serving_feed.get("header") or []
+        rows = serving_feed.get("rows") or []
+        wanted = ("n", "queries", "baseline q/s", "serving q/s", "speedup")
+        if all(column in header for column in wanted):
+            cols = [header.index(column) for column in wanted]
+            for row in rows:
+                if len(row) <= max(cols):
+                    continue
+                try:
+                    streams.append(
+                        {
+                            "n": int(row[cols[0]]),
+                            "queries": int(row[cols[1]]),
+                            "baseline_qps": float(row[cols[2]]),
+                            "serving_qps": float(row[cols[3]]),
+                            "speedup": float(row[cols[4]]),
+                        }
+                    )
+                except (TypeError, ValueError):
+                    continue
+    patch: Dict[str, Dict[str, int]] = {}
+    queries: Dict[str, Dict[str, int]] = {}
+    repairs: Dict[str, Dict[str, int]] = {}
+    plain = {"batches": 0, "sweeps": 0, "retries": 0}
+    plain_metrics = {
+        "batches": "repro.serving.batches",
+        "sweeps": "repro.serving.sweeps",
+        "retries": "repro.serving.retries",
+    }
+    for document in feeds.values():
+        metrics = document.get("metrics")
+        if not isinstance(metrics, Mapping):
+            continue
+        _merge_labeled_counts(
+            metrics, "repro.serving.patch", patch, "event", "event"
+        )
+        _merge_labeled_counts(
+            metrics, "repro.serving.queries", queries, "kind", "kind"
+        )
+        _merge_labeled_counts(
+            metrics, "repro.serving.repairs", repairs, "index", "mode"
+        )
+        for name, metric in plain_metrics.items():
+            value = metrics.get(metric)
+            if isinstance(value, (int, float)):
+                plain[name] += int(value)
+    total_queries = sum(sum(kinds.values()) for kinds in queries.values())
+    return {
+        "streams": streams,
+        "patch": {event: counts.get(event, 0) for event, counts in patch.items()},
+        "queries": {kind: counts.get(kind, 0) for kind, counts in queries.items()},
+        "repairs": repairs,
+        **plain,
+        "coalesce_ratio": (
+            total_queries / plain["sweeps"] if plain["sweeps"] else 0.0
+        ),
+    }
+
+
 def memory_summary(ledger: Sequence[Mapping[str, Any]]) -> Dict[str, Dict[str, float]]:
     """Largest per-span profiler peaks recorded into the ledger."""
     out: Dict[str, Dict[str, float]] = {}
@@ -348,6 +424,7 @@ def build_dashboard(
         "slowest": slowest_spans(feeds, top=top),
         "memory": memory_summary(ledger),
         "scale": scale_summary(feeds, ledger),
+        "serving": serving_summary(feeds),
     }
 
 
@@ -487,6 +564,43 @@ def render_markdown(dashboard: Mapping[str, Any]) -> str:
                 f"| {entry['case']} | {entry['peak_mib']:.1f} "
                 f"| {entry['ceiling_mib']:.1f} | {entry['margin_mib']:.1f} |"
             )
+        lines.append("")
+
+    serving = dashboard.get("serving", {})
+    lines.append("## Incremental serving (mixed mutate/query stream)")
+    lines.append("")
+    streams = serving.get("streams", [])
+    if streams:
+        lines.append("| n | queries | baseline q/s | serving q/s | speedup |")
+        lines.append("|---|---|---|---|---|")
+        for entry in streams:
+            lines.append(
+                f"| {entry['n']} | {entry['queries']} "
+                f"| {entry['baseline_qps']:.0f} | {entry['serving_qps']:.0f} "
+                f"| {entry['speedup']:.1f}x |"
+            )
+        lines.append("")
+    if serving.get("batches"):
+        patch = serving.get("patch", {})
+        patch_text = ", ".join(
+            f"{event} {count}" for event, count in sorted(patch.items())
+        ) or "none"
+        repairs = serving.get("repairs", {})
+        repair_text = ", ".join(
+            f"{index}:{mode} {count}"
+            for index, modes in sorted(repairs.items())
+            for mode, count in sorted(modes.items())
+        ) or "none"
+        lines.append(
+            f"Batches {serving['batches']}, sweeps {serving['sweeps']}, "
+            f"retries {serving['retries']}, coalesce ratio "
+            f"{serving.get('coalesce_ratio', 0.0):.2f}; patch events: "
+            f"{patch_text}; repairs: {repair_text}."
+        )
+        lines.append("")
+    elif not streams:
+        lines.append("(no serving feed committed yet — run "
+                     "benchmarks/bench_serving.py)")
         lines.append("")
     return "\n".join(lines)
 

@@ -26,6 +26,19 @@ Counter families on the global metrics registry:
     One count per streamed source shard a kernel processed, and the
     bytes spilled to memmapped scratch by the out-of-core path.
 
+``repro.serving.*``
+    The incremental serving plane (:mod:`repro.serving`):
+    ``repro.serving.patch{event=insert|delete|cancel|merge|rebase}``
+    counts patch-buffer mutations and lazy CSR merges
+    (:mod:`repro.graphs.delta`);
+    ``repro.serving.repairs{index=nsf|labels,mode=...}`` counts
+    incremental index repairs vs full rebuilds;
+    ``repro.serving.queries{kind=...}`` / ``repro.serving.batches`` /
+    ``repro.serving.sweeps`` / ``repro.serving.retries`` count gateway
+    traffic (coalesce ratio = queries / sweeps), with
+    ``repro.serving.batch_size`` (histogram) and
+    ``repro.serving.queue_depth`` (gauge) recording flush shape.
+
 All helpers are one registry lookup plus an integer add, and they are
 called at entry-point / per-shard granularity (never per node / per
 contact), so they stay within the disabled-mode overhead budget.
@@ -47,6 +60,14 @@ SHM_METRIC = "repro.shm.events"
 SHM_BYTES_METRIC = "repro.shm.bytes"
 SHARD_METRIC = "repro.shard.sweeps"
 SPILL_METRIC = "repro.shard.spill_bytes"
+SERVING_PATCH_METRIC = "repro.serving.patch"
+SERVING_REPAIR_METRIC = "repro.serving.repairs"
+SERVING_QUERY_METRIC = "repro.serving.queries"
+SERVING_BATCH_METRIC = "repro.serving.batches"
+SERVING_BATCH_SIZE_METRIC = "repro.serving.batch_size"
+SERVING_QUEUE_DEPTH_METRIC = "repro.serving.queue_depth"
+SERVING_SWEEP_METRIC = "repro.serving.sweeps"
+SERVING_RETRY_METRIC = "repro.serving.retries"
 
 _LABELED = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$")
 
@@ -93,6 +114,46 @@ def record_shard(kernel: str, count: int = 1) -> None:
 def record_spill(nbytes: int) -> None:
     """Accumulate bytes spilled to memmapped scratch (out-of-core path)."""
     get_registry().counter(SPILL_METRIC).inc(int(nbytes))
+
+
+def record_patch_event(event: str, count: int = 1) -> None:
+    """Count one patch-buffer event (insert/delete/cancel/merge/rebase)."""
+    get_registry().counter(SERVING_PATCH_METRIC, {"event": event}).inc(int(count))
+
+
+def record_repair(index: str, mode: str) -> None:
+    """Count one incremental-index repair, labeled with how it resolved.
+
+    ``index`` names the maintained structure (``nsf`` / ``labels``);
+    ``mode`` is ``replay`` / ``relax`` for a true incremental repair,
+    ``full`` for a fall-back rebuild, ``noop`` when nothing was dirty.
+    """
+    get_registry().counter(
+        SERVING_REPAIR_METRIC, {"index": index, "mode": mode}
+    ).inc()
+
+
+def record_serving_query(kind: str, count: int = 1) -> None:
+    """Count ``count`` point queries accepted by the serving gateway."""
+    get_registry().counter(SERVING_QUERY_METRIC, {"kind": kind}).inc(int(count))
+
+
+def record_serving_batch(size: int, depth: int) -> None:
+    """Record one gateway flush: batch counter, size histogram, queue gauge."""
+    registry = get_registry()
+    registry.counter(SERVING_BATCH_METRIC).inc()
+    registry.histogram(SERVING_BATCH_SIZE_METRIC).observe(float(size))
+    registry.gauge(SERVING_QUEUE_DEPTH_METRIC).set(float(depth))
+
+
+def record_serving_sweep(count: int = 1) -> None:
+    """Count batched kernel sweeps run on behalf of coalesced queries."""
+    get_registry().counter(SERVING_SWEEP_METRIC).inc(int(count))
+
+
+def record_serving_retry(count: int = 1) -> None:
+    """Count queries re-queued after a mid-batch crash (never lost)."""
+    get_registry().counter(SERVING_RETRY_METRIC).inc(int(count))
 
 
 def _labeled_counts(metric_name: str, registry: MetricsRegistry):
@@ -152,4 +213,39 @@ def shm_counts(registry: MetricsRegistry = None) -> Dict[str, Any]:
         "bytes": published,
         "shards": shards,
         "spill_bytes": spill,
+    }
+
+
+def serving_counts(registry: MetricsRegistry = None) -> Dict[str, Any]:
+    """Serving-plane counters in one nested view.
+
+    ``{"patch": {event: count}, "repairs": {index: {mode: count}},
+    "queries": {kind: count}, "batches": n, "sweeps": n, "retries": n,
+    "coalesce_ratio": queries/sweeps}`` — the shape the serving
+    benchmark records and the report's serving panel consumes.
+    """
+    registry = registry if registry is not None else get_registry()
+    patch: Dict[str, int] = {}
+    for labels, value in _labeled_counts(SERVING_PATCH_METRIC, registry):
+        patch[labels.get("event", "?")] = int(value)
+    repairs: Dict[str, Dict[str, int]] = {}
+    for labels, value in _labeled_counts(SERVING_REPAIR_METRIC, registry):
+        index = labels.get("index", "?")
+        repairs.setdefault(index, {})[labels.get("mode", "?")] = int(value)
+    queries: Dict[str, int] = {}
+    for labels, value in _labeled_counts(SERVING_QUERY_METRIC, registry):
+        queries[labels.get("kind", "?")] = int(value)
+    snapshot = registry.snapshot()
+    batches = int(snapshot.get(SERVING_BATCH_METRIC, 0))
+    sweeps = int(snapshot.get(SERVING_SWEEP_METRIC, 0))
+    retries = int(snapshot.get(SERVING_RETRY_METRIC, 0))
+    total_queries = sum(queries.values())
+    return {
+        "patch": patch,
+        "repairs": repairs,
+        "queries": queries,
+        "batches": batches,
+        "sweeps": sweeps,
+        "retries": retries,
+        "coalesce_ratio": (total_queries / sweeps) if sweeps else 0.0,
     }

@@ -1,0 +1,34 @@
+"""Incremental graph serving (ROADMAP item: dynamic environments).
+
+The serving plane keeps the paper's hot structures — the CSR snapshot,
+the NSF peel layering (Sec. III-B), and the landmark (distance,
+gateway) labels (Sec. IV) — *current* under an interleaved stream of
+edge mutations and point queries, instead of refreezing per mutation
+generation:
+
+* :class:`~repro.serving.state.GraphService` — the synchronous core:
+  a :class:`~repro.graphs.delta.PatchedGraph` patch buffer plus
+  lazily-repaired incremental indexes;
+* :class:`~repro.serving.gateway.ServingGateway` — the ``asyncio``
+  front-end: a bounded queue coalescing point queries into batched
+  kernel sweeps, with deterministic chaos hooks from
+  :mod:`repro.faults`.
+
+Proven correct by the differential mutate/query harness
+(``tests/test_incremental_differential.py``) against the full-rebuild
+references, and benchmarked by ``benchmarks/bench_serving.py``.
+"""
+
+from repro.serving.gateway import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_DELAY,
+    ServingGateway,
+)
+from repro.serving.state import GraphService
+
+__all__ = [
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_DELAY",
+    "GraphService",
+    "ServingGateway",
+]

@@ -1,0 +1,284 @@
+"""Async query front-end: coalesce point queries into batched sweeps.
+
+:class:`ServingGateway` puts an ``asyncio`` facade in front of a
+:class:`~repro.serving.state.GraphService`.  Point queries are awaited
+futures that land in a bounded queue; a single dispatcher task flushes
+the queue whenever it holds ``max_batch`` requests *or* the oldest
+request has waited ``max_delay`` seconds, whichever comes first.  A
+flush is where the batching pays off: every distance query sharing a
+source rides one patch-aware BFS sweep, and every index query in the
+batch shares one incremental repair.
+
+Mutations are *not* queued.  ``insert_edge`` / ``delete_edge`` apply
+synchronously to the service, so the service version a batch executes
+against is always at least as new as every mutation issued before any
+query in it — answers can never come from a stale pre-patch snapshot,
+and a retried query simply re-executes against the then-current state.
+
+Chaos testing hooks into :mod:`repro.faults`: give the gateway a
+:class:`~repro.faults.plan.FaultPlan` and each flush consults the
+deterministic fault session.  A ``reorder`` fate permutes the batch, a
+``delay`` fate yields the event loop before answering, and a ``drop``
+fate models a mid-batch crash — the dropped request and everything
+after it in the batch are re-queued (counted in
+``repro.serving.retries``) instead of answered, and get fresh fates on
+the next flush.  ``stop()`` performs a teardown flush with injection
+disabled, so no query is ever lost.
+
+Emitted metrics (see :mod:`repro.observability.telemetry`):
+``repro.serving.batches`` / ``batch_size`` / ``queue_depth`` per
+flush, ``repro.serving.sweeps`` per coalesced BFS, and
+``repro.serving.queries{kind}`` per accepted request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import DELIVER, FaultPlan, FaultSession
+from repro.observability.telemetry import (
+    record_serving_batch,
+    record_serving_query,
+    record_serving_retry,
+    record_serving_sweep,
+)
+from repro.serving.state import GraphService
+
+Node = Hashable
+
+#: Marker for "queue momentarily empty" in the dispatcher fill loop.
+_EMPTY = object()
+
+#: Flush when this many requests are waiting ...
+DEFAULT_MAX_BATCH = 32
+#: ... or when the oldest has waited this long (seconds).
+DEFAULT_MAX_DELAY = 0.005
+
+
+@dataclass
+class _Request:
+    """One queued point query and the future its caller awaits."""
+
+    seq: int
+    kind: str
+    args: Tuple[Any, ...]
+    future: "asyncio.Future" = field(repr=False)
+
+
+class ServingGateway:
+    """Bounded-queue async front-end over a :class:`GraphService`.
+
+    Use as an async context manager::
+
+        async with ServingGateway(service) as gw:
+            d = await gw.distance("a", "b")
+    """
+
+    def __init__(
+        self,
+        service: GraphService,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_delay: float = DEFAULT_MAX_DELAY,
+        queue_size: int = 1024,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.service = service
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self._queue: "asyncio.Queue[Optional[_Request]]" = asyncio.Queue(
+            maxsize=queue_size
+        )
+        self._retry: Deque[_Request] = deque()
+        self._faults = faults
+        self._session: Optional[FaultSession] = None
+        self._task: Optional["asyncio.Task"] = None
+        self._draining = False
+        self._seq = 0
+        self.batches_flushed = 0
+        self.queries_answered = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the dispatcher task (requires a running event loop)."""
+        if self._task is not None:
+            raise RuntimeError("gateway already started")
+        self._draining = False
+        if self._faults is not None:
+            self._session = self._faults.start()
+        self._task = asyncio.get_running_loop().create_task(self._dispatch())
+
+    async def stop(self) -> None:
+        """Flush everything still queued (faults off), then shut down."""
+        if self._task is None:
+            return
+        await self._queue.put(None)
+        await self._task
+        self._task = None
+
+    async def __aenter__(self) -> "ServingGateway":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # mutations — synchronous, so queries never observe stale state
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: Node, v: Node) -> bool:
+        return self.service.insert_edge(u, v)
+
+    def delete_edge(self, u: Node, v: Node) -> None:
+        self.service.delete_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # queries — awaited futures resolved at the next flush
+    # ------------------------------------------------------------------
+    async def _submit(self, kind: str, *args: Any) -> Any:
+        if self._task is None:
+            raise RuntimeError("gateway not started")
+        record_serving_query(kind)
+        self._seq += 1
+        future: "asyncio.Future" = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Request(self._seq, kind, args, future))
+        return await future
+
+    async def distance(self, u: Node, v: Node) -> Optional[int]:
+        """Hop distance between ``u`` and ``v``; None if disconnected."""
+        return await self._submit("distance", u, v)
+
+    async def nsf_level(self, node: Node) -> int:
+        """The node's NSF peel level (incrementally repaired)."""
+        return await self._submit("nsf_level", node)
+
+    async def gateway_label(self, node: Node) -> Optional[Tuple[int, Node]]:
+        """(distance, gateway landmark) label; None if unreachable."""
+        return await self._submit("gateway_label", node)
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    async def _dispatch(self) -> None:
+        stopping = False
+        while not stopping:
+            batch: List[_Request] = []
+            while self._retry and len(batch) < self.max_batch:
+                batch.append(self._retry.popleft())
+            if not batch:
+                item = await self._queue.get()
+                if item is None:
+                    break
+                batch.append(item)
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.max_delay
+            idle_rounds = 0
+            while len(batch) < self.max_batch:
+                # Drain whatever is already queued without timer setup.
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    item = _EMPTY
+                if item is None:
+                    stopping = True
+                    break
+                if item is not _EMPTY:
+                    idle_rounds = 0
+                    batch.append(item)
+                    continue
+                # Queue empty: give producers one scheduling turn, then
+                # flush early if nothing new showed up (an idle event
+                # loop means no one is about to extend this batch) —
+                # the deadline stays as the hard upper bound.
+                if idle_rounds >= 2 or loop.time() >= deadline:
+                    break
+                idle_rounds += 1
+                await asyncio.sleep(0)
+            if batch:
+                await self._execute(batch)
+        # Teardown flush: answer every still-queued request with fault
+        # injection off, so a stopped gateway never strands a caller.
+        self._draining = True
+        leftovers = list(self._retry)
+        self._retry.clear()
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if item is not None:
+                leftovers.append(item)
+        for start in range(0, len(leftovers), self.max_batch):
+            await self._execute(leftovers[start : start + self.max_batch])
+
+    async def _execute(self, batch: List[_Request]) -> None:
+        """Answer one batch: coalesced sweeps, then per-request fates."""
+        record_serving_batch(len(batch), self._queue.qsize())
+        self.batches_flushed += 1
+        chaos = self._session is not None and not self._draining
+        if chaos and len(batch) > 1:
+            perm = self._session.reorder_permutation(
+                self.batches_flushed, "gateway", len(batch)
+            )
+            if perm is not None:
+                batch = [batch[i] for i in perm]
+        levels: Dict[Node, np.ndarray] = {}
+        crashed = False
+        for request in batch:
+            if crashed:
+                # Everything after the crash point is lost with it.
+                self._retry.append(request)
+                record_serving_retry()
+                continue
+            fate = DELIVER
+            if chaos:
+                fate = self._session.message_fate(
+                    self.batches_flushed, "gateway", f"q{request.seq}"
+                )
+            if fate.drop:
+                crashed = True
+                self._retry.append(request)
+                record_serving_retry()
+                continue
+            try:
+                result = self._answer(request, levels)
+            except Exception as error:  # noqa: BLE001 — delivered to caller
+                if not request.future.done():
+                    request.future.set_exception(error)
+                continue
+            for _ in range(fate.delay):
+                await asyncio.sleep(0)
+            if not request.future.done():
+                request.future.set_result(result)
+                self.queries_answered += 1
+
+    def _answer(self, request: _Request, levels: Dict[Node, np.ndarray]) -> Any:
+        """Compute one answer against the *current* service state."""
+        service = self.service
+        if request.kind == "distance":
+            u, v = request.args
+            if u not in levels:
+                levels[u] = service.distances_from(u)
+                record_serving_sweep()
+            level = int(levels[u][service.patched.index_of(v)])
+            return None if level < 0 else level
+        if request.kind == "nsf_level":
+            return service.nsf_level(*request.args)
+        if request.kind == "gateway_label":
+            return service.gateway_label(*request.args)
+        raise ValueError(f"unknown query kind {request.kind!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingGateway(max_batch={self.max_batch}, "
+            f"max_delay={self.max_delay}, "
+            f"batches={self.batches_flushed}, "
+            f"answered={self.queries_answered})"
+        )

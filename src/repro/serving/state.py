@@ -1,0 +1,186 @@
+"""Mutable serving state: a patched snapshot plus hot incremental indexes.
+
+:class:`GraphService` is the synchronous core the async gateway wraps.
+It owns three things and keeps them mutually consistent:
+
+* a :class:`~repro.graphs.delta.PatchedGraph` — the CSR base plus the
+  pending edge patches, rebased above ``threshold`` pending entries;
+* an :class:`~repro.layering.incremental.IncrementalNSF` — the peel
+  level labeling, repaired by round replay;
+* an :class:`~repro.labeling.incremental.IncrementalLandmarkLabels` —
+  the (distance, gateway) landmark labels, repaired by two-phase
+  invalidate/relax.
+
+Mutations are applied eagerly (O(degree) into the patch buffer) while
+index repair is *lazy*: touched edge pairs accumulate in one dirty set
+and both indexes are repaired on the first level/label query after a
+mutation.  Distance queries never force a merge at all — they run the
+patch-aware multi-source BFS (:meth:`PatchedGraph.bfs_levels`)
+directly against the overlay.
+
+Nothing in the steady state goes through the dict-graph refreeze path:
+the constructor freezes the seed topology once via the plain
+:class:`~repro.graphs.csr.FrozenGraph` constructor (no cache events),
+and every later snapshot is a vectorized patch merge.  The
+differential harness (``tests/test_incremental_differential.py``)
+holds a mirror dict graph and asserts bit-exactness of the CSR arrays,
+NSF levels, and landmark labels against the full-rebuild references at
+every step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.csr import FrozenGraph
+from repro.graphs.delta import DEFAULT_PATCH_THRESHOLD, PatchedGraph
+from repro.labeling.incremental import IncrementalLandmarkLabels
+from repro.labeling.landmarks import select_landmarks
+from repro.layering.incremental import IncrementalNSF
+
+Node = Hashable
+
+
+class GraphService:
+    """Delta-aware graph state behind point-query methods.
+
+    >>> from repro.graphs.graph import Graph
+    >>> svc = GraphService(Graph([("a", "b"), ("b", "c")]), landmarks=["a"])
+    >>> svc.insert_edge("a", "c")
+    True
+    >>> svc.distance("a", "c")
+    1
+    >>> svc.nsf_level("b") >= 1
+    True
+    """
+
+    def __init__(
+        self,
+        graph,
+        landmarks: Optional[Sequence[Node]] = None,
+        landmark_count: int = 4,
+        threshold: int = DEFAULT_PATCH_THRESHOLD,
+    ) -> None:
+        if landmarks is None:
+            landmarks = select_landmarks(graph, landmark_count)
+        self.landmarks: List[Node] = list(landmarks)
+        base = FrozenGraph(graph)
+        self._patched = PatchedGraph(base, threshold=threshold)
+        #: Canonical index pairs mutated since the last index repair.
+        #: Node indices are append-only, so pairs recorded at mutation
+        #: time stay valid in every later snapshot.
+        self._touched: Set[Tuple[int, int]] = set()
+        self._nsf: Optional[IncrementalNSF] = None
+        self._labels: Optional[IncrementalLandmarkLabels] = None
+
+    # ------------------------------------------------------------------
+    # state views
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (the patch buffer's version)."""
+        return self._patched.version
+
+    @property
+    def patched(self) -> PatchedGraph:
+        return self._patched
+
+    @property
+    def node_list(self) -> List[Node]:
+        return self._patched.node_list
+
+    def snapshot(self) -> FrozenGraph:
+        """The current merged CSR snapshot (lazy, never a refreeze)."""
+        return self._patched.snapshot()
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def _touch(self, u: Node, v: Node) -> None:
+        iu = self._patched.index_of(u)
+        iv = self._patched.index_of(v)
+        self._touched.add((iu, iv) if iu < iv else (iv, iu))
+
+    def insert_edge(self, u: Node, v: Node) -> bool:
+        """Add undirected edge (u, v); True if the topology changed."""
+        changed = self._patched.insert_edge(u, v)
+        if changed:
+            self._touch(u, v)
+        return changed
+
+    def delete_edge(self, u: Node, v: Node) -> None:
+        """Remove undirected edge (u, v); absent edges raise."""
+        self._patched.delete_edge(u, v)
+        self._touch(u, v)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return self._patched.has_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # lazy index repair
+    # ------------------------------------------------------------------
+    def _repair(self) -> FrozenGraph:
+        """Bring both incremental indexes up to the current snapshot."""
+        fg = self._patched.snapshot()
+        if self._nsf is None:
+            self._nsf = IncrementalNSF(fg)
+            self._labels = IncrementalLandmarkLabels(fg, self.landmarks)
+            self._touched.clear()
+        elif self._touched:
+            pairs = sorted(self._touched)
+            self._nsf.update(fg, pairs)
+            self._labels.update(fg, pairs)
+            self._touched.clear()
+        return fg
+
+    # ------------------------------------------------------------------
+    # point queries
+    # ------------------------------------------------------------------
+    def distances_from(self, source: Node) -> np.ndarray:
+        """Hop levels from ``source`` over the patched topology.
+
+        One patch-aware BFS sweep; the gateway coalesces every distance
+        query sharing a source onto a single call.  Indexed by node
+        position (-1 unreachable), aligned with :attr:`node_list`.
+        """
+        return self._patched.bfs_levels(self._patched.index_of(source))
+
+    def distance(self, u: Node, v: Node) -> Optional[int]:
+        """Hop distance between ``u`` and ``v``; None if disconnected."""
+        level = int(self.distances_from(u)[self._patched.index_of(v)])
+        return None if level < 0 else level
+
+    def nsf_level(self, node: Node) -> int:
+        """The node's NSF peel level (1-based), repaired incrementally."""
+        self._repair()
+        return self._nsf.level_of(self._patched.index_of(node))
+
+    def gateway_label(self, node: Node) -> Optional[Tuple[int, Node]]:
+        """(distance, gateway landmark) label; None if unreachable."""
+        fg = self._repair()
+        i = fg.index_of(node)
+        if not self._labels.is_reachable(i):
+            return None
+        return self._labels.label_of(i)
+
+    # ------------------------------------------------------------------
+    # bulk views (differential-harness surface)
+    # ------------------------------------------------------------------
+    def nsf_levels_map(self) -> Dict[Node, int]:
+        """All NSF levels by node, comparable with the batch reference."""
+        fg = self._repair()
+        return self._nsf.levels_map(fg)
+
+    def gateway_labels_map(self) -> Dict[Node, Tuple[int, Node]]:
+        """All landmark labels by node, comparable with the reference."""
+        fg = self._repair()
+        return self._labels.labels_map(fg)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphService(n={self._patched.n}, version={self.version}, "
+            f"pending={self._patched.pending}, "
+            f"landmarks={len(self.landmarks)})"
+        )

@@ -80,7 +80,13 @@ class EvolvingGraph:
             self._generation += 1
 
     def add_contact(self, u: Node, v: Node, time: int, weight: Optional[float] = None) -> None:
-        """Declare that edge (u, v) exists during time unit ``time``."""
+        """Declare that edge (u, v) exists during time unit ``time``.
+
+        Re-adding an existing contact (same time label, and the same —
+        or no — weight) is a no-op and does *not* bump the mutation
+        generation, so cached frozen snapshots stay valid; a changed
+        weight does invalidate (``FrozenContacts`` captures weights).
+        """
         if u == v:
             raise ValueError(f"self-contact on {u!r} not allowed")
         self._check_time(time)
@@ -89,10 +95,17 @@ class EvolvingGraph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         key = _edge_key(u, v)
-        self._labels.setdefault(key, set()).add(time)
+        times = self._labels.setdefault(key, set())
+        changed = time not in times
+        if changed:
+            times.add(time)
         if weight is not None:
-            self._weights[(key, time)] = float(weight)
-        self._generation += 1
+            weight_key = (key, time)
+            if self._weights.get(weight_key) != float(weight):
+                self._weights[weight_key] = float(weight)
+                changed = True
+        if changed:
+            self._generation += 1
 
     def _bulk_add_contacts(self, items: Iterable[Tuple[Node, Node, int]]) -> None:
         """Insert many (u, v, time) contacts with per-call checks hoisted.
@@ -106,6 +119,7 @@ class EvolvingGraph:
         """
         adj = self._adj
         labels = self._labels
+        changed = False
         for u, v, time in items:
             adj[u].add(v)
             adj[v].add(u)
@@ -113,9 +127,14 @@ class EvolvingGraph:
             times = labels.get(key)
             if times is None:
                 labels[key] = {time}
-            else:
+                changed = True
+            elif time not in times:
                 times.add(time)
-        self._generation += 1
+                changed = True
+        # One bump for the whole batch — and none at all when every
+        # item was a duplicate (no-op bulk loads keep snapshots valid).
+        if changed:
+            self._generation += 1
 
     def add_periodic_contact(
         self, u: Node, v: Node, phase: int, period: int, weight: Optional[float] = None

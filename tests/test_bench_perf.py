@@ -33,6 +33,7 @@ import bench_perf_csr  # noqa: E402  (benchmarks/bench_perf_csr.py)
 import bench_perf_labeling  # noqa: E402
 import bench_perf_scale  # noqa: E402
 import bench_perf_temporal  # noqa: E402
+import bench_serving  # noqa: E402
 from _util import time_repeated  # noqa: E402
 from repro.observability import BENCH_SCHEMA, validate_bench_report  # noqa: E402
 from repro.observability import regression  # noqa: E402
@@ -197,6 +198,52 @@ def test_committed_perf_scale_feed_has_million_node_rows():
     assert timings["sweep_shm_s"] <= timings["sweep_pickle_s"]
 
 
+def test_serving_toy_run_validates_schema_and_equivalence(tmp_path):
+    """Tiny instance of the mixed mutate/query stream: both stacks run,
+    answer equality and zero steady-state refreezes asserted inside
+    ``run`` itself (no speedup floor at toy scale)."""
+    result = bench_serving.run(
+        sizes=(80,),
+        epochs=2,
+        mutations=2,
+        repeats=1,
+        threshold=16,
+        out_dir=str(tmp_path),
+        top_dir=str(tmp_path),
+    )
+    assert result.experiment == "serving"
+    document = json.loads(open(result.json_path).read())
+    assert document["schema"] == BENCH_SCHEMA
+    assert validate_bench_report(document) == []
+    assert open(result.bench_path).read() == open(result.json_path).read()
+    assert any(
+        key.startswith("serving_stream_") and key.endswith("_median_s")
+        for key in document["timings"]
+    )
+    assert any(
+        key.startswith("baseline_stream_") and key.endswith("_median_s")
+        for key in document["timings"]
+    )
+    # The registry snapshot rides along: coalescing actually happened.
+    assert "coalesce ratio" in document["notes"]
+
+
+def test_committed_serving_feed_is_valid_and_meets_target():
+    path = os.path.join(TOP, "BENCH_serving.json")
+    document = json.loads(open(path).read())
+    assert validate_bench_report(document) == []
+    header = document["header"]
+    speedup_col = header.index("speedup")
+    n_col = header.index("n")
+    largest = max(row[n_col] for row in document["rows"])
+    for row in document["rows"]:
+        if row[n_col] == largest:
+            assert row[speedup_col] >= bench_serving.TARGET_SPEEDUP, row
+    # Zero refreezes during the serving runs is asserted by the harness
+    # before emission; the note records the structural economics.
+    assert "zero repro.cache.frozen events" in document["notes"]
+
+
 # ----------------------------------------------------------------------
 # perf-trajectory guard (configurable gate; warn by default, fail in CI)
 # ----------------------------------------------------------------------
@@ -267,3 +314,23 @@ def test_perf_trajectory_labeling_warn_only():
             continue
         _, timing = time_repeated(frozen_fn, repeats=1, warmup=1)
         _flag_regression(f"{name} (frozen, n={n})", timings[key], timing.median_s)
+
+
+def test_perf_trajectory_serving_warn_only():
+    """Re-run the serving stack's mixed stream at the smallest committed
+    size; warn (never fail) on a >3x slowdown vs the committed median."""
+    from repro.labeling.landmarks import select_landmarks
+
+    timings = _committed_timings("BENCH_serving.json")
+    n = 500  # smallest committed size in bench_serving's full run
+    key = f"serving_stream_n{n}_median_s"
+    if key not in timings:
+        return
+    edges, script = bench_serving.build_workload(n, 4.0 / n, 6, 4, n)
+    landmarks = select_landmarks(bench_serving.make_graph(edges), 4)
+    _, timing = time_repeated(
+        lambda: bench_serving.run_serving(edges, script, landmarks, 64),
+        repeats=1,
+        warmup=1,
+    )
+    _flag_regression(f"serving stream (n={n})", timings[key], timing.median_s)

@@ -24,9 +24,12 @@ def test_smoke_runs_every_figure_and_validates(tmp_path):
     assert set(results) == set(smoke.SMOKE_RUNNERS)
     # Every figure of the paper, the DTN application table, the chaos
     # degradation sweep, and the million-node tier mechanics are covered.
-    assert {f"fig{i}" for i in range(1, 10)} | {"dtn", "faults", "scale"} <= set(
-        results
-    )
+    assert {f"fig{i}" for i in range(1, 10)} | {
+        "dtn",
+        "faults",
+        "scale",
+        "serving",
+    } <= set(results)
     # The scale smoke must have exercised the sharded tier with its
     # memory ceiling intact (the runner raises past the ceiling).
     scale_rows = results["scale"].rows

@@ -159,3 +159,201 @@ class TestIncrementalReachability:
         assert engine.add_contact(0, 1, 2) is False
         assert engine.arrival_time(1) is None
         assert engine.add_contact(0, 1, 5) is True
+
+
+# ----------------------------------------------------------------------
+# serving gateway (repro.serving) — coalescing, staleness, chaos
+# ----------------------------------------------------------------------
+
+import asyncio
+
+from repro.faults.injectors import MessageFaults
+from repro.faults.plan import FaultPlan
+from repro.graphs.traversal import bfs_distances
+from repro.observability.metrics import MetricsRegistry, set_registry
+from repro.observability.telemetry import serving_counts
+from repro.serving import GraphService, ServingGateway
+
+
+@pytest.fixture
+def registry():
+    """Swap in an empty global metrics registry for the test."""
+    fresh = MetricsRegistry("test-serving")
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+def serving_graph(seed=0, n=30, extra=0.08):
+    rng = np.random.default_rng(seed)
+    return random_connected_graph(n, extra, rng)
+
+
+class TestServingGatewayBasics:
+    def test_coalesces_same_source_queries(self, registry):
+        graph = serving_graph()
+        reference = bfs_distances(graph, 0)
+        service = GraphService(serving_graph(), landmark_count=2)
+
+        async def main():
+            async with ServingGateway(service, max_batch=16) as gateway:
+                return await asyncio.gather(
+                    *[gateway.distance(0, target) for target in range(1, 13)]
+                )
+
+        answers = asyncio.run(main())
+        assert answers == [reference.get(t) for t in range(1, 13)]
+        counts = serving_counts(registry)
+        assert counts["queries"] == {"distance": 12}
+        # Twelve point queries sharing one source ride far fewer sweeps.
+        assert 0 < counts["sweeps"] < 12
+        assert counts["coalesce_ratio"] > 1.0
+        assert counts["batches"] >= 1
+
+    def test_mutations_never_yield_stale_answers(self):
+        """A query enqueued after a mutation must observe it — the
+        synchronous write path guarantees the batch executes against a
+        state at least as new as every preceding mutation."""
+        graph = Graph([(i, i + 1) for i in range(9)])  # path 0..9
+        service = GraphService(graph, landmark_count=1)
+
+        async def main():
+            results = []
+            async with ServingGateway(service, max_batch=4) as gateway:
+                results.append(await gateway.distance(0, 9))  # 9 hops
+                gateway.insert_edge(0, 9)  # shortcut
+                results.append(await gateway.distance(0, 9))  # 1 hop
+                gateway.delete_edge(0, 9)
+                results.append(await gateway.distance(0, 9))  # 9 again
+            return results
+
+        assert asyncio.run(main()) == [9, 1, 9]
+
+    def test_index_queries_through_gateway(self):
+        graph = serving_graph(seed=3)
+        service = GraphService(serving_graph(seed=3), landmark_count=3)
+
+        async def main():
+            async with ServingGateway(service) as gateway:
+                gateway.insert_edge("fresh", 0)
+                level = await gateway.nsf_level("fresh")
+                label = await gateway.gateway_label("fresh")
+            return level, label
+
+        level, label = asyncio.run(main())
+        graph.add_edge("fresh", 0)
+        from repro.labeling.landmarks import (
+            distance_gateway_labels_reference,
+        )
+        from repro.layering.nsf import nsf_levels_reference
+
+        assert level == nsf_levels_reference(graph)["fresh"]
+        assert label == distance_gateway_labels_reference(
+            graph, service.landmarks
+        )["fresh"]
+
+    def test_stop_answers_everything_in_flight(self):
+        service = GraphService(serving_graph(seed=1), landmark_count=2)
+
+        async def main():
+            gateway = ServingGateway(service, max_batch=64, max_delay=5.0)
+            gateway.start()
+            tasks = [
+                asyncio.ensure_future(gateway.distance(0, t))
+                for t in range(1, 8)
+            ]
+            await asyncio.sleep(0)  # let the queue fill, not the deadline
+            await gateway.stop()
+            return await asyncio.gather(*tasks)
+
+        answers = asyncio.run(main())
+        assert all(a is not None for a in answers)
+
+    def test_unknown_node_error_is_delivered(self):
+        service = GraphService(serving_graph(seed=2), landmark_count=2)
+
+        async def main():
+            async with ServingGateway(service) as gateway:
+                with pytest.raises(Exception) as caught:
+                    await gateway.distance(0, "no-such-node")
+            return caught
+
+        caught = asyncio.run(main())
+        assert "no-such-node" in str(caught.value)
+
+
+class TestServingGatewayChaos:
+    """The gateway under repro.faults: delayed and reordered
+    completions and mid-batch crashes must never lose a query nor
+    answer one from a stale pre-patch snapshot."""
+
+    def run_chaos(self, plan, registry, queries=24, seed=4):
+        graph = serving_graph(seed=seed)
+        reference = bfs_distances(graph, 0)
+        graph2 = serving_graph(seed=seed)
+        service = GraphService(graph2, landmark_count=2)
+
+        async def main():
+            async with ServingGateway(
+                service, max_batch=6, max_delay=0.002, faults=plan
+            ) as gateway:
+                return await asyncio.gather(
+                    *[
+                        gateway.distance(0, target % service.patched.n)
+                        for target in range(1, queries + 1)
+                    ]
+                )
+
+        answers = asyncio.run(main())
+        expected = [
+            reference.get(t % len(list(graph.nodes())))
+            for t in range(1, queries + 1)
+        ]
+        return answers, expected
+
+    def test_mid_batch_crash_retries_and_answers_all(self, registry):
+        plan = FaultPlan(11, injectors=(MessageFaults(drop=0.3),))
+        answers, expected = self.run_chaos(plan, registry)
+        assert answers == expected  # every query answered, correctly
+        counts = serving_counts(registry)
+        assert counts["retries"] > 0  # crashes actually happened
+
+    def test_reordered_completions_answer_all(self, registry):
+        plan = FaultPlan(12, injectors=(MessageFaults(reorder=0.8),))
+        answers, expected = self.run_chaos(plan, registry)
+        assert answers == expected
+
+    def test_delayed_completions_answer_all(self, registry):
+        plan = FaultPlan(
+            13, injectors=(MessageFaults(delay=0.5, max_delay=3),)
+        )
+        answers, expected = self.run_chaos(plan, registry)
+        assert answers == expected
+
+    def test_full_chaos_with_interleaved_mutations(self, registry):
+        """Crash + reorder + delay while the topology churns: answers
+        must track the then-current state, never a stale snapshot."""
+        plan = FaultPlan(
+            17,
+            injectors=(
+                MessageFaults(drop=0.2, delay=0.3, max_delay=2, reorder=0.5),
+            ),
+        )
+        graph = Graph([(i, i + 1) for i in range(9)])
+        service = GraphService(graph, landmark_count=1)
+
+        async def main():
+            results = []
+            async with ServingGateway(
+                service, max_batch=4, max_delay=0.002, faults=plan
+            ) as gateway:
+                for round_index in range(6):
+                    gateway.insert_edge(0, 9)
+                    results.append(await gateway.distance(0, 9))
+                    gateway.delete_edge(0, 9)
+                    results.append(await gateway.distance(0, 9))
+            return results
+
+        results = asyncio.run(main())
+        assert results == [1, 9] * 6
+        assert serving_counts(registry)["retries"] > 0

@@ -1,0 +1,138 @@
+"""No-op mutations must not bump mutation generations.
+
+The frozen-snapshot caches (``Graph._frozen`` / ``EvolvingGraph``'s
+``FrozenContacts``) are keyed by the owner's ``_generation``; a
+mutation call that changes nothing must therefore leave the generation
+alone, or every duplicate insert silently costs a full O(n + m)
+refreeze on the next query.  These tests pin the invariant the way a
+caller observes it: by counting ``repro.cache.frozen`` events — a
+no-op between two ``frozen()`` calls must produce a *hit*, never a
+*refreeze*.
+
+Regression coverage for the ``EvolvingGraph.add_contact`` /
+``_bulk_add_contacts`` fix (both bumped unconditionally); the
+``Graph`` / ``DiGraph`` paths were already guarded and are pinned here
+so they stay that way.
+"""
+
+import pytest
+
+from repro.graphs.graph import DiGraph, Graph
+from repro.observability.metrics import MetricsRegistry, set_registry
+from repro.observability.telemetry import cache_counts
+from repro.temporal.evolving import EvolvingGraph
+
+
+@pytest.fixture
+def registry():
+    """Swap in an empty global metrics registry for the test."""
+    fresh = MetricsRegistry("test-generation-noop")
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+def refreezes(registry, owner):
+    return cache_counts(registry).get(owner, {}).get("refreeze", 0)
+
+
+class TestGraphNoops:
+    def test_duplicate_add_edge_is_a_cache_hit(self, registry):
+        graph = Graph([(0, 1), (1, 2), (2, 3)])
+        graph.frozen()  # miss
+        graph.add_edge(0, 1)  # duplicate: must not bump
+        graph.add_edge(1, 0)  # reversed duplicate: same edge
+        graph.frozen()  # must be a hit
+        assert cache_counts(registry)["Graph"] == {"miss": 1, "hit": 1}
+
+    def test_existing_add_node_is_a_cache_hit(self, registry):
+        graph = Graph([(0, 1)])
+        graph.frozen()
+        graph.add_node(0)
+        graph.frozen()
+        assert refreezes(registry, "Graph") == 0
+
+    def test_real_mutation_still_refreezes(self, registry):
+        graph = Graph([(0, 1), (1, 2)])
+        graph.frozen()
+        graph.add_edge(0, 2)
+        graph.frozen()
+        assert refreezes(registry, "Graph") == 1
+
+    def test_digraph_duplicate_add_edge_is_a_cache_hit(self, registry):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.frozen()
+        graph.add_edge("a", "b")
+        graph.frozen()
+        assert cache_counts(registry)["DiGraph"] == {"miss": 1, "hit": 1}
+
+
+class TestEvolvingGraphNoops:
+    def eg(self):
+        eg = EvolvingGraph(horizon=10, nodes=range(4))
+        eg.add_contact(0, 1, 2)
+        eg.add_contact(1, 2, 3, weight=2.5)
+        return eg
+
+    def test_duplicate_contact_is_a_cache_hit(self, registry):
+        eg = self.eg()
+        eg.frozen()
+        eg.add_contact(0, 1, 2)  # same contact, no weight
+        eg.add_contact(1, 0, 2)  # reversed: same edge key
+        eg.add_contact(1, 2, 3, weight=2.5)  # same weight
+        eg.frozen()
+        assert cache_counts(registry)["EvolvingGraph"] == {
+            "miss": 1,
+            "hit": 1,
+        }
+
+    def test_new_time_label_still_refreezes(self, registry):
+        eg = self.eg()
+        eg.frozen()
+        eg.add_contact(0, 1, 5)
+        eg.frozen()
+        assert refreezes(registry, "EvolvingGraph") == 1
+
+    def test_changed_weight_still_refreezes(self, registry):
+        """FrozenContacts captures weights, so a weight *change* on an
+        existing contact must invalidate the snapshot."""
+        eg = self.eg()
+        eg.frozen()
+        eg.add_contact(1, 2, 3, weight=9.0)
+        eg.frozen()
+        assert refreezes(registry, "EvolvingGraph") == 1
+
+    def test_first_weight_on_unweighted_contact_refreezes(self, registry):
+        eg = self.eg()
+        eg.frozen()
+        eg.add_contact(0, 1, 2, weight=1.5)
+        eg.frozen()
+        assert refreezes(registry, "EvolvingGraph") == 1
+
+    def test_bulk_all_duplicates_is_a_cache_hit(self, registry):
+        eg = self.eg()
+        eg.frozen()
+        eg._bulk_add_contacts([(0, 1, 2), (1, 2, 3), (0, 1, 2)])
+        eg.frozen()
+        assert cache_counts(registry)["EvolvingGraph"] == {
+            "miss": 1,
+            "hit": 1,
+        }
+
+    def test_bulk_with_one_new_contact_refreezes_once(self, registry):
+        eg = self.eg()
+        generation = eg._generation
+        eg.frozen()
+        eg._bulk_add_contacts([(0, 1, 2), (2, 3, 4), (1, 2, 3)])
+        eg.frozen()
+        assert refreezes(registry, "EvolvingGraph") == 1
+        # One bump for the whole batch, not one per novel item.
+        assert eg._generation == generation + 1
+
+    def test_duplicate_contact_generation_stable(self):
+        eg = self.eg()
+        generation = eg._generation
+        eg.add_contact(0, 1, 2)
+        assert eg._generation == generation

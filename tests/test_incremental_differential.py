@@ -1,0 +1,241 @@
+"""Differential mutate/query harness for the incremental serving plane.
+
+Drives randomized interleaved insert/delete/query traces through a
+:class:`~repro.serving.state.GraphService` while maintaining an
+independent mirror dict graph, and asserts *bit-exactness* against the
+full-rebuild references at every step:
+
+* the merged CSR snapshot vs a fresh ``FrozenGraph`` of the mirror
+  (node order, ``indptr``, ``indices``);
+* the incrementally repaired NSF levels vs ``nsf_levels_reference``;
+* the repaired landmark labels vs ``distance_gateway_labels_reference``;
+* the patch-aware BFS vs the same BFS on the merged snapshot.
+
+Runs across multiple seeds and patch thresholds — including
+``threshold=0``, which rebases (merge + clear) on every snapshot, and a
+huge threshold that never rebases — so the merge, rebase, and overlay
+paths are all exercised against the same ground truth.  The drive also
+asserts the steady-state economics: zero ``repro.cache.frozen`` events
+(nothing ever goes through the dict-graph refreeze path).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import EdgeNotFoundError
+from repro.graphs.csr import FrozenGraph
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+from repro.labeling.landmarks import (
+    distance_gateway_labels_reference,
+    select_landmarks,
+)
+from repro.layering.nsf import nsf_levels_reference
+from repro.observability.metrics import MetricsRegistry, set_registry
+from repro.observability.telemetry import cache_counts, serving_counts
+from repro.serving import GraphService
+
+SEEDS = [0, 1, 2, 3, 4]
+THRESHOLDS = [0, 4, 1_000_000]
+
+
+@pytest.fixture
+def registry():
+    """Swap in an empty global metrics registry for the test."""
+    fresh = MetricsRegistry("test-differential")
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+def seed_edges(seed, n=40, extra=0.04):
+    rng = np.random.default_rng(seed)
+    return [tuple(e) for e in random_connected_graph(n, extra, rng).edges()]
+
+
+def build_graph(edges):
+    graph = Graph()
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def assert_state_bit_exact(service, mirror, landmarks, context):
+    """The three structural invariants, asserted after every step."""
+    reference = FrozenGraph(mirror)
+    snapshot = service.snapshot()
+    assert snapshot.node_list == reference.node_list, context
+    assert np.array_equal(snapshot.indptr, reference.indptr), context
+    assert np.array_equal(snapshot.indices, reference.indices), context
+    assert service.nsf_levels_map() == nsf_levels_reference(mirror), context
+    assert service.gateway_labels_map() == distance_gateway_labels_reference(
+        mirror, landmarks
+    ), context
+
+
+def drive_trace(service, mirror, rng, steps, new_node_prob=0.06):
+    """Apply one randomized mutation per step; yield after each.
+
+    The op mix covers real inserts, duplicate inserts (must be no-ops),
+    deletes of base edges, deletes of pending inserts (must cancel),
+    and inserts touching brand-new nodes (index growth).
+    """
+    fresh = 0
+    for step in range(steps):
+        nodes = list(mirror.nodes())
+        roll = rng.random()
+        if roll < new_node_prob:
+            fresh += 1
+            u, v = f"extra{fresh}", rng.choice(nodes)
+            assert service.insert_edge(u, v) is True
+            mirror.add_edge(u, v)
+        elif roll < 0.45:
+            u, v = rng.sample(nodes, 2)
+            changed = service.insert_edge(u, v)
+            assert changed == (not mirror.has_edge(u, v))
+            mirror.add_edge(u, v)
+        elif roll < 0.85:
+            edges = list(mirror.edges())
+            if not edges:
+                continue
+            u, v = rng.choice(edges)
+            service.delete_edge(u, v)
+            mirror.remove_edge(u, v)
+        else:
+            # Insert-then-delete in one step: the delete must cancel
+            # the pending insert, leaving the topology unchanged.
+            u, v = rng.sample(nodes, 2)
+            if mirror.has_edge(u, v):
+                continue
+            assert service.insert_edge(u, v) is True
+            service.delete_edge(u, v)
+            assert not service.has_edge(u, v)
+        yield step
+
+
+class TestDifferentialTrace:
+    @pytest.mark.parametrize("threshold", THRESHOLDS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bit_exact_at_every_step(self, seed, threshold):
+        edges = seed_edges(seed)
+        mirror = build_graph(edges)
+        landmarks = select_landmarks(mirror, 3)
+        service = GraphService(
+            build_graph(edges), landmarks=landmarks, threshold=threshold
+        )
+        rng = random.Random(seed * 101 + threshold)
+        assert_state_bit_exact(service, mirror, landmarks, "initial")
+        for step in drive_trace(service, mirror, rng, steps=45):
+            assert_state_bit_exact(
+                service, mirror, landmarks, (seed, threshold, step)
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_patched_bfs_matches_merged_bfs(self, seed):
+        edges = seed_edges(seed)
+        mirror = build_graph(edges)
+        service = GraphService(
+            build_graph(edges), landmark_count=2, threshold=1_000_000
+        )
+        rng = random.Random(seed)
+        for step in drive_trace(service, mirror, rng, steps=30):
+            source = rng.choice(service.node_list)
+            via_patches = service.distances_from(source)
+            merged = service.snapshot()
+            via_merge = merged.bfs_levels(merged.index_of(source))
+            assert np.array_equal(via_patches, via_merge), (seed, step)
+
+    def test_point_queries_match_bulk_views(self):
+        edges = seed_edges(7)
+        mirror = build_graph(edges)
+        landmarks = select_landmarks(mirror, 3)
+        service = GraphService(
+            build_graph(edges), landmarks=landmarks, threshold=8
+        )
+        rng = random.Random(7)
+        for _ in drive_trace(service, mirror, rng, steps=20):
+            pass
+        levels = service.nsf_levels_map()
+        labels = service.gateway_labels_map()
+        for node in rng.sample(service.node_list, 10):
+            assert service.nsf_level(node) == levels[node]
+            assert service.gateway_label(node) == labels.get(node)
+        ref = bfs_distances(mirror, landmarks[0])
+        for node in rng.sample(service.node_list, 10):
+            assert service.distance(landmarks[0], node) == ref.get(node)
+
+
+class TestThresholdSemantics:
+    def test_threshold_zero_rebases_every_snapshot(self):
+        service = GraphService(build_graph(seed_edges(2)), threshold=0)
+        rng = random.Random(2)
+        mirror = build_graph(seed_edges(2))
+        for _ in drive_trace(service, mirror, rng, steps=15):
+            service.snapshot()
+            assert service.patched.pending == 0
+
+    def test_huge_threshold_never_rebases(self, registry):
+        service = GraphService(
+            build_graph(seed_edges(3)), threshold=1_000_000
+        )
+        base = service.patched.base
+        mirror = build_graph(seed_edges(3))
+        rng = random.Random(3)
+        for _ in drive_trace(service, mirror, rng, steps=15):
+            service.snapshot()
+        assert service.patched.base is base
+        assert serving_counts(registry)["patch"].get("rebase", 0) == 0
+
+
+class TestSteadyStateEconomics:
+    def test_drive_never_refreezes(self, registry):
+        """The acceptance invariant: a full mutate/query drive records
+        zero ``repro.cache.frozen`` events — snapshots come from the
+        patch-merge path, never the dict-graph refreeze path."""
+        edges = seed_edges(5)
+        mirror = build_graph(edges)
+        landmarks = select_landmarks(mirror, 3)
+        service = GraphService(
+            build_graph(edges), landmarks=landmarks, threshold=16
+        )
+        rng = random.Random(5)
+        for _ in drive_trace(service, mirror, rng, steps=30):
+            node = rng.choice(service.node_list)
+            service.nsf_level(node)
+            service.gateway_label(node)
+            service.distance(node, rng.choice(service.node_list))
+        assert cache_counts(registry) == {}
+        counts = serving_counts(registry)
+        assert counts["patch"].get("merge", 0) > 0
+        assert counts["repairs"].get("nsf", {}).get("replay", 0) > 0
+        assert counts["repairs"].get("labels", {}).get("relax", 0) > 0
+
+
+class TestValidationParity:
+    def test_self_loop_message_matches_graph(self):
+        service = GraphService(build_graph([("a", "b"), ("b", "c")]))
+        graph = Graph([("a", "b")])
+        with pytest.raises(ValueError) as from_service:
+            service.insert_edge("a", "a")
+        with pytest.raises(ValueError) as from_graph:
+            graph.add_edge("a", "a")
+        assert str(from_service.value) == str(from_graph.value)
+
+    def test_duplicate_insert_is_version_noop(self):
+        service = GraphService(build_graph([("a", "b"), ("b", "c")]))
+        before = service.version
+        assert service.insert_edge("a", "b") is False
+        assert service.version == before
+
+    def test_absent_delete_raises(self):
+        service = GraphService(build_graph([("a", "b"), ("b", "c")]))
+        with pytest.raises(EdgeNotFoundError):
+            service.delete_edge("a", "c")
+        with pytest.raises(EdgeNotFoundError):
+            service.delete_edge("a", "missing")
+        service.delete_edge("a", "b")
+        with pytest.raises(EdgeNotFoundError):
+            service.delete_edge("a", "b")

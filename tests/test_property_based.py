@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -310,3 +311,107 @@ def test_safety_levels_sound_for_any_fault_set(fault_ints):
         for v in binary_addresses(4):
             if v not in faults and hamming_distance(u, v) <= s.levels[u]:
                 assert v in reach
+
+
+# ----------------------------------------------------------------------
+# CSR patch buffer (repro.graphs.delta)
+# ----------------------------------------------------------------------
+
+@st.composite
+def patch_scripts(draw, max_nodes=8, max_edges=14, max_ops=16):
+    n, edges = draw(edge_lists(max_nodes=max_nodes, max_edges=max_edges))
+    count = draw(st.integers(min_value=0, max_value=max_ops))
+    ops = []
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            ops.append((u, v))
+    return n, edges, ops
+
+
+def apply_script(n, edges, ops):
+    """Drive a PatchedGraph and a mirror dict graph through ``ops``.
+
+    Present edges are deleted, absent ones inserted — so every script
+    is valid and both delete-of-base and delete-of-pending-insert
+    paths get exercised as scripts revisit pairs.
+    """
+    from repro.graphs.csr import FrozenGraph
+    from repro.graphs.delta import PatchedGraph
+
+    mirror = build_graph(n, edges)
+    pg = PatchedGraph(FrozenGraph(mirror), threshold=1_000_000)
+    for u, v in ops:
+        if mirror.has_edge(u, v):
+            pg.delete_edge(u, v)
+            mirror.remove_edge(u, v)
+        else:
+            assert pg.insert_edge(u, v) is True
+            mirror.add_edge(u, v)
+    return pg, mirror
+
+
+@given(patch_scripts())
+@settings(max_examples=60, deadline=None)
+def test_patch_merge_equals_refreeze(data):
+    from repro.graphs.csr import FrozenGraph
+
+    pg, mirror = apply_script(*data)
+    reference = FrozenGraph(mirror)
+    merged = pg.merge()
+    assert merged.node_list == reference.node_list
+    assert np.array_equal(merged.indptr, reference.indptr)
+    assert np.array_equal(merged.indices, reference.indices)
+
+
+@given(patch_scripts())
+@settings(max_examples=60, deadline=None)
+def test_patch_double_merge_idempotent(data):
+    pg, _ = apply_script(*data)
+    first = pg.merge()
+    second = pg.merge()
+    assert first.node_list == second.node_list
+    assert np.array_equal(first.indptr, second.indptr)
+    assert np.array_equal(first.indices, second.indices)
+
+
+@given(patch_scripts(max_ops=8))
+@settings(max_examples=60, deadline=None)
+def test_delete_of_pending_insert_cancels(data):
+    n, edges, ops = data
+    pg, mirror = apply_script(n, edges, ops)
+    absent = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if not mirror.has_edge(u, v)
+    ]
+    if not absent:
+        return
+    pending_before = pg.pending
+    u, v = absent[0]
+    assert pg.insert_edge(u, v) is True
+    pg.delete_edge(u, v)
+    assert pg.pending == pending_before
+    assert not pg.has_edge(u, v)
+
+
+@given(patch_scripts(max_ops=6))
+@settings(max_examples=60, deadline=None)
+def test_patch_validation_parity_with_graph(data):
+    import pytest
+
+    n, edges, ops = data
+    pg, mirror = apply_script(n, edges, ops)
+    # Duplicate inserts: no-ops on both substrates, version untouched.
+    for u, v in list(mirror.edges())[:3]:
+        version = pg.version
+        assert pg.insert_edge(u, v) is False
+        assert pg.version == version
+    # Self-loops: same exception type and message as Graph.add_edge.
+    with pytest.raises(ValueError) as from_patch:
+        pg.insert_edge(0, 0)
+    with pytest.raises(ValueError) as from_graph:
+        mirror.add_edge(0, 0)
+    assert str(from_patch.value) == str(from_graph.value)

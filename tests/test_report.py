@@ -18,6 +18,7 @@ from repro.observability.report import (
     render_markdown,
     scale_summary,
     scan_bench_feeds,
+    serving_summary,
     slowest_spans,
     speedup_summary,
     trajectory_summary,
@@ -174,6 +175,45 @@ class TestSections:
         ]
         assert summary["ceilings"][0]["margin_mib"] == 336.0
 
+    def test_serving_summary_streams_and_counters(self):
+        feed = fake_feed(
+            "serving",
+            [
+                "n", "m", "blocks", "queries",
+                "baseline median s", "serving median s",
+                "baseline q/s", "serving q/s", "speedup",
+            ],
+            [
+                [500, 1500, 24, 192, 0.12, 0.026, 1600.0, 7300.0, 4.6],
+                [2000, 6000, 24, 192, 0.39, 0.065, 492.0, 2939.0, 5.98],
+            ],
+            metrics={
+                "repro.serving.queries{kind=distance}": 864,
+                "repro.serving.queries{kind=nsf_level}": 144,
+                "repro.serving.patch{event=merge}": 138,
+                "repro.serving.repairs{index=nsf,mode=replay}": 100,
+                "repro.serving.batches": 200,
+                "repro.serving.sweeps": 144,
+                "repro.serving.retries": 3,
+            },
+        )
+        summary = serving_summary({"serving": feed})
+        assert [entry["n"] for entry in summary["streams"]] == [500, 2000]
+        assert summary["streams"][1]["speedup"] == 5.98
+        assert summary["queries"] == {"distance": 864, "nsf_level": 144}
+        assert summary["patch"] == {"merge": 138}
+        assert summary["repairs"] == {"nsf": {"replay": 100}}
+        assert summary["batches"] == 200
+        assert summary["sweeps"] == 144
+        assert summary["retries"] == 3
+        assert summary["coalesce_ratio"] == (864 + 144) / 144
+
+    def test_serving_summary_empty_inputs(self):
+        summary = serving_summary({})
+        assert summary["streams"] == []
+        assert summary["batches"] == 0
+        assert summary["coalesce_ratio"] == 0.0
+
     def test_scale_summary_empty_inputs(self):
         summary = scale_summary({}, [])
         assert summary == {
@@ -205,6 +245,7 @@ class TestDashboard:
             "## Frozen-cache hit rates",
             "slowest cases",
             "## Memory ceilings",
+            "## Incremental serving",
         ):
             assert section in markdown
         assert "| perf-demo | 100 | 12.0x | bfs |" in markdown
@@ -229,6 +270,11 @@ class TestDashboard:
         assert committed <= set(dashboard["feeds"])
         perf_sections = {e["experiment"] for e in dashboard["speedups"]}
         assert {"perf-csr", "perf-temporal", "perf-labeling"} <= perf_sections
+        # The committed serving feed populates the serving panel: the
+        # stream table and the coalescing counters it rode in with.
+        serving = dashboard["serving"]
+        assert serving["streams"], "BENCH_serving.json must carry stream rows"
+        assert serving["coalesce_ratio"] > 1.0
         render_markdown(dashboard)  # renders without raising
 
 
