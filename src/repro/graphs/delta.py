@@ -394,14 +394,19 @@ class PatchedGraph:
     def snapshot(self) -> FrozenGraph:
         """The current merged snapshot, lazily built and cached.
 
-        With no pending patches this is the base itself.  Otherwise the
-        merge runs at most once per mutation ``version``; above
-        ``threshold`` pending patches the merged snapshot *rebases* —
-        it becomes the new base and the patch buffer clears, bounding
-        both the overlay size point reads pay and the dead-entry mass
-        the masked gathers carry.
+        With no pending patches *and* no nodes interned past the base
+        this is the base itself.  A cancelled insert can drain
+        ``pending`` to zero while leaving a newly interned endpoint
+        behind (deletes keep nodes, matching ``Graph.remove_edge``), so
+        the node count must match too — otherwise the merge runs, which
+        with no pending adds still emits the grown ``indptr`` with
+        isolated-node rows.  The merge runs at most once per mutation
+        ``version``; above ``threshold`` pending patches the merged
+        snapshot *rebases* — it becomes the new base and the patch
+        buffer clears, bounding both the overlay size point reads pay
+        and the dead-entry mass the masked gathers carry.
         """
-        if self.pending == 0:
+        if self.pending == 0 and self.n == self.base.n:
             return self.base
         if self._merged is not None and self._merged_version == self.version:
             return self._merged

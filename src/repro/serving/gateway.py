@@ -101,6 +101,7 @@ class ServingGateway:
         self._faults = faults
         self._session: Optional[FaultSession] = None
         self._task: Optional["asyncio.Task"] = None
+        self._crashed: Optional[BaseException] = None
         self._draining = False
         self._seq = 0
         self.batches_flushed = 0
@@ -113,18 +114,29 @@ class ServingGateway:
         """Spawn the dispatcher task (requires a running event loop)."""
         if self._task is not None:
             raise RuntimeError("gateway already started")
+        self._crashed = None
         self._draining = False
         if self._faults is not None:
             self._session = self._faults.start()
         self._task = asyncio.get_running_loop().create_task(self._dispatch())
 
     async def stop(self) -> None:
-        """Flush everything still queued (faults off), then shut down."""
+        """Flush everything still queued (faults off), then shut down.
+
+        Re-raises the dispatcher's failure if it crashed.  A crashed
+        dispatcher no longer drains the queue, so the stop sentinel is
+        only enqueued while the task is still alive — never a blocking
+        put into a full queue nobody is reading.
+        """
         if self._task is None:
             return
-        await self._queue.put(None)
-        await self._task
-        self._task = None
+        task = self._task
+        if not task.done():
+            await self._queue.put(None)
+        try:
+            await task
+        finally:
+            self._task = None
 
     async def __aenter__(self) -> "ServingGateway":
         self.start()
@@ -148,11 +160,23 @@ class ServingGateway:
     async def _submit(self, kind: str, *args: Any) -> Any:
         if self._task is None:
             raise RuntimeError("gateway not started")
+        if self._crashed is not None or self._task.done():
+            raise self._crash_error()
         record_serving_query(kind)
         self._seq += 1
         future: "asyncio.Future" = asyncio.get_running_loop().create_future()
         await self._queue.put(_Request(self._seq, kind, args, future))
+        # The put can block on a full queue; if the dispatcher died in
+        # the meantime nobody will ever drain this request — fail fast
+        # unless the abort sweep already resolved the future.
+        if self._crashed is not None and not future.done():
+            raise self._crash_error()
         return await future
+
+    def _crash_error(self) -> RuntimeError:
+        error = RuntimeError("gateway dispatcher is not running")
+        error.__cause__ = self._crashed
+        return error
 
     async def distance(self, u: Node, v: Node) -> Optional[int]:
         """Hop distance between ``u`` and ``v``; None if disconnected."""
@@ -170,53 +194,88 @@ class ServingGateway:
     # dispatcher
     # ------------------------------------------------------------------
     async def _dispatch(self) -> None:
-        stopping = False
-        while not stopping:
-            batch: List[_Request] = []
-            while self._retry and len(batch) < self.max_batch:
-                batch.append(self._retry.popleft())
-            if not batch:
-                item = await self._queue.get()
-                if item is None:
-                    break
-                batch.append(item)
-            loop = asyncio.get_running_loop()
-            deadline = loop.time() + self.max_delay
-            idle_rounds = 0
-            while len(batch) < self.max_batch:
-                # Drain whatever is already queued without timer setup.
-                try:
-                    item = self._queue.get_nowait()
-                except asyncio.QueueEmpty:
-                    item = _EMPTY
-                if item is None:
-                    stopping = True
-                    break
-                if item is not _EMPTY:
-                    idle_rounds = 0
+        batch: List[_Request] = []
+        try:
+            stopping = False
+            while not stopping:
+                batch = []
+                while self._retry and len(batch) < self.max_batch:
+                    batch.append(self._retry.popleft())
+                if not batch:
+                    item = await self._queue.get()
+                    if item is None:
+                        break
                     batch.append(item)
-                    continue
-                # Queue empty: give producers one scheduling turn, then
-                # flush early if nothing new showed up (an idle event
-                # loop means no one is about to extend this batch) —
-                # the deadline stays as the hard upper bound.
-                if idle_rounds >= 2 or loop.time() >= deadline:
-                    break
-                idle_rounds += 1
-                await asyncio.sleep(0)
-            if batch:
+                loop = asyncio.get_running_loop()
+                deadline = loop.time() + self.max_delay
+                idle_rounds = 0
+                while len(batch) < self.max_batch:
+                    # Drain whatever is already queued without timer
+                    # setup.
+                    try:
+                        item = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        item = _EMPTY
+                    if item is None:
+                        stopping = True
+                        break
+                    if item is not _EMPTY:
+                        idle_rounds = 0
+                        batch.append(item)
+                        continue
+                    # Queue empty: give producers one scheduling turn,
+                    # then flush early if nothing new showed up (an
+                    # idle event loop means no one is about to extend
+                    # this batch) — the deadline stays as the hard
+                    # upper bound.
+                    if idle_rounds >= 2 or loop.time() >= deadline:
+                        break
+                    idle_rounds += 1
+                    await asyncio.sleep(0)
+                if batch:
+                    await self._execute(batch)
+            # Teardown flush: answer every still-queued request with
+            # fault injection off, so a stopped gateway never strands
+            # a caller.
+            self._draining = True
+            leftovers = list(self._retry)
+            self._retry.clear()
+            while not self._queue.empty():
+                item = self._queue.get_nowait()
+                if item is not None:
+                    leftovers.append(item)
+            for start in range(0, len(leftovers), self.max_batch):
+                batch = leftovers[start : start + self.max_batch]
                 await self._execute(batch)
-        # Teardown flush: answer every still-queued request with fault
-        # injection off, so a stopped gateway never strands a caller.
-        self._draining = True
-        leftovers = list(self._retry)
+        except BaseException as error:
+            # Anything escaping a flush (telemetry, fault-session
+            # bookkeeping, cancellation) kills the dispatcher; fail
+            # every outstanding future first so no awaiter hangs.
+            self._abort(batch, error)
+            raise
+
+    def _abort(self, batch: List[_Request], error: BaseException) -> None:
+        """Dispatcher teardown on failure: strand no caller.
+
+        Marks the gateway crashed (later submissions fail fast) and
+        fails the in-flight batch plus everything still queued or
+        awaiting retry.  Draining the queue also unblocks any producer
+        stuck in a put against a full queue.
+        """
+        self._crashed = error
+        stranded = list(batch)
+        stranded.extend(self._retry)
         self._retry.clear()
-        while not self._queue.empty():
-            item = self._queue.get_nowait()
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
             if item is not None:
-                leftovers.append(item)
-        for start in range(0, len(leftovers), self.max_batch):
-            await self._execute(leftovers[start : start + self.max_batch])
+                stranded.append(item)
+        for request in stranded:
+            if not request.future.done():
+                request.future.set_exception(self._crash_error())
 
     async def _execute(self, batch: List[_Request]) -> None:
         """Answer one batch: coalesced sweeps, then per-request fates."""
@@ -229,7 +288,7 @@ class ServingGateway:
             )
             if perm is not None:
                 batch = [batch[i] for i in perm]
-        levels: Dict[Node, np.ndarray] = {}
+        levels: Dict[Node, Tuple[int, np.ndarray]] = {}
         crashed = False
         for request in batch:
             if crashed:
@@ -259,15 +318,25 @@ class ServingGateway:
                 request.future.set_result(result)
                 self.queries_answered += 1
 
-    def _answer(self, request: _Request, levels: Dict[Node, np.ndarray]) -> Any:
+    def _answer(
+        self, request: _Request, levels: Dict[Node, Tuple[int, np.ndarray]]
+    ) -> Any:
         """Compute one answer against the *current* service state."""
         service = self.service
         if request.kind == "distance":
             u, v = request.args
-            if u not in levels:
-                levels[u] = service.distances_from(u)
+            target = service.patched.index_of(v)
+            cached = levels.get(u)
+            # A delay fate yields the event loop mid-batch, so a
+            # concurrent task can mutate the service between answers.
+            # A sweep is only reusable at the version it was taken —
+            # a current index into a pre-mutation array would read a
+            # stale level, or past the end for a node added mid-batch.
+            if cached is None or cached[0] != service.version:
+                cached = (service.version, service.distances_from(u))
+                levels[u] = cached
                 record_serving_sweep()
-            level = int(levels[u][service.patched.index_of(v)])
+            level = int(cached[1][target])
             return None if level < 0 else level
         if request.kind == "nsf_level":
             return service.nsf_level(*request.args)

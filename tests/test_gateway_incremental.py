@@ -357,3 +357,64 @@ class TestServingGatewayChaos:
         results = asyncio.run(main())
         assert results == [1, 9] * 6
         assert serving_counts(registry)["retries"] > 0
+
+
+class TestServingGatewayResilience:
+    """Failures inside the dispatcher itself must never strand a
+    caller, and a mid-batch mutation must never be answered from the
+    pre-mutation sweep cache."""
+
+    def test_dispatcher_crash_fails_pending_queries(self, monkeypatch):
+        """An exception escaping a flush (here: the batch telemetry
+        hook) kills the dispatcher; every in-flight and queued future
+        must fail instead of hanging, later submissions must fail
+        fast, and stop() must re-raise instead of blocking."""
+        service = GraphService(serving_graph(seed=5), landmark_count=2)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("telemetry backend exploded")
+
+        monkeypatch.setattr(
+            "repro.serving.gateway.record_serving_batch", boom
+        )
+
+        async def main():
+            gateway = ServingGateway(service, max_batch=4, max_delay=0.001)
+            gateway.start()
+            tasks = [
+                asyncio.ensure_future(gateway.distance(0, target))
+                for target in range(1, 6)
+            ]
+            answers = await asyncio.gather(*tasks, return_exceptions=True)
+            with pytest.raises(RuntimeError):
+                await gateway.distance(0, 1)  # fail fast, no hang
+            with pytest.raises(RuntimeError, match="exploded"):
+                await gateway.stop()
+            return answers
+
+        answers = asyncio.run(main())
+        assert answers and all(
+            isinstance(a, RuntimeError) for a in answers
+        )
+
+    def test_mid_batch_mutation_invalidates_sweep_cache(self):
+        """A same-source distance answered after a mid-batch mutation
+        must recompute the sweep: a current index into the stale
+        pre-mutation array reads a wrong level, or past the end for a
+        node added mid-batch (regression: IndexError)."""
+        from repro.serving.gateway import _Request
+
+        service = GraphService(serving_graph(seed=6), landmark_count=2)
+        gateway = ServingGateway(service)
+        levels = {}
+        first = gateway._answer(
+            _Request(1, "distance", (0, 1), future=None), levels
+        )
+        assert first is not None
+        # A concurrent task mutates the service while the dispatcher
+        # is parked on a delay fate: the cached sweep predates "late".
+        service.insert_edge("late", 0)
+        second = gateway._answer(
+            _Request(2, "distance", (0, "late"), future=None), levels
+        )
+        assert second == 1

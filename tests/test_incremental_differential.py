@@ -106,13 +106,23 @@ def drive_trace(service, mirror, rng, steps, new_node_prob=0.06):
             mirror.remove_edge(u, v)
         else:
             # Insert-then-delete in one step: the delete must cancel
-            # the pending insert, leaving the topology unchanged.
-            u, v = rng.sample(nodes, 2)
-            if mirror.has_edge(u, v):
-                continue
+            # the pending insert, leaving the edge set unchanged.
+            # Sometimes the insert touches a brand-new node, so the
+            # cancel drains pending to zero while the node table has
+            # grown — deletes keep nodes (like Graph.remove_edge), so
+            # the node survives as an isolated row in both worlds.
+            if roll < 0.95:
+                u, v = rng.sample(nodes, 2)
+                if mirror.has_edge(u, v):
+                    continue
+            else:
+                fresh += 1
+                u, v = f"extra{fresh}", rng.choice(nodes)
             assert service.insert_edge(u, v) is True
             service.delete_edge(u, v)
             assert not service.has_edge(u, v)
+            mirror.add_edge(u, v)
+            mirror.remove_edge(u, v)
         yield step
 
 
@@ -166,6 +176,36 @@ class TestDifferentialTrace:
         ref = bfs_distances(mirror, landmarks[0])
         for node in rng.sample(service.node_list, 10):
             assert service.distance(landmarks[0], node) == ref.get(node)
+
+
+class TestFreshNodeCancel:
+    @pytest.mark.parametrize("threshold", THRESHOLDS)
+    def test_cancelled_insert_keeps_interned_node(self, threshold):
+        """Insert to a brand-new node, then delete the same edge: the
+        cancel drains ``pending`` to zero but the node stays interned
+        (deletes keep nodes), so ``snapshot()`` must NOT short-circuit
+        to the stale base — the snapshot carries the new node as an
+        isolated row and every index query stays in bounds.
+
+        Regression: ``snapshot()`` used to return ``self.base``
+        whenever ``pending == 0``, omitting the node and making later
+        ``nsf_level`` / ``gateway_label`` repairs index past the end
+        of the returned snapshot."""
+        edges = [("a", "b"), ("b", "c")]
+        mirror = build_graph(edges)
+        service = GraphService(
+            build_graph(edges), landmarks=["a"], threshold=threshold
+        )
+        assert service.insert_edge("x", "a") is True
+        service.delete_edge("x", "a")
+        mirror.add_edge("x", "a")
+        mirror.remove_edge("x", "a")
+        assert service.patched.pending == 0
+        assert service.snapshot().n == 4
+        assert_state_bit_exact(service, mirror, ["a"], "fresh-node cancel")
+        assert service.nsf_level("x") == nsf_levels_reference(mirror)["x"]
+        assert service.gateway_label("x") is None  # isolated: unreachable
+        assert service.distance("a", "x") is None
 
 
 class TestThresholdSemantics:
