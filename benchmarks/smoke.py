@@ -383,12 +383,25 @@ def smoke_serving() -> Dict[str, Any]:
     so a divergent patch merge or a refreeze leak fails tier-1."""
     import bench_serving
     from repro.labeling.landmarks import select_landmarks
+    from repro.observability.metrics import MetricsRegistry
     from repro.observability.telemetry import cache_counts
 
     n = 60
     edges, script = bench_serving.build_workload(n, 4.0 / n, 2, 2, n)
     landmarks = select_landmarks(bench_serving.make_graph(edges), 3)
-    base_answers = bench_serving.run_baseline(edges, script, landmarks)
+    baseline_registry = MetricsRegistry("baseline")
+    base_answers = bench_serving.run_baseline(
+        edges, script, landmarks, baseline_registry
+    )
+    baseline_refreezes = sum(
+        counts.get("refreeze", 0)
+        for counts in cache_counts(baseline_registry).values()
+    )
+    if baseline_refreezes == 0:
+        raise AssertionError(
+            "smoke serving: baseline recorded no refreezes in its scratch "
+            "registry — the phase separation lost the baseline's metrics"
+        )
     refreezes_before = sum(
         counts.get("refreeze", 0) for counts in cache_counts().values()
     )
@@ -413,6 +426,64 @@ def smoke_serving() -> Dict[str, Any]:
             "equality between the stacks and zero repro.cache.frozen "
             "events during the serving run asserted, no speedup floor "
             "at this scale."
+        ),
+    }
+
+
+@smoke("serving-write")
+def smoke_serving_write() -> Dict[str, Any]:
+    """Toy instance of the write-path tier: the same mutation-heavy
+    stream as benchmarks/bench_serving_write.py through both postures —
+    reference verification, per-edge vs batched answer equality, and
+    zero steady-state refreezes asserted — so a divergent batch
+    application or a lost write fails tier-1."""
+    import bench_serving_write
+    from repro.labeling.landmarks import select_landmarks
+    from repro.observability.telemetry import cache_counts
+
+    n = 80
+    epochs, bursts = 2, 2
+    edges, script = bench_serving_write.build_write_workload(
+        n, 4.0 / n, epochs, bursts, n
+    )
+    landmarks = select_landmarks(bench_serving_write.make_graph(edges), 3)
+    checked = bench_serving_write.verify_against_references(
+        edges, script, landmarks, 8
+    )
+    refreezes_before = sum(
+        counts.get("refreeze", 0) for counts in cache_counts().values()
+    )
+    edge_answers, _ = bench_serving_write.run_per_edge(
+        edges, script, landmarks, 8
+    )
+    batch_answers, _ = bench_serving_write.run_batched(
+        edges, script, landmarks, 8
+    )
+    refreezes_during = (
+        sum(counts.get("refreeze", 0) for counts in cache_counts().values())
+        - refreezes_before
+    )
+    if batch_answers != edge_answers:
+        raise AssertionError(
+            "smoke serving-write: batched answers diverge from per-edge"
+        )
+    if refreezes_during != 0:
+        raise AssertionError(
+            f"smoke serving-write: {refreezes_during} refreezes in "
+            "steady state"
+        )
+    ops = epochs * bursts * bench_serving_write.BURST
+    return {
+        "title": "gateway-batched write path vs per-edge posture (smoke)",
+        "header": [
+            "n", "mutations", "reference checks", "answers equal", "refreezes",
+        ],
+        "rows": [(n, ops, checked, True, refreezes_during)],
+        "notes": (
+            "Toy instance of benchmarks/bench_serving_write.py; every "
+            "query-block answer verified against the reference kernels, "
+            "posture answer equality and zero repro.cache.frozen events "
+            "asserted, no speedup floor at this scale."
         ),
     }
 

@@ -1078,17 +1078,19 @@ class FrozenGraph:
             best[rows] = np.maximum(best[rows], seg)
         return order[best]
 
-    def mis_rounds(self, priorities: np.ndarray) -> Tuple[np.ndarray, int]:
-        """The three-color MIS process over edge-compacted rounds.
+    def mis_round_masks(self, priorities: np.ndarray):
+        """Yield ``(new_black, new_gray)`` masks of each MIS round.
 
-        Each round, white local priority maxima (strictly greater than
-        every white neighbor; isolated whites vacuously) turn black,
-        their white neighbors turn gray, and the flat edge arrays are
-        compacted to the surviving white–white edges.  Returns (black
-        mask, rounds), matching ``compute_mis``'s reference loop.
-        Requires distinct priorities: a stalled round (where the
-        reference would spin forever on a priority tie) raises
-        :class:`~repro.errors.AlgorithmError`.
+        The three-color process round by round: white local priority
+        maxima (strictly greater than every white neighbor; isolated
+        whites vacuously) turn black, their white neighbors turn gray,
+        and the flat edge arrays are compacted to the surviving
+        white–white edges.  Each round is a deterministic function of
+        (current white set, white–white edges, priorities) — the
+        property the incremental MIS repair's round replay with early
+        exit relies on.  Requires distinct priorities: a stalled round
+        (where the reference would spin forever on a priority tie)
+        raises :class:`~repro.errors.AlgorithmError`.
         """
         if self.directed:
             raise TypeError("MIS expects an undirected snapshot")
@@ -1097,10 +1099,7 @@ class FrozenGraph:
         src = self._edge_sources()
         dst = self.indices
         white = np.ones(n, dtype=bool)
-        black = np.zeros(n, dtype=bool)
-        rounds = 0
         while white.any():
-            rounds += 1
             live = white[src] & white[dst]
             src = src[live]
             dst = dst[live]
@@ -1118,8 +1117,20 @@ class FrozenGraph:
             if src.size:
                 touched = new_black[dst]
                 gray[src[touched]] = True
-            black |= new_black
             white &= ~(new_black | gray)
+            yield new_black, gray
+
+    def mis_rounds(self, priorities: np.ndarray) -> Tuple[np.ndarray, int]:
+        """The three-color MIS process over edge-compacted rounds.
+
+        Returns (black mask, rounds), matching ``compute_mis``'s
+        reference loop — the batch fold of :meth:`mis_round_masks`.
+        """
+        black = np.zeros(self.n, dtype=bool)
+        rounds = 0
+        for new_black, _gray in self.mis_round_masks(priorities):
+            black |= new_black
+            rounds += 1
         return black, rounds
 
     # ------------------------------------------------------------------
@@ -1303,6 +1314,7 @@ class FrozenGraph:
         damping: float = 0.85,
         tolerance: float = 1e-10,
         max_iterations: int = 10_000,
+        initial: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, int]:
         """Power iteration over the successor CSR; (scores, iterations).
 
@@ -1311,6 +1323,14 @@ class FrozenGraph:
         sums associate differently (bincount vs dict-order adds), so
         equality with the reference is tolerance-bounded and iteration
         counts may differ by one.
+
+        ``initial`` warm-starts the iteration from a prior score vector
+        (length ``n``, non-negative) instead of the uniform 1/n start —
+        the incremental serving repair seeds with the pre-mutation
+        scores, so the drift to the new fixpoint (and therefore the
+        iteration count) tracks the changed mass, not the graph size.
+        The contraction is the same either way, so the converged vector
+        still matches the cold start within tolerance.
         """
         n = self.n
         if n == 0:
@@ -1322,7 +1342,18 @@ class FrozenGraph:
         inv_out[spread] = 1.0 / out_degree[spread]
         src = self._edge_sources()
         dst = self.indices
-        score = np.full(n, 1.0 / n)
+        if initial is None:
+            score = np.full(n, 1.0 / n)
+        else:
+            score = np.asarray(initial, dtype=np.float64)
+            if score.shape != (n,):
+                raise ValueError(
+                    f"initial scores must have shape ({n},), got {score.shape}"
+                )
+            total = float(score.sum())
+            if total <= 0.0 or not np.isfinite(total):
+                raise ValueError("initial scores must sum to a positive value")
+            score = score / total
         base = (1.0 - damping) / n
         for iteration in range(1, max_iterations + 1):
             dangling_mass = float(score[dangling].sum())

@@ -44,13 +44,14 @@ Directed snapshots are not supported: the serving indexes built on top
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.errors import EdgeNotFoundError, NodeNotFoundError
 from repro.graphs.csr import FrozenGraph
-from repro.observability.telemetry import record_patch_event
+from repro.observability.telemetry import record_dispatch, record_patch_event
 
 Node = Hashable
 
@@ -59,6 +60,35 @@ _UNREACHABLE = -1
 #: Default pending-patch count above which :meth:`PatchedGraph.snapshot`
 #: rebases (folds the patches into a new base CSR and clears them).
 DEFAULT_PATCH_THRESHOLD = 64
+
+
+@dataclass
+class PatchBatchResult:
+    """Outcome of one :meth:`PatchedGraph.apply_batch` application.
+
+    ``insert_outcomes`` / ``delete_outcomes`` report, per input operation
+    in submission order, how the batch resolved it:
+
+    * inserts: ``"insert"`` (new pending add), ``"restore"`` (cancelled a
+      pending delete), ``"noop"`` (edge already present, or a duplicate
+      of an earlier insert in the same batch), ``"self-loop"`` (lenient
+      mode only — rejected without interning);
+    * deletes: ``"delete"`` (new pending delete of a base edge),
+      ``"cancel"`` (cancelled a pending insert, possibly one from this
+      very batch), ``"missing"`` (lenient mode only — edge absent at its
+      turn, matching the per-edge :class:`~repro.errors.EdgeNotFoundError`).
+
+    ``touched`` holds the canonical (i, j) index pairs whose topology was
+    acted on (including self-cancelled pairs, whose net effect is nil but
+    whose endpoints were interned); ``changed`` counts the
+    state-changing operations — the number of per-edge ``version`` bumps
+    the same sequence would have produced.
+    """
+
+    insert_outcomes: List[str] = field(default_factory=list)
+    delete_outcomes: List[str] = field(default_factory=list)
+    touched: List[Tuple[int, int]] = field(default_factory=list)
+    changed: int = 0
 
 
 class PatchedGraph:
@@ -94,10 +124,14 @@ class PatchedGraph:
         #: Aliveness of each base CSR entry (lazily allocated on the
         #: first delete; ``None`` means "all alive").
         self._alive: Optional[np.ndarray] = None
-        #: Per-node patch degree adjustment (adds minus dels), and the
-        #: add-overlay adjacency for merged point reads.
-        self._degree_delta: Dict[int, int] = {}
+        #: Per-node patch degree adjustment (adds minus dels) — an int64
+        #: buffer so the batch path can apply one ``np.add.at`` — and
+        #: the add-overlay adjacency for merged point reads.
+        self._degree_delta: np.ndarray = np.zeros(base.n, dtype=np.int64)
         self._add_adj: Dict[int, Set[int]] = {}
+        #: Flat (source * n + target) keys of the base CSR entries,
+        #: built lazily for the batch path's vectorized slot lookups.
+        self._flat_keys: Optional[np.ndarray] = None
         #: Monotone mutation counter; keys the cached merged snapshot.
         self.version = 0
         self._merged: Optional[FrozenGraph] = None
@@ -137,6 +171,15 @@ class PatchedGraph:
             self._index[node] = i
         return i
 
+    def _ensure_degree_capacity(self) -> None:
+        """Grow the degree-delta buffer (geometrically) to cover ``n``."""
+        need = len(self._nodes)
+        cap = int(self._degree_delta.shape[0])
+        if need > cap:
+            grown = np.zeros(max(need, 2 * cap), dtype=np.int64)
+            grown[:cap] = self._degree_delta
+            self._degree_delta = grown
+
     # ------------------------------------------------------------------
     # mutations
     # ------------------------------------------------------------------
@@ -146,6 +189,38 @@ class PatchedGraph:
         if i >= base.n or j >= base.n:
             return -1
         return base.edge_slot(i, j)
+
+    def _base_flat_keys(self) -> np.ndarray:
+        """Flat ``source * n + target`` keys of the base CSR entries.
+
+        CSR order makes these strictly increasing, so bulk slot lookups
+        are one ``np.searchsorted`` over the whole batch.  Depends only
+        on the base, so the cache survives patches and clears on rebase.
+        """
+        if self._flat_keys is None:
+            base = self.base
+            self._flat_keys = (
+                base._edge_sources() * np.int64(base.n) + base.indices
+            )
+        return self._flat_keys
+
+    def _base_slots_bulk(self, ii: np.ndarray, jj: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_base_slot`: entry positions, -1 if absent."""
+        base = self.base
+        ii = np.asarray(ii, dtype=np.int64)
+        jj = np.asarray(jj, dtype=np.int64)
+        slots = np.full(ii.shape[0], -1, dtype=np.int64)
+        flat = self._base_flat_keys()
+        if flat.shape[0] == 0 or ii.shape[0] == 0:
+            return slots
+        in_range = (ii < base.n) & (jj < base.n)
+        # Out-of-range pairs get key -1, below every real (>= 0) key.
+        keys = np.where(in_range, ii * np.int64(base.n) + jj, np.int64(-1))
+        pos = np.searchsorted(flat, keys)
+        safe = np.minimum(pos, flat.shape[0] - 1)
+        found = in_range & (flat[safe] == keys)
+        slots[found] = pos[found]
+        return slots
 
     def _base_has_edge(self, i: int, j: int) -> bool:
         return self._base_slot(i, j) >= 0
@@ -158,8 +233,9 @@ class PatchedGraph:
         self._alive[self._base_slot(j, i)] = alive
 
     def _bump_degrees(self, i: int, j: int, amount: int) -> None:
-        self._degree_delta[i] = self._degree_delta.get(i, 0) + amount
-        self._degree_delta[j] = self._degree_delta.get(j, 0) + amount
+        self._ensure_degree_capacity()
+        self._degree_delta[i] += amount
+        self._degree_delta[j] += amount
 
     def insert_edge(self, u: Node, v: Node) -> bool:
         """Add undirected edge (u, v); endpoints are auto-added.
@@ -220,6 +296,201 @@ class PatchedGraph:
         self.version += 1
 
     # ------------------------------------------------------------------
+    # batched mutations (the serving write fast path)
+    # ------------------------------------------------------------------
+    def apply_batch(
+        self,
+        inserts: Sequence[Tuple[Node, Node]] = (),
+        deletes: Sequence[Tuple[Node, Node]] = (),
+        strict: bool = True,
+    ) -> PatchBatchResult:
+        """Apply a batch of edge mutations in one vectorized pass.
+
+        Semantics match applying every insert (in order, duplicates
+        no-ops) and *then* every delete (in order, validated against the
+        post-insert state) through :meth:`insert_edge` /
+        :meth:`delete_edge`, except the work is coalesced: one
+        canonicalization/dedup pass over the edge lists, one
+        ``searchsorted`` slot lookup per direction over the sorted base
+        keys, two vectorized aliveness-mask assignments, one
+        ``np.add.at`` degree update, and at most **one** ``version``
+        bump for the whole batch (the merged-snapshot cache therefore
+        invalidates once, not per edge).
+
+        With ``strict=True`` the batch is atomic for edge state: a
+        self-loop (``ValueError``) or an absent delete
+        (:class:`~repro.errors.EdgeNotFoundError`) raises before any
+        patch mutates — only node interning may have happened.  With
+        ``strict=False`` (the gateway's coalescing mode) invalid
+        operations are reported per-op in the result instead of raising,
+        so one caller's bad delete cannot poison a coalesced batch.
+        """
+        inserts = list(inserts)
+        deletes = list(deletes)
+        result = PatchBatchResult(
+            insert_outcomes=["noop"] * len(inserts),
+            delete_outcomes=["missing"] * len(deletes),
+        )
+
+        # Pass 1 — canonicalize + dedup inserts (interning endpoints).
+        ins_keys: List[Tuple[int, int]] = []
+        ins_pos: Dict[Tuple[int, int], int] = {}
+        for pos, (u, v) in enumerate(inserts):
+            if u == v:
+                if strict:
+                    raise ValueError(
+                        f"self-loop on {u!r} not allowed in a simple graph"
+                    )
+                result.insert_outcomes[pos] = "self-loop"
+                continue
+            iu = self._intern(u)
+            iv = self._intern(v)
+            key = (iu, iv) if iu < iv else (iv, iu)
+            if key not in ins_pos:
+                ins_pos[key] = pos
+                ins_keys.append(key)
+
+        # Categorize inserts (reads only): pending-delete restores,
+        # already-present no-ops, genuinely new adds.
+        restores: List[Tuple[int, int]] = []
+        maybe_new: List[Tuple[int, int]] = []
+        for key in ins_keys:
+            if key in self._dels:
+                restores.append(key)
+                result.insert_outcomes[ins_pos[key]] = "restore"
+            elif key not in self._adds:
+                maybe_new.append(key)
+        adds: List[Tuple[int, int]] = []
+        if maybe_new:
+            arr = np.asarray(maybe_new, dtype=np.int64)
+            slots = self._base_slots_bulk(arr[:, 0], arr[:, 1])
+            for key, slot in zip(maybe_new, slots):
+                if slot < 0:
+                    adds.append(key)
+                    result.insert_outcomes[ins_pos[key]] = "insert"
+        add_set = set(adds)
+        restore_set = set(restores)
+
+        # Pass 2 — canonicalize + dedup deletes against post-insert
+        # state (still reads only, so strict mode stays atomic).
+        seen_del: Set[Tuple[int, int]] = set()
+        cancels_new: List[Tuple[int, int]] = []  # cancel this batch's add
+        cancels_old: List[Tuple[int, int]] = []  # cancel a pending add
+        rekills: List[Tuple[int, int]] = []  # delete a just-restored edge
+        maybe_base: List[Tuple[Tuple[int, int], int, Tuple[Node, Node]]] = []
+        for pos, (u, v) in enumerate(deletes):
+            iu = self._index.get(u)
+            iv = self._index.get(v)
+            if iu is None or iv is None or iu == iv:
+                if strict:
+                    raise EdgeNotFoundError(u, v)
+                continue  # stays "missing"
+            key = (iu, iv) if iu < iv else (iv, iu)
+            if key in seen_del:
+                # The first occurrence consumed the edge.
+                if strict:
+                    raise EdgeNotFoundError(u, v)
+                continue
+            seen_del.add(key)
+            if key in add_set:
+                cancels_new.append(key)
+                result.delete_outcomes[pos] = "cancel"
+            elif key in self._adds:
+                cancels_old.append(key)
+                result.delete_outcomes[pos] = "cancel"
+            elif key in restore_set:
+                rekills.append(key)
+                result.delete_outcomes[pos] = "delete"
+            elif key in self._dels:
+                if strict:
+                    raise EdgeNotFoundError(u, v)
+            else:
+                maybe_base.append((key, pos, (u, v)))
+        new_dels: List[Tuple[int, int]] = []
+        if maybe_base:
+            arr = np.asarray([entry[0] for entry in maybe_base], dtype=np.int64)
+            slots = self._base_slots_bulk(arr[:, 0], arr[:, 1])
+            for (key, pos, uv), slot in zip(maybe_base, slots):
+                if slot >= 0:
+                    new_dels.append(key)
+                    result.delete_outcomes[pos] = "delete"
+                elif strict:
+                    raise EdgeNotFoundError(*uv)
+
+        # Commit — net per-key effects.  A restore-then-delete (rekill)
+        # never leaves ``_dels``; an add-then-cancel (self-cancellation)
+        # never enters ``_adds``; neither flips masks or degrees.
+        rekill_set = set(rekills)
+        cancel_new_set = set(cancels_new)
+        restore_commit = [k for k in restores if k not in rekill_set]
+        add_commit = [k for k in adds if k not in cancel_new_set]
+
+        if restore_commit or new_dels:
+            if self._alive is None:
+                self._alive = np.ones(self.base.indices.shape[0], dtype=bool)
+            for group, value in ((restore_commit, True), (new_dels, False)):
+                if group:
+                    arr = np.asarray(group, dtype=np.int64)
+                    ii = np.concatenate([arr[:, 0], arr[:, 1]])
+                    jj = np.concatenate([arr[:, 1], arr[:, 0]])
+                    self._alive[self._base_slots_bulk(ii, jj)] = value
+
+        endpoints: List[np.ndarray] = []
+        weights: List[np.ndarray] = []
+        for group, w in (
+            (restore_commit, 1),
+            (add_commit, 1),
+            (new_dels, -1),
+            (cancels_old, -1),
+        ):
+            if group:
+                arr = np.asarray(group, dtype=np.int64)
+                endpoints.append(arr.reshape(-1))
+                weights.append(np.full(arr.size, w, dtype=np.int64))
+        if endpoints:
+            self._ensure_degree_capacity()
+            np.add.at(
+                self._degree_delta,
+                np.concatenate(endpoints),
+                np.concatenate(weights),
+            )
+
+        self._dels.difference_update(restore_commit)
+        self._dels.update(new_dels)
+        for key in add_commit:
+            self._adds.add(key)
+            self._add_adj.setdefault(key[0], set()).add(key[1])
+            self._add_adj.setdefault(key[1], set()).add(key[0])
+        for key in cancels_old:
+            self._adds.discard(key)
+            self._add_adj[key[0]].discard(key[1])
+            self._add_adj[key[1]].discard(key[0])
+
+        touched: Set[Tuple[int, int]] = set(restores)
+        touched.update(adds)
+        touched.update(new_dels)
+        touched.update(cancels_old)
+        result.touched = sorted(touched)
+        result.changed = sum(
+            o in ("insert", "restore") for o in result.insert_outcomes
+        ) + sum(o in ("delete", "cancel") for o in result.delete_outcomes)
+
+        # Event parity with the per-edge path: restores and cancels both
+        # record "cancel"; a rekill records the "delete" its per-edge
+        # twin would have.
+        n_cancel = len(restores) + len(cancels_old) + len(cancels_new)
+        if adds:
+            record_patch_event("insert", len(adds))
+        if new_dels or rekills:
+            record_patch_event("delete", len(new_dels) + len(rekills))
+        if n_cancel:
+            record_patch_event("cancel", n_cancel)
+        record_dispatch("graphs.apply_batch", path="patch-batch")
+        if result.changed:
+            self.version += 1
+        return result
+
+    # ------------------------------------------------------------------
     # merged point reads
     # ------------------------------------------------------------------
     def has_edge(self, u: Node, v: Node) -> bool:
@@ -237,7 +508,9 @@ class PatchedGraph:
     def degree(self, node: Node) -> int:
         i = self.index_of(node)
         base_deg = int(self.base.degrees[i]) if i < self.base.n else 0
-        return base_deg + self._degree_delta.get(i, 0)
+        if i < self._degree_delta.shape[0]:
+            base_deg += int(self._degree_delta[i])
+        return base_deg
 
     def neighbor_row(self, i: int) -> np.ndarray:
         """Merged (sorted) neighbor-index row of node index ``i``."""
@@ -423,8 +696,9 @@ class PatchedGraph:
         self._adds.clear()
         self._dels.clear()
         self._alive = None
-        self._degree_delta.clear()
+        self._degree_delta = np.zeros(merged.n, dtype=np.int64)
         self._add_adj.clear()
+        self._flat_keys = None
         self._merged = None
         self._merged_version = -1
         record_patch_event("rebase")

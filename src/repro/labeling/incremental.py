@@ -1,4 +1,20 @@
-"""Incremental landmark (distance, gateway) label repair.
+"""Incremental index repair for the serving plane's labeling indexes.
+
+Three indexes live here, all behind the same contract — build from a
+snapshot, then ``update(fg_new, touched)`` repairs against the next
+snapshot given the touched edge pairs, bit-exact (or
+tolerance-equal, for PageRank) with a cold rebuild:
+
+* :class:`IncrementalLandmarkLabels` — Ramalingam–Reps two-phase
+  (distance, gateway) label repair (details below);
+* :class:`IncrementalPageRank` — warm-start power iteration seeded
+  from the previous score vector, so the iteration count tracks the
+  changed probability mass rather than the graph size;
+* :class:`IncrementalMIS` — three-color round replay over
+  :meth:`~repro.graphs.csr.FrozenGraph.mis_round_masks` with early
+  exit onto the previous run's recorded trajectory.
+
+Incremental landmark (distance, gateway) label repair.
 
 :func:`repro.labeling.landmarks.distance_gateway_labels` assigns every
 reachable node the lexicographically minimal key ``(hop distance to a
@@ -43,6 +59,7 @@ import numpy as np
 
 from repro.errors import NodeNotFoundError
 from repro.graphs.csr import FrozenGraph
+from repro.labeling.mis import frozen_id_priorities
 from repro.observability.telemetry import record_repair
 
 Node = Hashable
@@ -220,3 +237,146 @@ class IncrementalLandmarkLabels:
                     heapq.heappush(heap, (nd, r, y))
         record_repair("labels", "relax")
         return "relax"
+
+
+class IncrementalPageRank:
+    """PageRank scores kept current by warm-started power iteration.
+
+    The power iteration is a contraction with factor ``damping``
+    regardless of the starting vector, so seeding it with the previous
+    fixpoint converges in O(log(drift)/log(1/damping)) iterations — a
+    handful when only a few edges moved — while the converged vector
+    matches the cold uniform start within the same tolerance.  New
+    nodes enter at the uniform mass 1/n before renormalization.
+    """
+
+    def __init__(
+        self,
+        fg: FrozenGraph,
+        damping: float = 0.85,
+        tolerance: float = 1e-10,
+    ) -> None:
+        self.damping = float(damping)
+        self.tolerance = float(tolerance)
+        self._n = fg.n
+        self.scores, self.iterations = fg.pagerank_scores(
+            damping=self.damping, tolerance=self.tolerance
+        )
+
+    def update(
+        self,
+        fg_new: FrozenGraph,
+        touched: Iterable[Tuple[int, int]],
+    ) -> str:
+        """Re-converge the scores for ``fg_new``; returns the mode."""
+        pairs = list(touched)
+        if fg_new.n == self._n and not pairs:
+            record_repair("pagerank", "noop")
+            return "noop"
+        warm = self.scores
+        if fg_new.n > self._n:
+            pad = np.full(fg_new.n - self._n, 1.0 / fg_new.n, dtype=np.float64)
+            warm = np.concatenate([warm, pad])
+            self._n = fg_new.n
+        self.scores, self.iterations = fg_new.pagerank_scores(
+            damping=self.damping, tolerance=self.tolerance, initial=warm
+        )
+        record_repair("pagerank", "warm")
+        return "warm"
+
+
+class IncrementalMIS:
+    """Three-color MIS membership repaired by round replay.
+
+    Every round of :meth:`FrozenGraph.mis_round_masks` is a
+    deterministic function of (current white set, white–white edges,
+    priorities).  The builder records, per node, the round at which it
+    left white (``_settled``); a repair replays rounds on the new
+    snapshot and exits early as soon as (a) the surviving white set
+    matches the previous run's trajectory and (b) no touched pair is
+    white–white — from there the remaining rounds are identical, so the
+    previous membership is carried over for the still-white region.
+    Node growth changes the repr-rank priorities, so it rebuilds.
+    Bit-exact with ``mis_rounds`` at every step (asserted
+    differentially).
+    """
+
+    def __init__(self, fg: FrozenGraph) -> None:
+        self._build(fg)
+
+    def _build(self, fg: FrozenGraph) -> None:
+        self._n = fg.n
+        self._prio = frozen_id_priorities(fg)
+        black = np.zeros(fg.n, dtype=bool)
+        settled = np.zeros(fg.n, dtype=np.int64)
+        rounds = 0
+        for new_black, new_gray in fg.mis_round_masks(self._prio):
+            rounds += 1
+            black |= new_black
+            settled[new_black | new_gray] = rounds
+        self._black = black
+        self._settled = settled
+        self.rounds = rounds
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def priorities(self) -> np.ndarray:
+        return self._prio
+
+    def member_mask(self) -> np.ndarray:
+        return self._black
+
+    def members(self, fg: FrozenGraph) -> set:
+        nodes = fg.node_list
+        return {nodes[int(i)] for i in np.flatnonzero(self._black)}
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        fg_new: FrozenGraph,
+        touched: Iterable[Tuple[int, int]],
+    ) -> str:
+        """Repair the membership for ``fg_new``; returns the mode."""
+        pairs = [(int(u), int(v)) for u, v in touched]
+        if fg_new.n != self._n:
+            self._build(fg_new)
+            record_repair("mis", "full")
+            return "full"
+        if not pairs:
+            record_repair("mis", "noop")
+            return "noop"
+        n = self._n
+        prio = self._prio
+        pu = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        pv = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        black = np.zeros(n, dtype=bool)
+        settled = np.zeros(n, dtype=np.int64)
+        white = np.ones(n, dtype=bool)
+        r = 0
+        rounds_gen = fg_new.mis_round_masks(prio)
+        for new_black, new_gray in rounds_gen:
+            r += 1
+            black |= new_black
+            moved = new_black | new_gray
+            settled[moved] = r
+            white &= ~moved
+            if np.array_equal(white, self._settled > r) and not (
+                white[pu] & white[pv]
+            ).any():
+                # Identical white set, identical surviving white–white
+                # edges: the remaining rounds replay the old run.
+                rounds_gen.close()
+                if white.any():
+                    black |= self._black & white
+                    settled[white] = self._settled[white]
+                    r = self.rounds
+                break
+        self._black = black
+        self._settled = settled
+        self.rounds = r
+        record_repair("mis", "replay")
+        return "replay"

@@ -25,7 +25,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.errors import NodeNotFoundError
-from repro.graphs.csr import FROZEN_MIN_NODES
+from repro.graphs.csr import FROZEN_MIN_NODES, FrozenGraph
 from repro.observability.telemetry import record_dispatch
 from repro.graphs.graph import Graph
 from repro.runtime.engine import Network, NodeAlgorithm, NodeContext
@@ -38,6 +38,16 @@ def id_priorities(graph: Graph) -> Priority:
     """Deterministic distinct priorities by node ID."""
     ordered = sorted(graph.nodes(), key=repr)
     return {node: float(index) for index, node in enumerate(ordered)}
+
+
+def frozen_id_priorities(fg: "FrozenGraph") -> np.ndarray:
+    """Index-aligned :func:`id_priorities` over a frozen snapshot.
+
+    Each node's priority is its dense rank in repr order — identical
+    values to ``id_priorities`` on the equivalent dict graph — returned
+    as the float64 array :meth:`FrozenGraph.mis_rounds` consumes.
+    """
+    return fg._repr_ranks().astype(np.float64)
 
 
 def random_priorities(graph: Graph, rng: np.random.Generator) -> Priority:

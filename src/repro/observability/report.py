@@ -381,6 +381,108 @@ def serving_summary(feeds: Mapping[str, Mapping[str, Any]]) -> Dict[str, Any]:
     }
 
 
+def _merge_histogram(
+    into: Dict[str, Any], snapshot: Mapping[str, Any]
+) -> None:
+    """Fold one histogram summary dict into an accumulator.
+
+    Counts, sums and extrema merge exactly; percentiles cannot, so the
+    accumulator keeps the percentiles of whichever snapshot carried the
+    most observations."""
+    count = snapshot.get("count")
+    if not isinstance(count, (int, float)) or count <= 0:
+        return
+    prior = into.get("count", 0)
+    into["count"] = prior + int(count)
+    into["sum"] = into.get("sum", 0.0) + float(snapshot.get("sum") or 0.0)
+    into["mean"] = into["sum"] / into["count"]
+    for field, pick in (("min", min), ("max", max)):
+        value = snapshot.get(field)
+        if isinstance(value, (int, float)):
+            into[field] = (
+                pick(into[field], float(value)) if field in into else float(value)
+            )
+    if count >= prior:
+        for field in ("p50", "p90", "p99"):
+            value = snapshot.get(field)
+            if isinstance(value, (int, float)):
+                into[field] = float(value)
+
+
+def write_path_summary(feeds: Mapping[str, Mapping[str, Any]]) -> Dict[str, Any]:
+    """The write-path panel: batched-mutation throughput plus the
+    coalescing and adaptive-deadline telemetry.
+
+    Stream rows (per-edge vs batched mutations/sec and the speedup)
+    come from the committed ``BENCH_serving-write.json`` table; the
+    barrier counters and the batch-size / flush-deadline histograms
+    come from the ``repro.serving.batch.*`` metrics riding on any
+    feed, aggregated across all of them.
+    """
+    streams: List[Dict[str, Any]] = []
+    write_feed = feeds.get("serving-write")
+    if isinstance(write_feed, Mapping):
+        header = write_feed.get("header") or []
+        rows = write_feed.get("rows") or []
+        wanted = ("n", "mutations", "per-edge muts/s", "batched muts/s", "speedup")
+        if all(column in header for column in wanted):
+            cols = [header.index(column) for column in wanted]
+            for row in rows:
+                if len(row) <= max(cols):
+                    continue
+                try:
+                    streams.append(
+                        {
+                            "n": int(row[cols[0]]),
+                            "mutations": int(row[cols[1]]),
+                            "per_edge_mps": float(row[cols[2]]),
+                            "batched_mps": float(row[cols[3]]),
+                            "speedup": float(row[cols[4]]),
+                        }
+                    )
+                except (TypeError, ValueError):
+                    continue
+    mutations: Dict[str, Dict[str, int]] = {}
+    writes = 0
+    coalesced = 0
+    batch_sizes: Dict[str, Any] = {}
+    deadlines: Dict[str, Any] = {}
+    for document in feeds.values():
+        metrics = document.get("metrics")
+        if not isinstance(metrics, Mapping):
+            continue
+        _merge_labeled_counts(
+            metrics, "repro.serving.mutations", mutations, "kind", "kind"
+        )
+        for name, value in (
+            ("writes", metrics.get("repro.serving.batch.writes")),
+            ("coalesced", metrics.get("repro.serving.batch.coalesced")),
+        ):
+            if isinstance(value, (int, float)):
+                if name == "writes":
+                    writes += int(value)
+                else:
+                    coalesced += int(value)
+        for metric, into in (
+            ("repro.serving.batch.write_size", batch_sizes),
+            ("repro.serving.batch.deadline_s", deadlines),
+        ):
+            snapshot = metrics.get(metric)
+            if isinstance(snapshot, Mapping):
+                _merge_histogram(into, snapshot)
+    return {
+        "streams": streams,
+        "mutations": {
+            kind: counts.get(kind, 0) for kind, counts in mutations.items()
+        },
+        "writes": writes,
+        "coalesced": coalesced,
+        "coalesced_per_barrier": coalesced / writes if writes else 0.0,
+        "batch_size": batch_sizes,
+        "deadline_s": deadlines,
+    }
+
+
 def memory_summary(ledger: Sequence[Mapping[str, Any]]) -> Dict[str, Dict[str, float]]:
     """Largest per-span profiler peaks recorded into the ledger."""
     out: Dict[str, Dict[str, float]] = {}
@@ -425,6 +527,7 @@ def build_dashboard(
         "memory": memory_summary(ledger),
         "scale": scale_summary(feeds, ledger),
         "serving": serving_summary(feeds),
+        "write_path": write_path_summary(feeds),
     }
 
 
@@ -601,6 +704,56 @@ def render_markdown(dashboard: Mapping[str, Any]) -> str:
     elif not streams:
         lines.append("(no serving feed committed yet — run "
                      "benchmarks/bench_serving.py)")
+        lines.append("")
+
+    write_path = dashboard.get("write_path", {})
+    lines.append("## Write path (batched mutation coalescing)")
+    lines.append("")
+    write_streams = write_path.get("streams", [])
+    if write_streams:
+        lines.append("| n | mutations | per-edge muts/s | batched muts/s | speedup |")
+        lines.append("|---|---|---|---|---|")
+        for entry in write_streams:
+            lines.append(
+                f"| {entry['n']} | {entry['mutations']} "
+                f"| {entry['per_edge_mps']:.0f} | {entry['batched_mps']:.0f} "
+                f"| {entry['speedup']:.1f}x |"
+            )
+        lines.append("")
+    if write_path.get("writes"):
+        kinds = write_path.get("mutations", {})
+        kind_text = ", ".join(
+            f"{kind} {count}" for kind, count in sorted(kinds.items())
+        ) or "none"
+        lines.append(
+            f"Write barriers {write_path['writes']}, coalescing netted away "
+            f"{write_path['coalesced']} carried mutations "
+            f"({write_path.get('coalesced_per_barrier', 0.0):.2f} per barrier); "
+            f"mutations by kind: {kind_text}."
+        )
+        lines.append("")
+        sizes = write_path.get("batch_size", {})
+        if sizes.get("count"):
+            lines.append(
+                f"Barrier batch sizes: mean {sizes['mean']:.2f}, "
+                f"p90 {sizes.get('p90', 0.0):.0f}, "
+                f"max {sizes.get('max', 0.0):.0f} "
+                f"over {sizes['count']} barriers."
+            )
+            lines.append("")
+        deadline = write_path.get("deadline_s", {})
+        if deadline.get("count"):
+            lines.append(
+                f"Adaptive flush deadline: mean "
+                f"{deadline['mean'] * 1e6:.0f} µs, "
+                f"p90 {deadline.get('p90', 0.0) * 1e6:.0f} µs, "
+                f"max {deadline.get('max', 0.0) * 1e6:.0f} µs "
+                f"over {deadline['count']} flush decisions."
+            )
+            lines.append("")
+    elif not write_streams:
+        lines.append("(no serving-write feed committed yet — run "
+                     "benchmarks/bench_serving_write.py)")
         lines.append("")
     return "\n".join(lines)
 

@@ -39,6 +39,17 @@ Counter families on the global metrics registry:
     ``repro.serving.batch_size`` (histogram) and
     ``repro.serving.queue_depth`` (gauge) recording flush shape.
 
+    The write path adds ``repro.serving.mutations{kind=insert|delete}``
+    (mutations accepted by the gateway),
+    ``repro.serving.batch.writes`` / ``repro.serving.batch.write_size``
+    (one count per coalesced ``apply_batch`` application, histogram of
+    edge ops per application), ``repro.serving.batch.coalesced``
+    (ops netted away by coalescing — the write-side coalesce ratio is
+    ops / writes), and ``repro.serving.batch.deadline_s`` (histogram of
+    the adaptive flush deadlines the dispatcher chose).  Bulk patch
+    applications are dispatch-labeled ``kernel=graphs.apply_batch,
+    path=patch-batch``.
+
 All helpers are one registry lookup plus an integer add, and they are
 called at entry-point / per-shard granularity (never per node / per
 contact), so they stay within the disabled-mode overhead budget.
@@ -68,6 +79,11 @@ SERVING_BATCH_SIZE_METRIC = "repro.serving.batch_size"
 SERVING_QUEUE_DEPTH_METRIC = "repro.serving.queue_depth"
 SERVING_SWEEP_METRIC = "repro.serving.sweeps"
 SERVING_RETRY_METRIC = "repro.serving.retries"
+SERVING_MUTATION_METRIC = "repro.serving.mutations"
+SERVING_WRITE_BATCH_METRIC = "repro.serving.batch.writes"
+SERVING_WRITE_SIZE_METRIC = "repro.serving.batch.write_size"
+SERVING_COALESCED_METRIC = "repro.serving.batch.coalesced"
+SERVING_DEADLINE_METRIC = "repro.serving.batch.deadline_s"
 
 _LABELED = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$")
 
@@ -156,6 +172,33 @@ def record_serving_retry(count: int = 1) -> None:
     get_registry().counter(SERVING_RETRY_METRIC).inc(int(count))
 
 
+def record_serving_mutation(kind: str, count: int = 1) -> None:
+    """Count ``count`` edge mutations accepted by the serving gateway."""
+    get_registry().counter(SERVING_MUTATION_METRIC, {"kind": kind}).inc(
+        int(count)
+    )
+
+
+def record_write_batch(ops: int, applied: int) -> None:
+    """Record one coalesced write application at the sequence barrier.
+
+    ``ops`` is how many edge operations the barrier group carried;
+    ``applied`` is how many net edge patches survived coalescing — the
+    difference accumulates into ``repro.serving.batch.coalesced``.
+    """
+    registry = get_registry()
+    registry.counter(SERVING_WRITE_BATCH_METRIC).inc()
+    registry.histogram(SERVING_WRITE_SIZE_METRIC).observe(float(ops))
+    netted = int(ops) - int(applied)
+    if netted > 0:
+        registry.counter(SERVING_COALESCED_METRIC).inc(netted)
+
+
+def record_adaptive_deadline(seconds: float) -> None:
+    """Record the flush deadline the dispatcher chose for one batch."""
+    get_registry().histogram(SERVING_DEADLINE_METRIC).observe(float(seconds))
+
+
 def _labeled_counts(metric_name: str, registry: MetricsRegistry):
     """Yield ``(labels_dict, value)`` for every series of ``metric_name``."""
     for key, value in registry.snapshot().items():
@@ -221,8 +264,10 @@ def serving_counts(registry: MetricsRegistry = None) -> Dict[str, Any]:
 
     ``{"patch": {event: count}, "repairs": {index: {mode: count}},
     "queries": {kind: count}, "batches": n, "sweeps": n, "retries": n,
-    "coalesce_ratio": queries/sweeps}`` — the shape the serving
-    benchmark records and the report's serving panel consumes.
+    "coalesce_ratio": queries/sweeps, "mutations": {kind: count},
+    "write_batches": n, "write_coalesced": n, "write_coalesce_ratio":
+    mutations/write_batches}`` — the shape the serving benchmarks
+    record and the report's serving panels consume.
     """
     registry = registry if registry is not None else get_registry()
     patch: Dict[str, int] = {}
@@ -235,11 +280,17 @@ def serving_counts(registry: MetricsRegistry = None) -> Dict[str, Any]:
     queries: Dict[str, int] = {}
     for labels, value in _labeled_counts(SERVING_QUERY_METRIC, registry):
         queries[labels.get("kind", "?")] = int(value)
+    mutations: Dict[str, int] = {}
+    for labels, value in _labeled_counts(SERVING_MUTATION_METRIC, registry):
+        mutations[labels.get("kind", "?")] = int(value)
     snapshot = registry.snapshot()
     batches = int(snapshot.get(SERVING_BATCH_METRIC, 0))
     sweeps = int(snapshot.get(SERVING_SWEEP_METRIC, 0))
     retries = int(snapshot.get(SERVING_RETRY_METRIC, 0))
+    write_batches = int(snapshot.get(SERVING_WRITE_BATCH_METRIC, 0))
+    write_coalesced = int(snapshot.get(SERVING_COALESCED_METRIC, 0))
     total_queries = sum(queries.values())
+    total_mutations = sum(mutations.values())
     return {
         "patch": patch,
         "repairs": repairs,
@@ -248,4 +299,10 @@ def serving_counts(registry: MetricsRegistry = None) -> Dict[str, Any]:
         "sweeps": sweeps,
         "retries": retries,
         "coalesce_ratio": (total_queries / sweeps) if sweeps else 0.0,
+        "mutations": mutations,
+        "write_batches": write_batches,
+        "write_coalesced": write_coalesced,
+        "write_coalesce_ratio": (
+            (total_mutations / write_batches) if write_batches else 0.0
+        ),
     }

@@ -1,22 +1,26 @@
 """Incremental graph serving (ROADMAP item: dynamic environments).
 
 The serving plane keeps the paper's hot structures — the CSR snapshot,
-the NSF peel layering (Sec. III-B), and the landmark (distance,
-gateway) labels (Sec. IV) — *current* under an interleaved stream of
-edge mutations and point queries, instead of refreezing per mutation
-generation:
+the NSF peel layering (Sec. III-B), the landmark (distance, gateway)
+labels (Sec. IV), the PageRank scores, and the MIS (Sec. IV) —
+*current* under an interleaved stream of edge mutations and point
+queries, instead of refreezing per mutation generation:
 
 * :class:`~repro.serving.state.GraphService` — the synchronous core:
   a :class:`~repro.graphs.delta.PatchedGraph` patch buffer plus
-  lazily-repaired incremental indexes;
+  lazily-repaired incremental indexes, with a vectorized
+  :meth:`~repro.serving.state.GraphService.apply_batch` write path;
 * :class:`~repro.serving.gateway.ServingGateway` — the ``asyncio``
   front-end: a bounded queue coalescing point queries into batched
-  kernel sweeps, with deterministic chaos hooks from
-  :mod:`repro.faults`.
+  kernel sweeps and mutations into netted write barriers (sequence
+  order preserved, so read-your-writes survives fire-and-forget
+  writes), with deterministic chaos hooks from :mod:`repro.faults`
+  and an adaptive flush deadline driven by the mutation arrival rate.
 
 Proven correct by the differential mutate/query harness
 (``tests/test_incremental_differential.py``) against the full-rebuild
-references, and benchmarked by ``benchmarks/bench_serving.py``.
+references, and benchmarked by ``benchmarks/bench_serving.py`` and
+``benchmarks/bench_serving_write.py``.
 """
 
 from repro.serving.gateway import (

@@ -9,11 +9,24 @@ flush is where the batching pays off: every distance query sharing a
 source rides one patch-aware BFS sweep, and every index query in the
 batch shares one incremental repair.
 
-Mutations are *not* queued.  ``insert_edge`` / ``delete_edge`` apply
-synchronously to the service, so the service version a batch executes
-against is always at least as new as every mutation issued before any
-query in it — answers can never come from a stale pre-patch snapshot,
-and a retried query simply re-executes against the then-current state.
+Mutations are queued too — the **write fast path**.  ``insert_edge`` /
+``delete_edge`` / ``apply_batch`` take their sequence number and enter
+a mutation deque synchronously at call time (they return the awaitable
+future rather than being coroutines, so fire-and-forget callers keep
+their ordering), then ride the same flush triggers as queries plus an
+*adaptive deadline*: an EWMA of observed inter-arrival gaps predicts
+how long filling the batch would take, and the dispatcher only waits
+when that prediction fits inside ``max_delay`` (dynamic batching, the
+model-serving shape).  Each flush begins with a **sequence barrier**:
+every unapplied mutation in the batch — and any still-queued mutation
+sequenced before the newest batched request — is coalesced, replayed
+in sequence order to net out per-edge effects, and applied as one
+vectorized :meth:`GraphService.apply_batch`.  Only then are answers
+computed, so a query submitted after a mutation never observes the
+pre-mutation topology (it may observe a *newer* one, exactly like the
+old synchronous write path).  Application is exactly-once: the barrier
+stores each mutation's outcome on its request, so a ``drop`` fate only
+delays the acknowledgment, never re-applies the mutation.
 
 Chaos testing hooks into :mod:`repro.faults`: give the gateway a
 :class:`~repro.faults.plan.FaultPlan` and each flush consults the
@@ -27,8 +40,11 @@ disabled, so no query is ever lost.
 
 Emitted metrics (see :mod:`repro.observability.telemetry`):
 ``repro.serving.batches`` / ``batch_size`` / ``queue_depth`` per
-flush, ``repro.serving.sweeps`` per coalesced BFS, and
-``repro.serving.queries{kind}`` per accepted request.
+flush, ``repro.serving.sweeps`` per coalesced BFS,
+``repro.serving.queries{kind}`` / ``mutations{kind}`` per accepted
+request, and per write barrier ``repro.serving.batch.writes`` /
+``write_size`` / ``coalesced`` plus the ``batch.deadline_s`` histogram
+of adaptive deadlines.
 """
 
 from __future__ import annotations
@@ -36,16 +52,20 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Deque, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.errors import EdgeNotFoundError
 from repro.faults.plan import DELIVER, FaultPlan, FaultSession
 from repro.observability.telemetry import (
+    record_adaptive_deadline,
     record_serving_batch,
+    record_serving_mutation,
     record_serving_query,
     record_serving_retry,
     record_serving_sweep,
+    record_write_batch,
 )
 from repro.serving.state import GraphService
 
@@ -54,20 +74,37 @@ Node = Hashable
 #: Marker for "queue momentarily empty" in the dispatcher fill loop.
 _EMPTY = object()
 
+#: Queue sentinel a mutation submit pushes (best-effort) to wake a
+#: dispatcher parked on an empty queue; carries no request.
+_WAKE = object()
+
 #: Flush when this many requests are waiting ...
 DEFAULT_MAX_BATCH = 32
 #: ... or when the oldest has waited this long (seconds).
 DEFAULT_MAX_DELAY = 0.005
 
+#: EWMA smoothing for the observed inter-arrival gap (the adaptive
+#: deadline's input): new_gap weight 0.2, history weight 0.8.
+_GAP_ALPHA = 0.2
+
+#: Request kinds that mutate topology (handled by the write barrier).
+_MUTATION_KINDS = frozenset({"insert_edge", "delete_edge", "apply_batch"})
+
 
 @dataclass
 class _Request:
-    """One queued point query and the future its caller awaits."""
+    """One queued request (point query or mutation) and its future."""
 
     seq: int
     kind: str
     args: Tuple[Any, ...]
-    future: "asyncio.Future" = field(repr=False)
+    future: Optional["asyncio.Future"] = field(repr=False, default=None)
+    #: Mutation bookkeeping: the sequence barrier applies each mutation
+    #: exactly once and stores its outcome here, so a drop fate only
+    #: delays the acknowledgment, never the application.
+    applied: bool = False
+    result: Any = None
+    error: Optional[BaseException] = None
 
 
 class ServingGateway:
@@ -98,14 +135,21 @@ class ServingGateway:
             maxsize=queue_size
         )
         self._retry: Deque[_Request] = deque()
+        #: Pending mutations, appended synchronously at submit time so
+        #: their sequence numbers predate any later query's.
+        self._mutations: Deque[_Request] = deque()
         self._faults = faults
         self._session: Optional[FaultSession] = None
         self._task: Optional["asyncio.Task"] = None
         self._crashed: Optional[BaseException] = None
         self._draining = False
         self._seq = 0
+        #: Adaptive-deadline state: EWMA of inter-arrival gaps (s).
+        self._gap_ewma: Optional[float] = None
+        self._last_arrival: Optional[float] = None
         self.batches_flushed = 0
         self.queries_answered = 0
+        self.mutations_applied = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -146,13 +190,81 @@ class ServingGateway:
         await self.stop()
 
     # ------------------------------------------------------------------
-    # mutations — synchronous, so queries never observe stale state
+    # mutations — queued, applied by the flush-time sequence barrier
     # ------------------------------------------------------------------
-    def insert_edge(self, u: Node, v: Node) -> bool:
-        return self.service.insert_edge(u, v)
+    def _note_arrival(self) -> None:
+        """Feed the adaptive deadline's inter-arrival EWMA."""
+        now = asyncio.get_running_loop().time()
+        last = self._last_arrival
+        self._last_arrival = now
+        if last is not None:
+            gap = now - last
+            if self._gap_ewma is None:
+                self._gap_ewma = gap
+            else:
+                self._gap_ewma += _GAP_ALPHA * (gap - self._gap_ewma)
 
-    def delete_edge(self, u: Node, v: Node) -> None:
-        self.service.delete_edge(u, v)
+    def _wake(self) -> None:
+        """Nudge a dispatcher parked on an empty queue (best effort).
+
+        A full queue means the dispatcher is busy draining and will see
+        the mutation deque on its next fill pass anyway.
+        """
+        try:
+            self._queue.put_nowait(_WAKE)
+        except asyncio.QueueFull:
+            pass
+
+    def _submit_mutation(self, kind: str, args: Tuple[Any, ...]) -> "asyncio.Future":
+        if self._task is None:
+            raise RuntimeError("gateway not started")
+        if self._crashed is not None or self._task.done():
+            raise self._crash_error()
+        self._note_arrival()
+        self._seq += 1
+        future: "asyncio.Future" = asyncio.get_running_loop().create_future()
+        self._mutations.append(_Request(self._seq, kind, args, future=future))
+        self._wake()
+        return future
+
+    def insert_edge(self, u: Node, v: Node) -> "asyncio.Future":
+        """Queue an edge insert; the future resolves to ``True`` if the
+        topology changed (``False`` for a duplicate, like the service).
+
+        Synchronous enqueue, not a coroutine: the mutation takes its
+        sequence number at call time, so even a fire-and-forget caller
+        gets read-your-writes against every later query.
+        """
+        record_serving_mutation("insert")
+        return self._submit_mutation("insert_edge", (u, v))
+
+    def delete_edge(self, u: Node, v: Node) -> "asyncio.Future":
+        """Queue an edge delete; the future resolves to ``None`` or an
+        :class:`~repro.errors.EdgeNotFoundError` (same enqueue contract
+        as :meth:`insert_edge`)."""
+        record_serving_mutation("delete")
+        return self._submit_mutation("delete_edge", (u, v))
+
+    def apply_batch(
+        self,
+        inserts: "List[Tuple[Node, Node]]" = (),
+        deletes: "List[Tuple[Node, Node]]" = (),
+    ) -> "asyncio.Future":
+        """Queue a whole mutation batch as one sequenced request.
+
+        The request is atomic: it validates like the strict service
+        ``apply_batch`` (against the sequence-ordered state at its
+        barrier) and either all its operations take effect or the
+        future carries the validation error and none do.  Resolves to
+        ``{"ops": ..., "changed": ...}``.
+        """
+        inserts = [tuple(pair) for pair in inserts]
+        deletes = [tuple(pair) for pair in deletes]
+        if inserts:
+            record_serving_mutation("insert", len(inserts))
+        if deletes:
+            record_serving_mutation("delete", len(deletes))
+        return self._submit_mutation("apply_batch", (inserts, deletes))
 
     # ------------------------------------------------------------------
     # queries — awaited futures resolved at the next flush
@@ -163,9 +275,10 @@ class ServingGateway:
         if self._crashed is not None or self._task.done():
             raise self._crash_error()
         record_serving_query(kind)
+        self._note_arrival()
         self._seq += 1
         future: "asyncio.Future" = asyncio.get_running_loop().create_future()
-        await self._queue.put(_Request(self._seq, kind, args, future))
+        await self._queue.put(_Request(self._seq, kind, args, future=future))
         # The put can block on a full queue; if the dispatcher died in
         # the meantime nobody will ever drain this request — fail fast
         # unless the abort sweep already resolved the future.
@@ -190,9 +303,43 @@ class ServingGateway:
         """(distance, gateway landmark) label; None if unreachable."""
         return await self._submit("gateway_label", node)
 
+    async def pagerank_score(self, node: Node) -> float:
+        """The node's PageRank score (incrementally re-converged)."""
+        return await self._submit("pagerank_score", node)
+
+    async def mis_member(self, node: Node) -> bool:
+        """Whether ``node`` is an MIS clusterhead (round-replay repaired)."""
+        return await self._submit("mis_member", node)
+
     # ------------------------------------------------------------------
     # dispatcher
     # ------------------------------------------------------------------
+    def _flush_delay(self, have: int) -> float:
+        """The adaptive deadline for a flush holding ``have`` requests.
+
+        The inter-arrival EWMA predicts how long filling the batch
+        would take; waiting is only worth it when that prediction fits
+        inside ``max_delay``, otherwise flush immediately (arrivals are
+        too slow for more coalescing to pay for the latency).  Unknown
+        arrival rate falls back to the static ``max_delay``.  The
+        idle-rounds early flush still applies either way, so the
+        deadline can only move *earlier* than the static policy.
+        """
+        if self._gap_ewma is None:
+            delay = self.max_delay
+        else:
+            expected_fill = self._gap_ewma * max(self.max_batch - have, 0)
+            delay = expected_fill if expected_fill <= self.max_delay else 0.0
+        record_adaptive_deadline(delay)
+        return delay
+
+    def _fill_from_mutations(self, batch: List[_Request]) -> bool:
+        took = False
+        while self._mutations and len(batch) < self.max_batch:
+            batch.append(self._mutations.popleft())
+            took = True
+        return took
+
     async def _dispatch(self) -> None:
         batch: List[_Request] = []
         try:
@@ -201,15 +348,24 @@ class ServingGateway:
                 batch = []
                 while self._retry and len(batch) < self.max_batch:
                     batch.append(self._retry.popleft())
-                if not batch:
+                self._fill_from_mutations(batch)
+                while not batch:
                     item = await self._queue.get()
                     if item is None:
+                        stopping = True
                         break
-                    batch.append(item)
+                    if item is not _WAKE:
+                        batch.append(item)
+                    self._fill_from_mutations(batch)
+                if stopping:
+                    break
                 loop = asyncio.get_running_loop()
-                deadline = loop.time() + self.max_delay
+                deadline = loop.time() + self._flush_delay(len(batch))
                 idle_rounds = 0
                 while len(batch) < self.max_batch:
+                    if self._fill_from_mutations(batch):
+                        idle_rounds = 0
+                        continue
                     # Drain whatever is already queued without timer
                     # setup.
                     try:
@@ -219,6 +375,8 @@ class ServingGateway:
                     if item is None:
                         stopping = True
                         break
+                    if item is _WAKE:
+                        continue
                     if item is not _EMPTY:
                         idle_rounds = 0
                         batch.append(item)
@@ -240,10 +398,13 @@ class ServingGateway:
             self._draining = True
             leftovers = list(self._retry)
             self._retry.clear()
+            leftovers.extend(self._mutations)
+            self._mutations.clear()
             while not self._queue.empty():
                 item = self._queue.get_nowait()
-                if item is not None:
+                if item is not None and item is not _WAKE:
                     leftovers.append(item)
+            leftovers.sort(key=lambda request: request.seq)
             for start in range(0, len(leftovers), self.max_batch):
                 batch = leftovers[start : start + self.max_batch]
                 await self._execute(batch)
@@ -266,21 +427,181 @@ class ServingGateway:
         stranded = list(batch)
         stranded.extend(self._retry)
         self._retry.clear()
+        stranded.extend(self._mutations)
+        self._mutations.clear()
         while True:
             try:
                 item = self._queue.get_nowait()
             except asyncio.QueueEmpty:
                 break
-            if item is not None:
+            if item is not None and item is not _WAKE:
                 stranded.append(item)
         for request in stranded:
-            if not request.future.done():
+            if request.future is not None and not request.future.done():
                 request.future.set_exception(self._crash_error())
 
+    def _apply_mutations(self, batch: List[_Request]) -> None:
+        """The sequence barrier: coalesce and apply pending mutations.
+
+        Covers every unapplied mutation in the batch plus any mutation
+        still in the deque that is sequenced before the newest batched
+        request (a query must never be answered while an older write is
+        parked; such extras stay queued so their futures resolve on a
+        later flush, with the outcome stored here).  The group replays
+        in sequence order against a simulated presence map to compute
+        per-request outcomes — duplicate inserts are no-ops, absent
+        deletes fail that request alone — then the *net* edge effects
+        land in one vectorized :meth:`GraphService.apply_batch`.  An
+        edge toggled back to absent still ships as insert+delete (the
+        batch self-cancellation interns its endpoints); one toggled
+        back to present needs no operation at all.
+        """
+        group = [
+            request
+            for request in batch
+            if request.kind in _MUTATION_KINDS and not request.applied
+        ]
+        if self._mutations:
+            max_seq = max(request.seq for request in batch)
+            group.extend(
+                request
+                for request in self._mutations
+                if not request.applied and request.seq < max_seq
+            )
+        if not group:
+            return
+        group.sort(key=lambda request: request.seq)
+        service = self.service
+        has_edge = service.has_edge
+        # Canonical per-pair key: an ordered tuple when the endpoints
+        # compare (the hot path — one comparison, no allocation beyond
+        # the tuple), a frozenset for heterogeneous node types.  The
+        # same pair always maps to the same key either way.
+        original: Dict[Hashable, bool] = {}
+        state: Dict[Hashable, bool] = {}
+        changed_keys: Set[Hashable] = set()
+        order: List[Tuple[Hashable, Node, Node]] = []
+
+        def canon(u: Node, v: Node) -> Hashable:
+            try:
+                return (u, v) if u <= v else (v, u)
+            except TypeError:
+                return frozenset((u, v))
+
+        def lookup(key: Hashable, u: Node, v: Node) -> bool:
+            current = state.get(key)
+            if current is None:
+                current = has_edge(u, v)
+                original[key] = current
+                state[key] = current
+                order.append((key, u, v))
+            return current
+
+        ops = 0
+        for request in group:
+            try:
+                if request.kind == "insert_edge":
+                    u, v = request.args
+                    ops += 1
+                    if u == v:
+                        raise ValueError(
+                            f"self-loop on {u!r} not allowed in a simple graph"
+                        )
+                    key = canon(u, v)
+                    if lookup(key, u, v):
+                        request.result = False
+                    else:
+                        state[key] = True
+                        changed_keys.add(key)
+                        request.result = True
+                elif request.kind == "delete_edge":
+                    u, v = request.args
+                    ops += 1
+                    if u == v:
+                        raise EdgeNotFoundError(u, v)
+                    key = canon(u, v)
+                    if not lookup(key, u, v):
+                        raise EdgeNotFoundError(u, v)
+                    state[key] = False
+                    changed_keys.add(key)
+                    request.result = None
+                else:  # apply_batch: atomic per request
+                    inserts, deletes = request.args
+                    ops += len(inserts) + len(deletes)
+                    staged: Dict[Hashable, bool] = {}
+                    changed = 0
+                    # Every touched key is registered in the group's
+                    # presence map before any staging, so the commit
+                    # below can net its effect.
+                    for u, v in inserts:
+                        if u == v:
+                            raise ValueError(
+                                f"self-loop on {u!r} not allowed in a simple graph"
+                            )
+                        key = canon(u, v)
+                        current = staged.get(key)
+                        if current is None:
+                            current = lookup(key, u, v)
+                        if not current:
+                            staged[key] = True
+                            changed += 1
+                    for u, v in deletes:
+                        if u == v:
+                            raise EdgeNotFoundError(u, v)
+                        key = canon(u, v)
+                        current = staged.get(key)
+                        if current is None:
+                            current = lookup(key, u, v)
+                        if not current:
+                            raise EdgeNotFoundError(u, v)
+                        staged[key] = False
+                        changed += 1
+                    for key, value in staged.items():
+                        state[key] = value
+                        changed_keys.add(key)
+                    request.result = {
+                        "ops": len(inserts) + len(deletes),
+                        "changed": changed,
+                    }
+            except Exception as error:  # noqa: BLE001 — delivered to caller
+                request.error = error
+            request.applied = True
+
+        net_inserts: List[Tuple[Node, Node]] = []
+        net_deletes: List[Tuple[Node, Node]] = []
+        for key, u, v in order:
+            was, now = original[key], state[key]
+            if not was and now:
+                net_inserts.append((u, v))
+            elif was and not now:
+                net_deletes.append((u, v))
+            elif not was and key in changed_keys:
+                # Toggled back to absent: self-cancel in the batch so
+                # the endpoints still intern (read-your-writes on node
+                # existence for later queries).
+                net_inserts.append((u, v))
+                net_deletes.append((u, v))
+        applied = len(net_inserts) + len(net_deletes)
+        if applied == 1:
+            # A lone net mutation (an awaited per-edge write, say) takes
+            # the scalar O(degree) path — the vectorized batch machinery
+            # only pays for itself from a few ops up.
+            if net_inserts:
+                service.insert_edge(*net_inserts[0])
+            else:
+                service.delete_edge(*net_deletes[0])
+        elif applied:
+            service.apply_batch(net_inserts, net_deletes, strict=True)
+        record_write_batch(ops, applied)
+        self.mutations_applied += sum(
+            1 for request in group if request.error is None
+        )
+
     async def _execute(self, batch: List[_Request]) -> None:
-        """Answer one batch: coalesced sweeps, then per-request fates."""
+        """Answer one batch: write barrier, coalesced sweeps, fates."""
         record_serving_batch(len(batch), self._queue.qsize())
         self.batches_flushed += 1
+        self._apply_mutations(batch)
         chaos = self._session is not None and not self._draining
         if chaos and len(batch) > 1:
             perm = self._session.reorder_permutation(
@@ -316,13 +637,21 @@ class ServingGateway:
                 await asyncio.sleep(0)
             if not request.future.done():
                 request.future.set_result(result)
-                self.queries_answered += 1
+                if request.kind not in _MUTATION_KINDS:
+                    self.queries_answered += 1
 
     def _answer(
         self, request: _Request, levels: Dict[Node, Tuple[int, np.ndarray]]
     ) -> Any:
         """Compute one answer against the *current* service state."""
         service = self.service
+        if request.kind in _MUTATION_KINDS:
+            # Applied (exactly once) by the sequence barrier; this just
+            # delivers the stored outcome — possibly on a retry flush
+            # after a drop fate swallowed the first acknowledgment.
+            if request.error is not None:
+                raise request.error
+            return request.result
         if request.kind == "distance":
             u, v = request.args
             target = service.patched.index_of(v)
@@ -342,6 +671,10 @@ class ServingGateway:
             return service.nsf_level(*request.args)
         if request.kind == "gateway_label":
             return service.gateway_label(*request.args)
+        if request.kind == "pagerank_score":
+            return service.pagerank_score(*request.args)
+        if request.kind == "mis_member":
+            return service.mis_member(*request.args)
         raise ValueError(f"unknown query kind {request.kind!r}")
 
     def __repr__(self) -> str:

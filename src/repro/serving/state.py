@@ -1,22 +1,31 @@
 """Mutable serving state: a patched snapshot plus hot incremental indexes.
 
 :class:`GraphService` is the synchronous core the async gateway wraps.
-It owns three things and keeps them mutually consistent:
+It owns a :class:`~repro.graphs.delta.PatchedGraph` — the CSR base plus
+the pending edge patches, rebased above ``threshold`` pending entries —
+and four incremental indexes kept consistent with it:
 
-* a :class:`~repro.graphs.delta.PatchedGraph` — the CSR base plus the
-  pending edge patches, rebased above ``threshold`` pending entries;
 * an :class:`~repro.layering.incremental.IncrementalNSF` — the peel
   level labeling, repaired by round replay;
 * an :class:`~repro.labeling.incremental.IncrementalLandmarkLabels` —
   the (distance, gateway) landmark labels, repaired by two-phase
-  invalidate/relax.
+  invalidate/relax;
+* an :class:`~repro.labeling.incremental.IncrementalPageRank` — scores
+  re-converged by warm-started power iteration;
+* an :class:`~repro.labeling.incremental.IncrementalMIS` — three-color
+  clusterhead membership, repaired by round replay.
 
-Mutations are applied eagerly (O(degree) into the patch buffer) while
+Mutations are applied eagerly (O(degree) into the patch buffer; whole
+batches in one vectorized :meth:`PatchedGraph.apply_batch` pass) while
 index repair is *lazy*: touched edge pairs accumulate in one dirty set
-and both indexes are repaired on the first level/label query after a
-mutation.  Distance queries never force a merge at all — they run the
-patch-aware multi-source BFS (:meth:`PatchedGraph.bfs_levels`)
-directly against the overlay.
+per index and each index repairs on its first query after a mutation —
+so a pure distance/PageRank workload never pays for label repair.  The
+NSF levels and landmark labels share one dirty set (they are built and
+repaired together; the serving workloads always touch both).  Distance
+queries never force a merge at all — they run the patch-aware
+multi-source BFS (:meth:`PatchedGraph.bfs_levels`) directly against
+the overlay, with a version-keyed single-entry cache so repeated
+same-source queries between mutations reuse one sweep.
 
 Nothing in the steady state goes through the dict-graph refreeze path:
 the constructor freezes the seed topology once via the plain
@@ -24,8 +33,8 @@ the constructor freezes the seed topology once via the plain
 and every later snapshot is a vectorized patch merge.  The
 differential harness (``tests/test_incremental_differential.py``)
 holds a mirror dict graph and asserts bit-exactness of the CSR arrays,
-NSF levels, and landmark labels against the full-rebuild references at
-every step.
+NSF levels, landmark labels, and MIS (PageRank within tolerance)
+against the full-rebuild references at every step.
 """
 
 from __future__ import annotations
@@ -35,8 +44,16 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.graphs.csr import FrozenGraph
-from repro.graphs.delta import DEFAULT_PATCH_THRESHOLD, PatchedGraph
-from repro.labeling.incremental import IncrementalLandmarkLabels
+from repro.graphs.delta import (
+    DEFAULT_PATCH_THRESHOLD,
+    PatchBatchResult,
+    PatchedGraph,
+)
+from repro.labeling.incremental import (
+    IncrementalLandmarkLabels,
+    IncrementalMIS,
+    IncrementalPageRank,
+)
 from repro.labeling.landmarks import select_landmarks
 from repro.layering.incremental import IncrementalNSF
 
@@ -68,12 +85,22 @@ class GraphService:
         self.landmarks: List[Node] = list(landmarks)
         base = FrozenGraph(graph)
         self._patched = PatchedGraph(base, threshold=threshold)
-        #: Canonical index pairs mutated since the last index repair.
+        #: Canonical index pairs mutated since each index's last repair.
         #: Node indices are append-only, so pairs recorded at mutation
-        #: time stay valid in every later snapshot.
-        self._touched: Set[Tuple[int, int]] = set()
+        #: time stay valid in every later snapshot.  "core" covers the
+        #: coupled NSF + landmark-label pair; PageRank and MIS repair
+        #: independently so querying one never repairs the others.
+        self._dirty: Dict[str, Set[Tuple[int, int]]] = {
+            "core": set(),
+            "pagerank": set(),
+            "mis": set(),
+        }
         self._nsf: Optional[IncrementalNSF] = None
         self._labels: Optional[IncrementalLandmarkLabels] = None
+        self._pagerank: Optional[IncrementalPageRank] = None
+        self._mis: Optional[IncrementalMIS] = None
+        #: Single-entry BFS sweep cache: (version, n, source index, levels).
+        self._dist_cache: Optional[Tuple[int, int, int, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # state views
@@ -101,7 +128,9 @@ class GraphService:
     def _touch(self, u: Node, v: Node) -> None:
         iu = self._patched.index_of(u)
         iv = self._patched.index_of(v)
-        self._touched.add((iu, iv) if iu < iv else (iv, iu))
+        key = (iu, iv) if iu < iv else (iv, iu)
+        for dirty in self._dirty.values():
+            dirty.add(key)
 
     def insert_edge(self, u: Node, v: Node) -> bool:
         """Add undirected edge (u, v); True if the topology changed."""
@@ -115,6 +144,26 @@ class GraphService:
         self._patched.delete_edge(u, v)
         self._touch(u, v)
 
+    def apply_batch(
+        self,
+        inserts: Sequence[Tuple[Node, Node]] = (),
+        deletes: Sequence[Tuple[Node, Node]] = (),
+        strict: bool = True,
+    ) -> PatchBatchResult:
+        """Apply a mutation batch in one vectorized pass (the write path).
+
+        Semantics of :meth:`PatchedGraph.apply_batch` (inserts first,
+        then deletes; ``strict=False`` reports invalid ops per-op
+        instead of raising); the batch's touched pairs feed every
+        index's dirty set in one bulk union instead of a per-edge
+        bookkeeping round-trip.
+        """
+        result = self._patched.apply_batch(inserts, deletes, strict=strict)
+        if result.touched:
+            for dirty in self._dirty.values():
+                dirty.update(result.touched)
+        return result
+
     def has_edge(self, u: Node, v: Node) -> bool:
         return self._patched.has_edge(u, v)
 
@@ -122,17 +171,47 @@ class GraphService:
     # lazy index repair
     # ------------------------------------------------------------------
     def _repair(self) -> FrozenGraph:
-        """Bring both incremental indexes up to the current snapshot."""
+        """Bring the NSF + landmark-label pair up to the current snapshot.
+
+        The size check alongside the dirty set covers the corner where
+        a failed strict batch interned nodes without touching any edge
+        (every ``update`` treats node growth as a repair trigger).
+        """
         fg = self._patched.snapshot()
+        dirty = self._dirty["core"]
         if self._nsf is None:
             self._nsf = IncrementalNSF(fg)
             self._labels = IncrementalLandmarkLabels(fg, self.landmarks)
-            self._touched.clear()
-        elif self._touched:
-            pairs = sorted(self._touched)
+            dirty.clear()
+        elif dirty or fg.n != self._nsf._n:
+            pairs = sorted(dirty)
             self._nsf.update(fg, pairs)
             self._labels.update(fg, pairs)
-            self._touched.clear()
+            dirty.clear()
+        return fg
+
+    def _repair_pagerank(self) -> FrozenGraph:
+        """Bring the PageRank scores up to the current snapshot."""
+        fg = self._patched.snapshot()
+        dirty = self._dirty["pagerank"]
+        if self._pagerank is None:
+            self._pagerank = IncrementalPageRank(fg)
+            dirty.clear()
+        elif dirty or fg.n != self._pagerank._n:
+            self._pagerank.update(fg, sorted(dirty))
+            dirty.clear()
+        return fg
+
+    def _repair_mis(self) -> FrozenGraph:
+        """Bring the MIS membership up to the current snapshot."""
+        fg = self._patched.snapshot()
+        dirty = self._dirty["mis"]
+        if self._mis is None:
+            self._mis = IncrementalMIS(fg)
+            dirty.clear()
+        elif dirty or fg.n != self._mis._n:
+            self._mis.update(fg, sorted(dirty))
+            dirty.clear()
         return fg
 
     # ------------------------------------------------------------------
@@ -142,10 +221,21 @@ class GraphService:
         """Hop levels from ``source`` over the patched topology.
 
         One patch-aware BFS sweep; the gateway coalesces every distance
-        query sharing a source onto a single call.  Indexed by node
-        position (-1 unreachable), aligned with :attr:`node_list`.
+        query sharing a source onto a single call, and a version-keyed
+        single-entry cache reuses the sweep across repeated same-source
+        queries between mutations (any mutation bumps ``version`` and
+        so invalidates it).  Indexed by node position (-1 unreachable),
+        aligned with :attr:`node_list`.
         """
-        return self._patched.bfs_levels(self._patched.index_of(source))
+        i = self._patched.index_of(source)
+        version = self._patched.version
+        n = self._patched.n
+        cache = self._dist_cache
+        if cache is not None and cache[:3] == (version, n, i):
+            return cache[3]
+        levels = self._patched.bfs_levels(i)
+        self._dist_cache = (version, n, i, levels)
+        return levels
 
     def distance(self, u: Node, v: Node) -> Optional[int]:
         """Hop distance between ``u`` and ``v``; None if disconnected."""
@@ -177,6 +267,46 @@ class GraphService:
         """All landmark labels by node, comparable with the reference."""
         fg = self._repair()
         return self._labels.labels_map(fg)
+
+    # ------------------------------------------------------------------
+    # PageRank / MIS queries (incremental, independently repaired)
+    # ------------------------------------------------------------------
+    def pagerank_score(self, node: Node) -> float:
+        """The node's PageRank score, re-converged incrementally."""
+        fg = self._repair_pagerank()
+        return float(self._pagerank.scores[fg.index_of(node)])
+
+    def pagerank_vector(self) -> np.ndarray:
+        """Index-aligned PageRank scores (read-only by convention)."""
+        self._repair_pagerank()
+        return self._pagerank.scores
+
+    def pagerank_map(self) -> Dict[Node, float]:
+        """Node-facing PageRank view, comparable with the batch kernel."""
+        fg = self._repair_pagerank()
+        scores = self._pagerank.scores
+        nodes = fg.node_list
+        return {nodes[i]: float(scores[i]) for i in range(fg.n)}
+
+    def mis_priorities(self) -> np.ndarray:
+        """The repr-rank priorities the maintained MIS was built with."""
+        self._repair_mis()
+        return self._mis.priorities
+
+    def mis_member(self, node: Node) -> bool:
+        """Whether ``node`` is a clusterhead in the maintained MIS."""
+        fg = self._repair_mis()
+        return bool(self._mis.member_mask()[fg.index_of(node)])
+
+    def mis_mask(self) -> np.ndarray:
+        """Index-aligned MIS membership mask (read-only by convention)."""
+        self._repair_mis()
+        return self._mis.member_mask()
+
+    def mis_set(self) -> Set[Node]:
+        """The maintained MIS as a node set, comparable with the batch kernel."""
+        fg = self._repair_mis()
+        return self._mis.members(fg)
 
     def __repr__(self) -> str:
         return (

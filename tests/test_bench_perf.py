@@ -34,6 +34,7 @@ import bench_perf_labeling  # noqa: E402
 import bench_perf_scale  # noqa: E402
 import bench_perf_temporal  # noqa: E402
 import bench_serving  # noqa: E402
+import bench_serving_write  # noqa: E402
 from _util import time_repeated  # noqa: E402
 from repro.observability import BENCH_SCHEMA, validate_bench_report  # noqa: E402
 from repro.observability import regression  # noqa: E402
@@ -244,6 +245,85 @@ def test_committed_serving_feed_is_valid_and_meets_target():
     assert "zero repro.cache.frozen events" in document["notes"]
 
 
+def test_serving_write_toy_run_validates_schema_and_equivalence(tmp_path):
+    """Tiny instance of the mutation-heavy write stream: reference
+    verification, per-edge vs batched answer equality, and zero
+    steady-state refreezes asserted inside ``run`` itself (no speedup
+    floor at toy scale).  Runs under a fresh global registry so the
+    no-refreeze-series assertion on the emitted feed is about *this*
+    harness, not whatever earlier tests recorded in-process."""
+    from repro.observability.metrics import MetricsRegistry, set_registry
+
+    previous = set_registry(MetricsRegistry("test-serving-write"))
+    try:
+        result = bench_serving_write.run(
+            sizes=(80,),
+            epochs=2,
+            bursts=2,
+            repeats=1,
+            threshold=16,
+            out_dir=str(tmp_path),
+            top_dir=str(tmp_path),
+        )
+    finally:
+        set_registry(previous)
+    assert result.experiment == "serving-write"
+    document = json.loads(open(result.json_path).read())
+    assert document["schema"] == BENCH_SCHEMA
+    assert validate_bench_report(document) == []
+    assert open(result.bench_path).read() == open(result.json_path).read()
+    assert any(
+        key.startswith("batched_stream_") and key.endswith("_median_s")
+        for key in document["timings"]
+    )
+    assert any(
+        key.startswith("per_edge_stream_") and key.endswith("_median_s")
+        for key in document["timings"]
+    )
+    assert "verified against the reference kernels" in document["notes"]
+    # Satellite invariant: the write-path feed carries no frozen-cache
+    # refreeze series — the reference pass runs before the timed phase
+    # and the serving stacks never touch the refreeze path.
+    assert not any(
+        "cache.frozen" in key for key in document.get("metrics", {})
+    )
+
+
+def test_committed_serving_write_feed_is_valid_and_meets_target():
+    path = os.path.join(TOP, "BENCH_serving-write.json")
+    document = json.loads(open(path).read())
+    assert validate_bench_report(document) == []
+    header = document["header"]
+    speedup_col = header.index("speedup")
+    n_col = header.index("n")
+    largest = max(row[n_col] for row in document["rows"])
+    for row in document["rows"]:
+        if row[n_col] == largest:
+            assert (
+                row[speedup_col] >= bench_serving_write.TARGET_WRITE_SPEEDUP
+            ), row
+    assert "Zero repro.cache.frozen events" in document["notes"]
+
+
+def test_committed_serving_feed_has_no_refreeze_leak():
+    """The satellite-1 pin: the committed serving feed must not carry
+    the baseline's refreeze storm in its metrics snapshot — the
+    refreeze-per-generation phase runs in a scratch registry, and the
+    notes record where those events went."""
+    for feed in ("BENCH_serving.json", "BENCH_serving-write.json"):
+        document = json.loads(open(os.path.join(TOP, feed)).read())
+        refreeze_series = [
+            key
+            for key, value in document.get("metrics", {}).items()
+            if "cache.frozen" in key or "refreeze" in str(value)
+        ]
+        assert refreeze_series == [], (feed, refreeze_series)
+    notes = json.loads(
+        open(os.path.join(TOP, "BENCH_serving.json")).read()
+    )["notes"]
+    assert "scratch registry" in notes
+
+
 # ----------------------------------------------------------------------
 # perf-trajectory guard (configurable gate; warn by default, fail in CI)
 # ----------------------------------------------------------------------
@@ -334,3 +414,24 @@ def test_perf_trajectory_serving_warn_only():
         warmup=1,
     )
     _flag_regression(f"serving stream (n={n})", timings[key], timing.median_s)
+
+
+def test_perf_trajectory_serving_write_warn_only():
+    """Re-run the batched write stream at the smallest committed size;
+    warn (never fail) on a >3x slowdown vs the committed median."""
+    from repro.labeling.landmarks import select_landmarks
+
+    timings = _committed_timings("BENCH_serving-write.json")
+    n = 500  # smallest committed size in bench_serving_write's full run
+    key = f"batched_stream_n{n}_median_s"
+    if key not in timings:
+        return
+    edges, script = bench_serving_write.build_write_workload(
+        n, 4.0 / n, 4, 16, n
+    )
+    landmarks = select_landmarks(bench_serving_write.make_graph(edges), 4)
+    bench_serving_write.run_batched(edges, script, landmarks, 64)  # warmup
+    _, seconds = bench_serving_write.run_batched(
+        edges, script, landmarks, 64
+    )
+    _flag_regression(f"batched write stream (n={n})", timings[key], seconds)

@@ -29,6 +29,7 @@ def test_smoke_runs_every_figure_and_validates(tmp_path):
         "faults",
         "scale",
         "serving",
+        "serving-write",
     } <= set(results)
     # The scale smoke must have exercised the sharded tier with its
     # memory ceiling intact (the runner raises past the ceiling).

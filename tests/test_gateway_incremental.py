@@ -418,3 +418,124 @@ class TestServingGatewayResilience:
             _Request(2, "distance", (0, "late"), future=None), levels
         )
         assert second == 1
+
+
+class TestBatchedWritesUnderChaos:
+    """Fire-and-forget ``apply_batch`` bursts under drop/reorder/delay:
+    read-your-writes must hold — a query submitted after a burst sees
+    every one of its mutations — and every unawaited write future must
+    still resolve with its outcome, exactly once."""
+
+    CHAOS_SEEDS = [21, 22, 23, 24, 25, 26]
+
+    @pytest.mark.parametrize("fault_seed", CHAOS_SEEDS)
+    def test_read_your_writes_with_unawaited_futures(
+        self, registry, fault_seed
+    ):
+        plan = FaultPlan(
+            fault_seed,
+            injectors=(
+                MessageFaults(drop=0.25, delay=0.3, max_delay=2, reorder=0.5),
+            ),
+        )
+        rng = np.random.default_rng(fault_seed)
+        mirror = serving_graph(seed=7)
+        service = GraphService(serving_graph(seed=7), landmark_count=2)
+        n = service.patched.n
+
+        async def main():
+            observed = []
+            writes = []
+            async with ServingGateway(
+                service, max_batch=4, max_delay=0.002, faults=plan
+            ) as gateway:
+                for _round in range(8):
+                    inserts, deletes = [], []
+                    for _ in range(3):
+                        u, v = rng.choice(n, size=2, replace=False)
+                        u, v = int(u), int(v)
+                        if mirror.has_edge(u, v):
+                            mirror.remove_edge(u, v)
+                            deletes.append((u, v))
+                        else:
+                            mirror.add_edge(u, v)
+                            inserts.append((u, v))
+                    # Unawaited: the query below must still see them.
+                    writes.append(gateway.apply_batch(inserts, deletes))
+                    source = int(rng.integers(n))
+                    target = int(rng.integers(n))
+                    expected = bfs_distances(mirror, source).get(target)
+                    observed.append(
+                        (await gateway.distance(source, target), expected)
+                    )
+                outcomes = await asyncio.gather(*writes)
+            return observed, outcomes
+
+        observed, outcomes = asyncio.run(main())
+        for got, expected in observed:
+            assert got == expected
+        # Every fire-and-forget write resolved with its batch outcome,
+        # applied exactly once (3 ops per round, all state-changing).
+        assert [o["ops"] for o in outcomes] == [3] * 8
+        assert [o["changed"] for o in outcomes] == [3] * 8
+        assert service.has_edge is not None  # service survived chaos
+
+    def test_per_request_error_isolation(self):
+        """A bad delete fails only its own apply_batch request; other
+        requests coalesced into the same flush still land."""
+        from repro.errors import EdgeNotFoundError
+
+        service = GraphService(Graph([(i, i + 1) for i in range(9)]),
+                               landmark_count=1)
+
+        async def main():
+            async with ServingGateway(service, max_batch=8) as gateway:
+                good = gateway.apply_batch([(0, 9)], [])
+                bad = gateway.apply_batch([], [(0, 7)])  # absent edge
+                distance = await gateway.distance(0, 9)
+                good_result = await good
+                with pytest.raises(EdgeNotFoundError):
+                    await bad
+            return distance, good_result
+
+        distance, good_result = asyncio.run(main())
+        assert distance == 1  # the good batch landed
+        assert good_result == {"ops": 1, "changed": 1}
+
+
+class TestAdaptiveDeadline:
+    def test_flush_delay_policy(self, registry):
+        """Unknown arrival rate falls back to the static deadline; a
+        fast EWMA waits only the predicted fill time; a slow one
+        flushes immediately (coalescing would not pay for the wait)."""
+        service = GraphService(serving_graph(), landmark_count=1)
+        gateway = ServingGateway(service, max_batch=8, max_delay=0.005)
+        assert gateway._flush_delay(4) == 0.005
+        gateway._gap_ewma = 0.0001
+        assert gateway._flush_delay(4) == pytest.approx(0.0004)
+        assert gateway._flush_delay(8) == 0.0  # batch already full
+        gateway._gap_ewma = 0.01  # slower than the deadline allows
+        assert gateway._flush_delay(4) == 0.0
+        deadlines = serving_counts(registry)
+        assert deadlines is not None
+
+    def test_arrival_ewma_converges(self):
+        """Submissions at a steady cadence drive the EWMA toward the
+        true gap, and the first gap seeds it exactly."""
+        service = GraphService(serving_graph(), landmark_count=1)
+
+        async def main():
+            gateway = ServingGateway(service, max_batch=64, max_delay=5.0)
+            gateway.start()
+            gateway.insert_edge("a0", 0)
+            first = gateway._gap_ewma
+            for i in range(1, 12):
+                await asyncio.sleep(0.001)
+                gateway.insert_edge(f"a{i}", 0)
+            ewma = gateway._gap_ewma
+            await gateway.stop()
+            return first, ewma
+
+        first, ewma = asyncio.run(main())
+        assert first is None  # one arrival has no gap yet
+        assert ewma is not None and 0 < ewma < 0.1

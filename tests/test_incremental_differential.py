@@ -9,7 +9,14 @@ full-rebuild references at every step:
   (node order, ``indptr``, ``indices``);
 * the incrementally repaired NSF levels vs ``nsf_levels_reference``;
 * the repaired landmark labels vs ``distance_gateway_labels_reference``;
+* the round-replay-repaired MIS vs ``compute_mis`` (bit-exact) and the
+  warm-started PageRank vs the cold-start ``pagerank_scores`` kernel
+  (within fixed-point tolerance);
 * the patch-aware BFS vs the same BFS on the merged snapshot.
+
+Traces run both per-edge (``insert_edge`` / ``delete_edge``) and in
+batch form (``apply_batch``), so the vectorized write path is held to
+the same ground truth as the scalar one.
 
 Runs across multiple seeds and patch thresholds — including
 ``threshold=0``, which rebases (merge + clear) on every snapshot, and a
@@ -33,6 +40,7 @@ from repro.labeling.landmarks import (
     distance_gateway_labels_reference,
     select_landmarks,
 )
+from repro.labeling.mis import compute_mis
 from repro.layering.nsf import nsf_levels_reference
 from repro.observability.metrics import MetricsRegistry, set_registry
 from repro.observability.telemetry import cache_counts, serving_counts
@@ -64,7 +72,12 @@ def build_graph(edges):
 
 
 def assert_state_bit_exact(service, mirror, landmarks, context):
-    """The three structural invariants, asserted after every step."""
+    """The structural invariants, asserted after every step.
+
+    CSR arrays, NSF levels, landmark labels, and the MIS are bit-exact
+    against the full-rebuild references; the warm-started PageRank is
+    equal within fixed-point tolerance of the cold-start kernel.
+    """
     reference = FrozenGraph(mirror)
     snapshot = service.snapshot()
     assert snapshot.node_list == reference.node_list, context
@@ -74,6 +87,11 @@ def assert_state_bit_exact(service, mirror, landmarks, context):
     assert service.gateway_labels_map() == distance_gateway_labels_reference(
         mirror, landmarks
     ), context
+    ref_scores, _ = reference.pagerank_scores()
+    assert np.allclose(
+        service.pagerank_vector(), ref_scores, atol=1e-8
+    ), context
+    assert service.mis_set() == compute_mis(mirror)[0], context
 
 
 def drive_trace(service, mirror, rng, steps, new_node_prob=0.06):
@@ -176,6 +194,83 @@ class TestDifferentialTrace:
         ref = bfs_distances(mirror, landmarks[0])
         for node in rng.sample(service.node_list, 10):
             assert service.distance(landmarks[0], node) == ref.get(node)
+
+
+def drive_batch_trace(service, mirror, rng, steps, batch=6):
+    """Apply one randomized ``apply_batch`` per step; yield after each.
+
+    Each batch groups up to ``batch`` operations: inserts of absent
+    pairs (occasionally to a brand-new node) and deletes of present
+    edges, plus an occasional insert+delete of the same pair inside one
+    batch (net-nil, but the endpoints intern).  Batches are built
+    against a simulated presence set so every operation is valid at its
+    turn under the inserts-then-deletes batch semantics.
+    """
+    fresh = 0
+    for step in range(steps):
+        nodes = list(mirror.nodes())
+        present = {frozenset(e) for e in mirror.edges()}
+        inserts, deletes = [], []
+        staged = set()
+        for _ in range(rng.randrange(1, batch + 1)):
+            roll = rng.random()
+            if roll < 0.08:
+                fresh += 1
+                u, v = f"batch{fresh}", rng.choice(nodes)
+                inserts.append((u, v))
+                staged.add(frozenset((u, v)))
+            elif roll < 0.5:
+                u, v = rng.sample(nodes, 2)
+                key = frozenset((u, v))
+                if key in staged or key in present:
+                    continue
+                inserts.append((u, v))
+                staged.add(key)
+            elif roll < 0.9:
+                candidates = [
+                    e for e in mirror.edges()
+                    if frozenset(e) not in staged
+                ]
+                if not candidates:
+                    continue
+                u, v = rng.choice(candidates)
+                deletes.append((u, v))
+                staged.add(frozenset((u, v)))
+            else:
+                u, v = rng.sample(nodes, 2)
+                key = frozenset((u, v))
+                if key in staged or key in present:
+                    continue
+                inserts.append((u, v))
+                deletes.append((u, v))
+                staged.add(key)
+        result = service.apply_batch(inserts, deletes)
+        assert len(result.insert_outcomes) == len(inserts)
+        assert len(result.delete_outcomes) == len(deletes)
+        for u, v in inserts:
+            mirror.add_edge(u, v)
+        for u, v in deletes:
+            mirror.remove_edge(u, v)
+        yield step
+
+
+class TestBatchDifferentialTrace:
+    @pytest.mark.parametrize("threshold", THRESHOLDS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_batched_trace_bit_exact_at_every_step(self, seed, threshold):
+        """The vectorized write path against the same ground truth."""
+        edges = seed_edges(seed)
+        mirror = build_graph(edges)
+        landmarks = select_landmarks(mirror, 3)
+        service = GraphService(
+            build_graph(edges), landmarks=landmarks, threshold=threshold
+        )
+        rng = random.Random(seed * 977 + threshold)
+        assert_state_bit_exact(service, mirror, landmarks, "initial")
+        for step in drive_batch_trace(service, mirror, rng, steps=20):
+            assert_state_bit_exact(
+                service, mirror, landmarks, (seed, threshold, step)
+            )
 
 
 class TestFreshNodeCancel:

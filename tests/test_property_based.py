@@ -415,3 +415,129 @@ def test_patch_validation_parity_with_graph(data):
     with pytest.raises(ValueError) as from_graph:
         mirror.add_edge(0, 0)
     assert str(from_patch.value) == str(from_graph.value)
+
+
+# ----------------------------------------------------------------------
+# Batched write path (PatchedGraph.apply_batch)
+# ----------------------------------------------------------------------
+
+def batch_from_ops(mirror, ops):
+    """Split ``ops`` into one valid ``(inserts, deletes)`` batch.
+
+    The first touch of a pair decides its fate — absent pairs become
+    inserts, present pairs deletes — and repeat touches are dropped, so
+    the batch equals running the inserts then the deletes per-edge.
+    """
+    seen = set()
+    inserts, deletes = [], []
+    for u, v in ops:
+        key = (u, v) if u <= v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        if mirror.has_edge(u, v):
+            deletes.append((u, v))
+        else:
+            inserts.append((u, v))
+    return inserts, deletes
+
+
+def assert_same_patch_state(per_edge, batched, context):
+    assert batched.pending == per_edge.pending, context
+    a, b = per_edge.snapshot(), batched.snapshot()
+    assert a.node_list == b.node_list, context
+    assert np.array_equal(a.indptr, b.indptr), context
+    assert np.array_equal(a.indices, b.indices), context
+    # Rebase discipline is part of the contract: identical thresholds
+    # and identical pending counts must rebase identically.
+    assert batched.pending == per_edge.pending, context
+
+
+@given(patch_scripts(), st.sampled_from([0, 2, 1_000_000]))
+@settings(max_examples=60, deadline=None)
+def test_apply_batch_equals_per_edge(data, threshold):
+    from repro.graphs.csr import FrozenGraph
+    from repro.graphs.delta import PatchedGraph
+
+    n, edges, ops = data
+    mirror = build_graph(n, edges)
+    per_edge = PatchedGraph(
+        FrozenGraph(build_graph(n, edges)), threshold=threshold
+    )
+    batched = PatchedGraph(
+        FrozenGraph(build_graph(n, edges)), threshold=threshold
+    )
+    inserts, deletes = batch_from_ops(mirror, ops)
+    for u, v in inserts:
+        assert per_edge.insert_edge(u, v) is True
+        mirror.add_edge(u, v)
+    for u, v in deletes:
+        per_edge.delete_edge(u, v)
+        mirror.remove_edge(u, v)
+    result = batched.apply_batch(inserts, deletes)
+    assert result.insert_outcomes == ["insert"] * len(inserts)
+    assert result.delete_outcomes == ["delete"] * len(deletes)
+    assert result.changed == len(inserts) + len(deletes)
+    assert_same_patch_state(per_edge, batched, (threshold, "round 1"))
+    # A second batch on top of live patch state (pending inserts and
+    # deletes from round 1 unless a rebase cleared them) exercises the
+    # restore and cancel arms; ``changed`` must equal the number of
+    # per-edge version bumps the same sequence produces.
+    inserts2, deletes2 = batch_from_ops(mirror, list(reversed(ops)))
+    version_before = per_edge.version
+    for u, v in inserts2:
+        assert per_edge.insert_edge(u, v) is True
+    for u, v in deletes2:
+        per_edge.delete_edge(u, v)
+    result2 = batched.apply_batch(inserts2, deletes2)
+    assert result2.changed == per_edge.version - version_before
+    assert_same_patch_state(per_edge, batched, (threshold, "round 2"))
+
+
+@given(patch_scripts(max_ops=6))
+@settings(max_examples=60, deadline=None)
+def test_apply_batch_self_cancellation(data):
+    n, edges, ops = data
+    pg, mirror = apply_script(n, edges, ops)
+    pending = pg.pending
+    version = pg.version
+    fresh = "fresh-node"
+    result = pg.apply_batch([(fresh, 0)], [(fresh, 0)])
+    # The delete cancels the batch's own insert: net-nil edge state,
+    # but the new endpoint stays interned (deletes keep nodes).
+    assert result.insert_outcomes == ["insert"]
+    assert result.delete_outcomes == ["cancel"]
+    assert result.changed == 2
+    assert len(result.touched) == 1
+    assert pg.pending == pending
+    assert pg.version > version  # state changed transiently
+    assert not pg.has_edge(fresh, 0)
+    assert fresh in pg.node_list
+    assert pg.snapshot().n == mirror.num_nodes + 1
+
+
+@given(patch_scripts(max_ops=6))
+@settings(max_examples=40, deadline=None)
+def test_apply_batch_strict_atomic_on_bad_delete(data):
+    import pytest
+
+    from repro.errors import EdgeNotFoundError
+
+    n, edges, ops = data
+    pg, mirror = apply_script(n, edges, ops)
+    absent = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if not mirror.has_edge(u, v)
+    ]
+    if not absent:
+        return
+    good = absent[0]
+    pending = pg.pending
+    with pytest.raises(EdgeNotFoundError):
+        pg.apply_batch([good], [(good[0], good[0] + 1000)])
+    # Strict batches are atomic for edge state: the valid insert ahead
+    # of the bad delete must not have landed.
+    assert pg.pending == pending
+    assert not pg.has_edge(*good)

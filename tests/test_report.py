@@ -20,6 +20,7 @@ from repro.observability.report import (
     scan_bench_feeds,
     serving_summary,
     slowest_spans,
+    write_path_summary,
     speedup_summary,
     trajectory_summary,
 )
@@ -208,6 +209,71 @@ class TestSections:
         assert summary["retries"] == 3
         assert summary["coalesce_ratio"] == (864 + 144) / 144
 
+    def test_write_path_summary_streams_and_histograms(self):
+        feed = fake_feed(
+            "serving-write",
+            [
+                "n", "m", "mutations", "queries",
+                "per-edge median s", "batched median s",
+                "per-edge muts/s", "batched muts/s", "speedup",
+            ],
+            [
+                [500, 1500, 4096, 32, 0.29, 0.042, 14099.0, 97918.9, 6.95],
+                [2000, 6000, 4096, 32, 0.95, 0.176, 4311.0, 23272.0, 5.4],
+            ],
+            metrics={
+                "repro.serving.mutations{kind=insert}": 2100,
+                "repro.serving.mutations{kind=delete}": 1996,
+                "repro.serving.batch.writes": 1024,
+                "repro.serving.batch.coalesced": 512,
+                "repro.serving.batch.write_size": {
+                    "count": 1024, "sum": 4096.0, "mean": 4.0,
+                    "min": 1.0, "max": 64.0, "p50": 2.0, "p90": 8.0,
+                },
+                "repro.serving.batch.deadline_s": {
+                    "count": 1100, "sum": 0.11, "mean": 0.0001,
+                    "min": 0.0, "max": 0.0002, "p50": 0.0001, "p90": 0.00015,
+                },
+            },
+        )
+        # A second feed carrying only counters merges into the totals.
+        other = fake_feed(
+            "serving",
+            ["n"],
+            [[1]],
+            metrics={
+                "repro.serving.batch.writes": 76,
+                "repro.serving.batch.coalesced": 24,
+                "repro.serving.batch.write_size": {
+                    "count": 76, "sum": 76.0, "mean": 1.0,
+                    "min": 1.0, "max": 1.0, "p50": 1.0, "p90": 1.0,
+                },
+            },
+        )
+        summary = write_path_summary({"serving-write": feed, "serving": other})
+        assert [entry["n"] for entry in summary["streams"]] == [500, 2000]
+        assert summary["streams"][1]["speedup"] == 5.4
+        assert summary["streams"][0]["batched_mps"] == 97918.9
+        assert summary["mutations"] == {"insert": 2100, "delete": 1996}
+        assert summary["writes"] == 1100
+        assert summary["coalesced"] == 536
+        assert summary["coalesced_per_barrier"] == 536 / 1100
+        # histogram merge: exact count/sum/extrema, percentiles from the
+        # larger snapshot
+        sizes = summary["batch_size"]
+        assert sizes["count"] == 1100
+        assert sizes["sum"] == 4172.0
+        assert sizes["max"] == 64.0 and sizes["min"] == 1.0
+        assert sizes["p90"] == 8.0
+        assert summary["deadline_s"]["count"] == 1100
+
+    def test_write_path_summary_empty_inputs(self):
+        summary = write_path_summary({})
+        assert summary["streams"] == []
+        assert summary["writes"] == 0
+        assert summary["coalesced_per_barrier"] == 0.0
+        assert summary["batch_size"] == {}
+
     def test_serving_summary_empty_inputs(self):
         summary = serving_summary({})
         assert summary["streams"] == []
@@ -275,7 +341,20 @@ class TestDashboard:
         serving = dashboard["serving"]
         assert serving["streams"], "BENCH_serving.json must carry stream rows"
         assert serving["coalesce_ratio"] > 1.0
-        render_markdown(dashboard)  # renders without raising
+        # ... and the committed serving-write feed populates the
+        # write-path panel: stream rows, coalescing totals, and both
+        # the batch-size and adaptive-deadline histograms.
+        write_path = dashboard["write_path"]
+        assert write_path["streams"], (
+            "BENCH_serving-write.json must carry stream rows"
+        )
+        assert all(entry["speedup"] >= 3.0 for entry in write_path["streams"])
+        assert write_path["writes"] > 0
+        assert write_path["coalesced"] > 0
+        assert write_path["batch_size"]["count"] > 0
+        assert write_path["deadline_s"]["count"] > 0
+        markdown = render_markdown(dashboard)  # renders without raising
+        assert "## Write path (batched mutation coalescing)" in markdown
 
 
 class TestCli:
