@@ -1,0 +1,383 @@
+"""Vectorized runtime-plane benchmark: scalar engine vs array kernels.
+
+Times the bulk-synchronous round protocols on both execution planes:
+
+* the scalar ground truth — per-node :class:`~repro.runtime.engine
+  .NodeAlgorithm` objects stepped by :class:`~repro.runtime.engine
+  .Network`, and
+* the vector plane — :class:`~repro.runtime.vector.VectorEngine`
+  running the same protocols as numpy array ops over the
+  :class:`~repro.graphs.csr.FrozenGraph` CSR with active-set
+  compaction.
+
+Three protocol families are measured: full link reversal repairing a
+batch of stale sinks on a sparse random graph, safety-level labeling of
+a faulty hypercube, and round-based MIS election.  Before any timing,
+each pair is run once and checked for **bit-exact parity**: identical
+final state, identical round count, and identical total/per-round
+message accounting (``RunStats`` equality) — the timing loop only runs
+after the equivalence assertion passes.  The full run asserts the PR's
+acceptance floors at the largest tier: >= 10x on link reversal and on
+safety levels.
+
+    PYTHONPATH=src python benchmarks/bench_perf_runtime.py [--jobs N]
+
+writes ``benchmarks/out/perf-runtime.{txt,json}`` plus the top-level
+``BENCH_perf-runtime.json`` feed; ``tests/test_bench_perf.py`` runs the
+same harness at toy scale inside tier-1.  ``--jobs N`` fans the
+per-size measurements out over worker processes (for quick iteration
+only — wall-clock timings are trustworthy only from serial runs).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import numpy as np
+
+from _util import (
+    OUT_DIR,
+    TOP_DIR,
+    TableResult,
+    bench_jobs,
+    emit_table,
+    run_sweep,
+    time_repeated,
+)
+
+EXPERIMENT = "perf-runtime"
+
+#: Acceptance floors per kernel at the largest tier (the MIS row is
+#: measured and reported without a floor).
+TARGET_SPEEDUPS: Dict[str, float] = {
+    "link-reversal": 10.0,
+    "safety-levels": 10.0,
+}
+
+#: (random-graph n, hypercube dimension) per measured tier.
+DEFAULT_SIZES: Tuple[Tuple[int, int], ...] = (
+    (2000, 10),
+    (20000, 13),
+)
+
+#: The tier-1 / smoke scale.
+TOY_SIZE: Tuple[int, int] = (120, 4)
+
+
+def reversal_workload(n: int):
+    """A sparse connected graph whose height function has stale sinks.
+
+    BFS heights toward node 0, then ~n/100 non-destination nodes are
+    knocked down to level -1 — each becomes a local minimum whose
+    repair ripples through its neighborhood, the post-break shape of
+    Fig. 4 at scale.
+    """
+    rng = np.random.default_rng(n)
+    from repro.graphs.generators import random_connected_graph
+    from repro.layering.link_reversal import initial_heights
+
+    graph = random_connected_graph(n, 4.0 / n, rng)
+    heights = initial_heights(graph, 0)
+    candidates = sorted((node for node in graph.nodes() if node != 0))
+    knock = max(1, n // 100)
+    picks = rng.choice(len(candidates), size=min(knock, len(candidates)), replace=False)
+    stale = dict(heights)
+    for i in picks:
+        node = candidates[int(i)]
+        stale[node] = (-1, stale[node][-1])
+    return graph, 0, stale
+
+
+def safety_workload(dimension: int):
+    """A d-cube with ~1/32 of its nodes faulty (seeded by dimension)."""
+    rng = np.random.default_rng(dimension)
+    n = 1 << dimension
+    count = max(1, n // 32)
+    picks = rng.choice(n, size=count, replace=False)
+    from repro.graphs.hypercube import binary_addresses
+
+    nodes = list(binary_addresses(dimension))
+    return frozenset(nodes[int(i)] for i in picks)
+
+
+def _assert_stats_equal(name: str, scalar, vector) -> None:
+    if scalar != vector:
+        raise AssertionError(
+            f"{name}: engine accounting diverges — scalar rounds="
+            f"{scalar.rounds} messages={scalar.messages_sent} vs vector "
+            f"rounds={vector.rounds} messages={vector.messages_sent}"
+        )
+
+
+def _reversal_runners(graph, fg, destination, stale):
+    """(scalar runner, vector runner, parity check) for link reversal.
+
+    Runners rebuild their engine per call — the per-node object network
+    vs the array kernel — over the prebuilt graph/CSR, so each timing
+    covers setup + run on its own plane and neither pays the one-off
+    snapshot cost.
+    """
+    from repro.layering.link_reversal_distributed import LinkReversalAlgorithm
+    from repro.runtime.engine import Network
+    from repro.runtime.vector import FullReversalKernel, VectorEngine
+
+    nodes = fg.node_list
+    dest_index = fg.index_of(destination)
+
+    def scalar_run():
+        network = Network(
+            graph,
+            lambda node: LinkReversalAlgorithm(
+                is_destination=node == destination, height=stale[node]
+            ),
+        )
+        return network, network.run()
+
+    def vector_run():
+        levels = np.array([stale[node][0] for node in nodes], dtype=np.int64)
+        ties = np.array([stale[node][-1] for node in nodes], dtype=np.int64)
+        kernel = FullReversalKernel(dest_index, levels, ties)
+        engine = VectorEngine(fg, kernel)
+        return kernel, engine.run()
+
+    def check(scalar_out, vector_out):
+        network, scalar_stats = scalar_out
+        kernel, vector_stats = vector_out
+        _assert_stats_equal("link-reversal", scalar_stats, vector_stats)
+        scalar_heights = {
+            node: tuple(network.state_of(node)["height"]) for node in nodes
+        }
+        vector_heights = {
+            nodes[i]: (int(kernel.level[i]), int(kernel.tie[i]))
+            for i in range(fg.n)
+        }
+        if scalar_heights != vector_heights:
+            raise AssertionError("link-reversal: final heights diverge")
+        scalar_rev = {
+            node: network.state_of(node).get("reversals", 0) for node in nodes
+        }
+        vector_rev = {
+            nodes[i]: int(kernel.reversals[i]) for i in range(fg.n)
+        }
+        if scalar_rev != vector_rev:
+            raise AssertionError("link-reversal: reversal counts diverge")
+
+    return scalar_run, vector_run, check
+
+
+def _safety_runners(cube, fg, dimension, faults):
+    """(scalar runner, vector runner, parity check) for safety levels."""
+    from repro.labeling.safety_distributed import SafetyLevelAlgorithm
+    from repro.runtime.engine import Network
+    from repro.runtime.vector import SafetyLevelKernel, VectorEngine
+
+    nodes = fg.node_list
+    faulty_mask = np.zeros(fg.n, dtype=bool)
+    for i, node in enumerate(nodes):
+        if node in faults:
+            faulty_mask[i] = True
+
+    def scalar_run():
+        network = Network(
+            cube,
+            lambda node: SafetyLevelAlgorithm(dimension, node in faults),
+        )
+        return network, network.run()
+
+    def vector_run():
+        kernel = SafetyLevelKernel(dimension, faulty_mask.copy())
+        engine = VectorEngine(fg, kernel)
+        return kernel, engine.run()
+
+    def check(scalar_out, vector_out):
+        network, scalar_stats = scalar_out
+        kernel, vector_stats = vector_out
+        _assert_stats_equal("safety-levels", scalar_stats, vector_stats)
+        scalar_levels = network.states("level")
+        vector_levels = {
+            nodes[i]: int(kernel.level[i]) for i in range(fg.n)
+        }
+        if scalar_levels != vector_levels:
+            raise AssertionError("safety-levels: final levels diverge")
+
+    return scalar_run, vector_run, check
+
+
+def _mis_runners(graph, fg):
+    """(scalar runner, vector runner, parity check) for round MIS."""
+    from repro.labeling.mis import MISAlgorithm, id_priorities
+    from repro.runtime.engine import Network
+    from repro.runtime.vector import MISKernel, VectorEngine
+
+    nodes = fg.node_list
+    priorities = id_priorities(graph)
+    priority = np.array([priorities[node] for node in nodes], dtype=np.float64)
+
+    def scalar_run():
+        network = Network(
+            graph, lambda node: MISAlgorithm(priorities[node])
+        )
+        return network, network.run()
+
+    def vector_run():
+        kernel = MISKernel(priority)
+        engine = VectorEngine(fg, kernel)
+        return kernel, engine.run()
+
+    def check(scalar_out, vector_out):
+        network, scalar_stats = scalar_out
+        kernel, vector_stats = vector_out
+        _assert_stats_equal("mis", scalar_stats, vector_stats)
+        colors = {0: "white", 1: "black", 2: "gray"}
+        vector_colors = {
+            nodes[i]: colors[int(kernel.color[i])] for i in range(fg.n)
+        }
+        if network.states("color") != vector_colors:
+            raise AssertionError("mis: final colors diverge")
+
+    return scalar_run, vector_run, check
+
+
+def _measure_size(
+    task: Tuple[Tuple[int, int], int]
+) -> Tuple[List[Tuple[object, ...]], Dict[str, float]]:
+    """Measure every protocol at one tier; asserts parity per protocol.
+
+    Module-level (picklable) so :func:`_util.run_sweep` can distribute
+    tiers across workers.  The graph and its CSR snapshot are built up
+    front (recorded as ``freeze_n*_s``); each runner then rebuilds its
+    own engine per pass, so a timing covers one full build-and-run on
+    one plane.  Scalar references at large tiers are timed once.
+    """
+    from repro.graphs.hypercube import binary_hypercube
+    from repro.runtime.vector import hypercube_frozen
+
+    (n, dimension), repeats = task
+    rows: List[Tuple[object, ...]] = []
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    graph, destination, stale = reversal_workload(n)
+    fg = graph.frozen()
+    faults = safety_workload(dimension)
+    cube = binary_hypercube(dimension)
+    cube_fg = hypercube_frozen(dimension)
+    timings[f"freeze_n{n}_s"] = time.perf_counter() - start
+
+    cube_n = 1 << dimension
+    protocols: List[Tuple[str, int, Tuple[Callable, Callable, Callable]]] = [
+        ("link-reversal", n, _reversal_runners(graph, fg, destination, stale)),
+        ("safety-levels", cube_n, _safety_runners(cube, cube_fg, dimension, faults)),
+        ("mis", n, _mis_runners(graph, fg)),
+    ]
+    for name, size_n, (scalar_run, vector_run, check) in protocols:
+        # Parity first: never time a kernel whose output differs.
+        check(scalar_run(), vector_run())
+        ref_repeats = 1 if size_n >= 1000 else repeats
+        _, ref_timing = time_repeated(scalar_run, repeats=ref_repeats, warmup=0)
+        _, vec_timing = time_repeated(vector_run, repeats=repeats, warmup=1)
+        speedup = (
+            ref_timing.median_s / vec_timing.median_s
+            if vec_timing.median_s > 0
+            else float("inf")
+        )
+        timings.update(ref_timing.as_timings(f"{name}_n{size_n}_ref"))
+        timings.update(vec_timing.as_timings(f"{name}_n{size_n}_vector"))
+        rows.append(
+            (
+                size_n,
+                name,
+                round(ref_timing.median_s, 4),
+                round(vec_timing.median_s, 4),
+                round(speedup, 2),
+            )
+        )
+    return rows, timings
+
+
+def run(
+    sizes: Sequence[Tuple[int, int]] = DEFAULT_SIZES,
+    repeats: int = 3,
+    out_dir: Optional[str] = None,
+    top_dir: Optional[str] = TOP_DIR,
+    require_speedups: Optional[Mapping[str, float]] = None,
+    jobs: Optional[int] = None,
+) -> TableResult:
+    """Benchmark every round protocol on both planes at every tier.
+
+    ``require_speedups`` (the full run passes :data:`TARGET_SPEEDUPS`)
+    asserts per-protocol floors at the largest tier.  Raises
+    ``AssertionError`` on any scalar/vector state, round, or message
+    divergence regardless.  ``jobs > 1`` distributes tiers over worker
+    processes (row order stays deterministic) — use only for
+    iteration, not for committed timing feeds.
+    """
+    measured = run_sweep(
+        [(size, repeats) for size in sizes], _measure_size, jobs=jobs
+    )
+    rows: List[Tuple[object, ...]] = []
+    timings: Dict[str, float] = {}
+    for size_rows, size_timings in measured:
+        rows.extend(size_rows)
+        timings.update(size_timings)
+
+    if require_speedups:
+        largest = max(sizes, key=lambda size: size[0])
+        gated_ns = {
+            "link-reversal": largest[0],
+            "safety-levels": 1 << largest[1],
+            "mis": largest[0],
+        }
+        seen = set()
+        for size_n, name, _, _, speedup in rows:
+            floor = require_speedups.get(name)
+            if floor is not None and size_n == gated_ns.get(name):
+                if speedup < floor:
+                    raise AssertionError(
+                        f"{name} at n={size_n}: speedup {speedup:.2f}x below "
+                        f"the {floor:g}x target"
+                    )
+                seen.add(name)
+        missing = set(require_speedups) - seen
+        if missing:
+            raise AssertionError(
+                f"floored kernels missing from the largest tier: {missing}"
+            )
+    return emit_table(
+        EXPERIMENT,
+        "scalar round engine vs vectorized array kernels "
+        "(state/round/message parity asserted per protocol before timing)",
+        ["n", "kernel", "ref median s", "vector median s", "speedup"],
+        rows,
+        notes=(
+            "Workloads: full link reversal repairing ~n/100 stale sinks "
+            "on a sparse random connected graph (BFS heights toward node "
+            "0, victims knocked to level -1), safety-level labeling of a "
+            "d-cube with ~1/32 faulty nodes, and round-based MIS "
+            "election with repr-rank priorities.  Each row times one "
+            "full engine build-and-run per plane over a prebuilt "
+            "graph/CSR (freeze_n*_s records the one-off snapshot "
+            "builds).  Parity is asserted before timing: final state, "
+            "round count, and total + per-round message counts are "
+            "bit-identical across planes (RunStats equality).  Scalar "
+            "references at n >= 1000 are timed once."
+        ),
+        timings=timings,
+        out_dir=out_dir,
+        top_dir=top_dir,
+    )
+
+
+if __name__ == "__main__":
+    result = run(
+        out_dir=OUT_DIR,
+        top_dir=TOP_DIR,
+        require_speedups=TARGET_SPEEDUPS,
+        jobs=bench_jobs(sys.argv[1:]),
+    )
+    print(f"\nperf-runtime: emitted {result.bench_path}")

@@ -303,6 +303,26 @@ def smoke_perf_labeling() -> Dict[str, Any]:
     }
 
 
+@smoke("perf-runtime")
+def smoke_perf_runtime() -> Dict[str, Any]:
+    import bench_perf_runtime
+
+    rows, _ = bench_perf_runtime._measure_size(
+        (bench_perf_runtime.TOY_SIZE, 1)
+    )
+    return {
+        "title": "vector runtime plane vs scalar engine (smoke)",
+        "header": ["n", "kernel", "ref median s", "vector median s", "speedup"],
+        "rows": rows,
+        "notes": (
+            "Toy instance of benchmarks/bench_perf_runtime.py; bit-exact "
+            "final state plus equal round and message counts asserted "
+            "inside the measurement for every protocol, no speedup floor "
+            "at this scale."
+        ),
+    }
+
+
 @smoke("scale")
 def smoke_scale() -> Dict[str, Any]:
     """Toy instance of the million-node tier: sharded kernels under a

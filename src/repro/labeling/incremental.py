@@ -380,3 +380,156 @@ class IncrementalMIS:
         self.rounds = r
         record_repair("mis", "replay")
         return "replay"
+
+
+class IncrementalCDS:
+    """Wu–Dai marked/trimmed CDS repaired by touched-region replay.
+
+    Both CDS phases are per-node pure rules over a bounded radius: the
+    marking of a node reads only its neighborhood and the adjacency
+    inside it (radius 1), and the restricted Rule-k trimming reads the
+    marking, the degree priorities, and the closed neighborhoods of the
+    node's neighbors (radius 2) — always against the *original* black
+    set, never the shrinking one.  An edge flip (u, v) can therefore
+    change the marking only on ``{u, v} ∪ (N(u) ∩ N(v))`` and the
+    trimming only inside the closed neighborhood of that set, so a
+    repair re-evaluates exactly those regions (the degree priorities
+    are refreshed wholesale — they are one vectorized line) and carries
+    every other decision over.  Node growth re-ranks the repr
+    priorities, so it rebuilds.  Bit-exact with
+    :func:`repro.labeling.cds.wu_dai_cds` at every step (asserted
+    differentially).
+    """
+
+    def __init__(self, fg: FrozenGraph) -> None:
+        self._build(fg)
+
+    def _build(self, fg: FrozenGraph) -> None:
+        self._n = fg.n
+        self._prio = self._priorities(fg)
+        self._marked = fg.marking_mask().copy()
+        member = np.zeros(fg.n, dtype=bool)
+        for i in np.flatnonzero(self._marked):
+            member[i] = self._keeps_membership(fg, int(i))
+        self._member = member
+
+    @staticmethod
+    def _priorities(fg: FrozenGraph) -> np.ndarray:
+        """Index-aligned ``default_priorities``: degree + repr-rank tail.
+
+        Same IEEE-double expression as the dict reference — integer
+        degree plus ``(n - rank) / (n + 1.0)`` — so comparisons agree
+        bit-for-bit.
+        """
+        ranks = fg._repr_ranks()
+        return fg.degrees.astype(np.float64) + (fg.n - ranks) / (fg.n + 1.0)
+
+    def _is_marked(self, fg: FrozenGraph, i: int) -> bool:
+        """Marking rule at one node: is N(i) *not* a clique?
+
+        A neighborhood of size d is a clique iff every neighbor is
+        adjacent to the d−1 others.
+        """
+        nb = fg.neighbor_indices(i)
+        d = nb.size
+        if d < 2:
+            return False
+        for a in nb:
+            row = fg.neighbor_indices(int(a))
+            if np.isin(row, nb, assume_unique=True).sum() < d - 1:
+                return True
+        return False
+
+    def _keeps_membership(self, fg: FrozenGraph, i: int) -> bool:
+        """Restricted Rule k at one node, vs the current marked mask."""
+        if not self._marked[i]:
+            return False
+        nb = fg.neighbor_indices(i)
+        prio = self._prio
+        higher = nb[self._marked[nb] & (prio[nb] > prio[i])]
+        if higher.size == 0:
+            return True
+        coverers = {int(x) for x in higher}
+        # Connectivity of the coverer set (start choice is immaterial).
+        start = int(higher[0])
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for other in fg.neighbor_indices(current):
+                o = int(other)
+                if o in coverers and o not in seen:
+                    seen.add(o)
+                    frontier.append(o)
+        if seen != coverers:
+            return True
+        covered = set(coverers)
+        for coverer in coverers:
+            covered.update(int(x) for x in fg.neighbor_indices(coverer))
+        closed = {int(x) for x in nb}
+        closed.add(i)
+        return not closed <= covered
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def priorities(self) -> np.ndarray:
+        return self._prio
+
+    def marked_mask(self) -> np.ndarray:
+        return self._marked
+
+    def member_mask(self) -> np.ndarray:
+        return self._member
+
+    def marked(self, fg: FrozenGraph) -> set:
+        nodes = fg.node_list
+        return {nodes[int(i)] for i in np.flatnonzero(self._marked)}
+
+    def members(self, fg: FrozenGraph) -> set:
+        nodes = fg.node_list
+        return {nodes[int(i)] for i in np.flatnonzero(self._member)}
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        fg_new: FrozenGraph,
+        touched: Iterable[Tuple[int, int]],
+    ) -> str:
+        """Repair the CDS for ``fg_new``; returns the mode."""
+        pairs = [(int(u), int(v)) for u, v in touched]
+        if fg_new.n != self._n:
+            self._build(fg_new)
+            record_repair("cds", "full")
+            return "full"
+        if not pairs:
+            record_repair("cds", "noop")
+            return "noop"
+        # Degrees moved at the endpoints; the priority vector is one
+        # vectorized line, so refresh it wholesale rather than patching.
+        self._prio = self._priorities(fg_new)
+        mark_region: set = set()
+        for u, v in pairs:
+            mark_region.add(u)
+            mark_region.add(v)
+            common = np.intersect1d(
+                fg_new.neighbor_indices(u),
+                fg_new.neighbor_indices(v),
+                assume_unique=True,
+            )
+            mark_region.update(int(w) for w in common)
+        # A deleted endpoint's former neighbors are still its (new)
+        # neighbors except across the deleted pair itself, so the new
+        # snapshot's neighborhoods already cover every affected node.
+        for w in mark_region:
+            self._marked[w] = self._is_marked(fg_new, w)
+        trim_region = set(mark_region)
+        for w in mark_region:
+            trim_region.update(int(x) for x in fg_new.neighbor_indices(w))
+        for x in trim_region:
+            self._member[x] = self._keeps_membership(fg_new, x)
+        record_repair("cds", "replay")
+        return "replay"

@@ -13,6 +13,14 @@ O(n²) work bound is usually stated.
 non-destination sink remains, and tests verify the resulting
 orientation is destination-oriented and agrees with the centralized
 variant's *fixpoint* (heights may differ, the DAG property may not).
+
+:class:`PartialReversalAlgorithm` is the triple-height (a, b, id)
+variant of the same protocol: a sink raises ``a`` to
+``min(neighbor a) + 1`` and adjusts ``b`` below the neighbors sharing
+the new ``a``, so only the links not recently reversed toward it flip.
+Triples rise lexicographically on every reversal (``a`` strictly
+increases), so the same max-merge belief rule keeps the protocol
+monotone under duplicated or reordered deliveries.
 """
 
 from __future__ import annotations
@@ -116,6 +124,116 @@ def distributed_full_reversal(
         node: network.state_of(node).get("reversals", 0) for node in graph.nodes()
     }
     labels = {"algorithm": "distributed-full"}
+    registry = get_registry()
+    registry.counter("repro.layering.node_reversals", labels).inc(
+        sum(reversals.values())
+    )
+    registry.histogram("repro.layering.steps", labels).observe(stats.rounds)
+    return orientation, final_heights, reversals, stats.rounds
+
+
+class PartialReversalAlgorithm(NodeAlgorithm):
+    """Triple-height partial reversal, one node's view.
+
+    State: ``height`` (triple (a, b, id)) and the believed heights of
+    the neighbors.  Each round: if every neighbor's believed triple is
+    above mine and I am not the destination, apply the Gafni–Bertsekas
+    partial rule — ``a := min(neighbor a) + 1``; if some neighbor now
+    shares that ``a``, ``b := min{b_j : a_j = a} − 1`` — and broadcast.
+    """
+
+    def __init__(self, is_destination: bool, height: Height) -> None:
+        self.is_destination = is_destination
+        self.initial_height = height
+
+    def init(self, ctx: NodeContext) -> None:
+        ctx.state["height"] = self.initial_height
+        ctx.state["neighbor_heights"] = {}
+        ctx.state["reversals"] = 0
+        ctx.broadcast(("height", self.initial_height))
+
+    def step(self, ctx: NodeContext) -> None:
+        beliefs: Dict[Node, Height] = ctx.state["neighbor_heights"]
+        for message in ctx.inbox:
+            kind, value = message.payload
+            if kind == "height":
+                # Triples only ever rise (a strictly increases per
+                # reversal), so max-merge is fault-safe here too.
+                incoming = tuple(value)
+                current = beliefs.get(message.sender)
+                if current is None or incoming > current:
+                    beliefs[message.sender] = incoming
+        if self.is_destination or not ctx.neighbors:
+            ctx.halt()
+            return
+        known = [beliefs.get(neighbor) for neighbor in ctx.neighbors]
+        if any(height is None for height in known):
+            return  # still waiting for first exchange
+        own: Height = ctx.state["height"]
+        if all(height > own for height in known):  # I am a sink
+            new_a = min(height[0] for height in known) + 1
+            same_a = [height[1] for height in known if height[0] == new_a]
+            new_b = (min(same_a) - 1) if same_a else own[1]
+            own = (new_a, new_b, own[-1])
+            ctx.state["height"] = own
+            ctx.state["reversals"] += 1
+            ctx.broadcast(("height", own))
+            return
+        ctx.halt()
+
+
+def lift_partial_heights(heights: Dict[Node, Height]) -> Dict[Node, Height]:
+    """Lift scalar pair heights ``(h, id)`` to triples ``(h, 0, id)``.
+
+    The same lifting :func:`repro.layering.link_reversal.partial_link_reversal`
+    applies, shared so the distributed and vector engines start every
+    run from byte-identical state.
+    """
+    lifted: Dict[Node, Height] = {}
+    for node, height in heights.items():
+        if len(height) == 2:
+            lifted[node] = (height[0], 0, height[1])
+        else:
+            lifted[node] = tuple(height)
+    return lifted
+
+
+def distributed_partial_reversal(
+    graph: Graph,
+    destination: Node,
+    heights: Dict[Node, Height],
+    max_rounds: int = 100_000,
+    fault_plan=None,
+) -> Tuple[Orientation, Dict[Node, Height], Dict[Node, int], int]:
+    """Run the distributed partial-reversal protocol to quiescence.
+
+    Same contract as :func:`distributed_full_reversal`; ``heights``
+    may be pairs ``(h, id)`` (lifted to ``(h, 0, id)``) or triples.
+    """
+    heights = lift_partial_heights(heights)
+    network = Network(
+        graph,
+        lambda node: PartialReversalAlgorithm(
+            is_destination=node == destination, height=heights[node]
+        ),
+        fault_plan=fault_plan,
+    )
+    with tracing.get_tracer().span(
+        "layering.distributed_reversal", nodes=graph.num_nodes
+    ):
+        stats = network.run(max_rounds=max_rounds)
+    final_heights: Dict[Node, Height] = {
+        node: tuple(network.state_of(node)["height"]) for node in graph.nodes()
+    }
+    orientation = Orientation(graph)
+    for u, v in graph.edges():
+        orientation.orient(
+            u, v, toward=v if final_heights[u] > final_heights[v] else u
+        )
+    reversals = {
+        node: network.state_of(node).get("reversals", 0) for node in graph.nodes()
+    }
+    labels = {"algorithm": "distributed-partial"}
     registry = get_registry()
     registry.counter("repro.layering.node_reversals", labels).inc(
         sum(reversals.values())

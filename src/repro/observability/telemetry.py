@@ -45,8 +45,10 @@ Counter families on the global metrics registry:
     (one count per coalesced ``apply_batch`` application, histogram of
     edge ops per application), ``repro.serving.batch.coalesced``
     (ops netted away by coalescing — the write-side coalesce ratio is
-    ops / writes), and ``repro.serving.batch.deadline_s`` (histogram of
-    the adaptive flush deadlines the dispatcher chose).  Bulk patch
+    ops / writes), ``repro.serving.batch.deadline_s`` (histogram of
+    the adaptive flush deadlines the dispatcher chose), and
+    ``repro.serving.batch.writers`` (histogram of distinct writers per
+    write barrier — the fairness signal).  Bulk patch
     applications are dispatch-labeled ``kernel=graphs.apply_batch,
     path=patch-batch``.
 
@@ -84,6 +86,7 @@ SERVING_WRITE_BATCH_METRIC = "repro.serving.batch.writes"
 SERVING_WRITE_SIZE_METRIC = "repro.serving.batch.write_size"
 SERVING_COALESCED_METRIC = "repro.serving.batch.coalesced"
 SERVING_DEADLINE_METRIC = "repro.serving.batch.deadline_s"
+SERVING_WRITERS_METRIC = "repro.serving.batch.writers"
 
 _LABELED = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$")
 
@@ -197,6 +200,11 @@ def record_write_batch(ops: int, applied: int) -> None:
 def record_adaptive_deadline(seconds: float) -> None:
     """Record the flush deadline the dispatcher chose for one batch."""
     get_registry().histogram(SERVING_DEADLINE_METRIC).observe(float(seconds))
+
+
+def record_batch_writers(count: int) -> None:
+    """Record how many distinct writers one write barrier drained."""
+    get_registry().histogram(SERVING_WRITERS_METRIC).observe(float(count))
 
 
 def _labeled_counts(metric_name: str, registry: MetricsRegistry):

@@ -13,6 +13,19 @@ from repro.runtime.engine import (
     RunStats,
 )
 from repro.runtime.async_engine import AsyncNetwork
+from repro.runtime.vector import (
+    ArrayKernel,
+    FullReversalKernel,
+    MISKernel,
+    PartialReversalKernel,
+    SafetyLevelKernel,
+    VectorEngine,
+    hypercube_frozen,
+    vector_full_reversal,
+    vector_mis,
+    vector_partial_reversal,
+    vector_safety_levels,
+)
 from repro.runtime.views import (
     DelayedViewOracle,
     MultiViewOracle,
@@ -22,15 +35,26 @@ from repro.runtime.views import (
 )
 
 __all__ = [
+    "ArrayKernel",
     "AsyncNetwork",
     "DelayedViewOracle",
+    "FullReversalKernel",
+    "MISKernel",
     "Message",
     "MultiViewOracle",
     "Network",
     "NodeAlgorithm",
     "NodeContext",
+    "PartialReversalKernel",
     "RunStats",
+    "SafetyLevelKernel",
+    "VectorEngine",
+    "hypercube_frozen",
     "inconsistency_rate",
     "k_hop_view",
+    "vector_full_reversal",
+    "vector_mis",
+    "vector_partial_reversal",
+    "vector_safety_levels",
     "view_inconsistency",
 ]

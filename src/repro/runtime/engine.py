@@ -44,16 +44,24 @@ from repro.faults.plan import FaultPlan, FaultSession
 from repro.graphs.graph import Graph
 from repro.observability import tracing
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.telemetry import record_dispatch
 
 Node = Hashable
 
 
 def _payload_size(payload: Any) -> int:
-    """Approximate wire size of a payload, in bytes (repr length)."""
-    try:
-        return len(payload)  # bytes/str-like payloads
-    except TypeError:
-        return len(repr(payload))
+    """Approximate wire size of a payload, in bytes.
+
+    Only called when ``measure_message_sizes=True`` — the counting hot
+    path must never pay a ``repr`` (or any per-payload call) just to
+    tally message totals; ``tests/test_runtime.py`` pins that.  Sized
+    byte/str payloads report their actual length; everything else
+    (tuples, dataclasses, ...) falls back to repr length, rather than
+    ``len()``, which would report a tuple's *arity* as its wire size.
+    """
+    if isinstance(payload, (bytes, bytearray, memoryview, str)):
+        return len(payload)
+    return len(repr(payload))
 
 
 @dataclass
@@ -493,6 +501,7 @@ class Network:
 
     def run(self, max_rounds: int = 10_000) -> RunStats:
         """Run until every node halts and no message is in flight."""
+        record_dispatch("runtime.engine", path="scalar")
         with self.tracer.span(
             "engine.run", nodes=self.graph.num_nodes, max_rounds=max_rounds
         ) as span:

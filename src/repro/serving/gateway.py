@@ -11,9 +11,10 @@ batch shares one incremental repair.
 
 Mutations are queued too — the **write fast path**.  ``insert_edge`` /
 ``delete_edge`` / ``apply_batch`` take their sequence number and enter
-a mutation deque synchronously at call time (they return the awaitable
-future rather than being coroutines, so fire-and-forget callers keep
-their ordering), then ride the same flush triggers as queries plus an
+a per-writer mutation deque synchronously at call time (they return
+the awaitable future rather than being coroutines, so fire-and-forget
+callers keep their ordering; the optional ``writer`` tag names the
+deque), then ride the same flush triggers as queries plus an
 *adaptive deadline*: an EWMA of observed inter-arrival gaps predicts
 how long filling the batch would take, and the dispatcher only waits
 when that prediction fits inside ``max_delay`` (dynamic batching, the
@@ -27,6 +28,16 @@ pre-mutation topology (it may observe a *newer* one, exactly like the
 old synchronous write path).  Application is exactly-once: the barrier
 stores each mutation's outcome on its request, so a ``drop`` fate only
 delays the acknowledgment, never re-applies the mutation.
+
+Multi-writer fairness: the dispatcher drains the mutation deques
+**round-robin, one request per writer per turn**, so a hot writer
+flooding its own deque cannot push a lone writer's single mutation
+past the next flush — each flush admits every waiting writer at least
+once (as long as the batch holds that many requests).  Note the
+*acknowledgment* is what round-robin protects; the sequence barrier
+already applies every mutation sequenced before the newest batched
+request, whichever deque it waits in, so ordering semantics are
+unchanged.  Untagged mutations share one default writer lane.
 
 Chaos testing hooks into :mod:`repro.faults`: give the gateway a
 :class:`~repro.faults.plan.FaultPlan` and each flush consults the
@@ -44,7 +55,8 @@ flush, ``repro.serving.sweeps`` per coalesced BFS,
 ``repro.serving.queries{kind}`` / ``mutations{kind}`` per accepted
 request, and per write barrier ``repro.serving.batch.writes`` /
 ``write_size`` / ``coalesced`` plus the ``batch.deadline_s`` histogram
-of adaptive deadlines.
+of adaptive deadlines and the ``batch.writers`` histogram of distinct
+writers per write barrier.
 """
 
 from __future__ import annotations
@@ -60,6 +72,7 @@ from repro.errors import EdgeNotFoundError
 from repro.faults.plan import DELIVER, FaultPlan, FaultSession
 from repro.observability.telemetry import (
     record_adaptive_deadline,
+    record_batch_writers,
     record_serving_batch,
     record_serving_mutation,
     record_serving_query,
@@ -105,6 +118,8 @@ class _Request:
     applied: bool = False
     result: Any = None
     error: Optional[BaseException] = None
+    #: Which writer lane a mutation arrived on (None = default lane).
+    writer: Hashable = None
 
 
 class ServingGateway:
@@ -135,9 +150,12 @@ class ServingGateway:
             maxsize=queue_size
         )
         self._retry: Deque[_Request] = deque()
-        #: Pending mutations, appended synchronously at submit time so
-        #: their sequence numbers predate any later query's.
-        self._mutations: Deque[_Request] = deque()
+        #: Pending mutations by writer lane, appended synchronously at
+        #: submit time so their sequence numbers predate any later
+        #: query's.  Drained round-robin across lanes (fairness).
+        self._mutations: Dict[Hashable, Deque[_Request]] = {}
+        #: Round-robin rotation over writer lanes with pending work.
+        self._writer_order: Deque[Hashable] = deque()
         self._faults = faults
         self._session: Optional[FaultSession] = None
         self._task: Optional["asyncio.Task"] = None
@@ -215,7 +233,9 @@ class ServingGateway:
         except asyncio.QueueFull:
             pass
 
-    def _submit_mutation(self, kind: str, args: Tuple[Any, ...]) -> "asyncio.Future":
+    def _submit_mutation(
+        self, kind: str, args: Tuple[Any, ...], writer: Hashable = None
+    ) -> "asyncio.Future":
         if self._task is None:
             raise RuntimeError("gateway not started")
         if self._crashed is not None or self._task.done():
@@ -223,32 +243,52 @@ class ServingGateway:
         self._note_arrival()
         self._seq += 1
         future: "asyncio.Future" = asyncio.get_running_loop().create_future()
-        self._mutations.append(_Request(self._seq, kind, args, future=future))
+        queue = self._mutations.get(writer)
+        if queue is None:
+            queue = self._mutations[writer] = deque()
+        if not queue:
+            # (Re-)joining the rotation; drained-dry lanes left it.
+            self._writer_order.append(writer)
+        queue.append(_Request(self._seq, kind, args, future=future, writer=writer))
         self._wake()
         return future
 
-    def insert_edge(self, u: Node, v: Node) -> "asyncio.Future":
+    def _pending_mutations(self) -> List[_Request]:
+        """Every queued-but-undrained mutation, across all lanes."""
+        return [
+            request
+            for queue in self._mutations.values()
+            for request in queue
+        ]
+
+    def insert_edge(
+        self, u: Node, v: Node, writer: Hashable = None
+    ) -> "asyncio.Future":
         """Queue an edge insert; the future resolves to ``True`` if the
         topology changed (``False`` for a duplicate, like the service).
 
         Synchronous enqueue, not a coroutine: the mutation takes its
         sequence number at call time, so even a fire-and-forget caller
-        gets read-your-writes against every later query.
+        gets read-your-writes against every later query.  ``writer``
+        tags the fairness lane the request waits in.
         """
         record_serving_mutation("insert")
-        return self._submit_mutation("insert_edge", (u, v))
+        return self._submit_mutation("insert_edge", (u, v), writer)
 
-    def delete_edge(self, u: Node, v: Node) -> "asyncio.Future":
+    def delete_edge(
+        self, u: Node, v: Node, writer: Hashable = None
+    ) -> "asyncio.Future":
         """Queue an edge delete; the future resolves to ``None`` or an
         :class:`~repro.errors.EdgeNotFoundError` (same enqueue contract
         as :meth:`insert_edge`)."""
         record_serving_mutation("delete")
-        return self._submit_mutation("delete_edge", (u, v))
+        return self._submit_mutation("delete_edge", (u, v), writer)
 
     def apply_batch(
         self,
         inserts: "List[Tuple[Node, Node]]" = (),
         deletes: "List[Tuple[Node, Node]]" = (),
+        writer: Hashable = None,
     ) -> "asyncio.Future":
         """Queue a whole mutation batch as one sequenced request.
 
@@ -264,7 +304,7 @@ class ServingGateway:
             record_serving_mutation("insert", len(inserts))
         if deletes:
             record_serving_mutation("delete", len(deletes))
-        return self._submit_mutation("apply_batch", (inserts, deletes))
+        return self._submit_mutation("apply_batch", (inserts, deletes), writer)
 
     # ------------------------------------------------------------------
     # queries — awaited futures resolved at the next flush
@@ -334,10 +374,28 @@ class ServingGateway:
         return delay
 
     def _fill_from_mutations(self, batch: List[_Request]) -> bool:
+        """Drain writer lanes round-robin, one request per lane per turn.
+
+        Fairness invariant: a lane that was waiting when a flush fills
+        its batch contributes at least one request before any lane
+        contributes a second — a hot writer cannot starve a lone one.
+        Lanes drained dry leave the rotation (they re-join on their
+        next submit).
+        """
         took = False
-        while self._mutations and len(batch) < self.max_batch:
-            batch.append(self._mutations.popleft())
+        order = self._writer_order
+        while order and len(batch) < self.max_batch:
+            writer = order.popleft()
+            queue = self._mutations.get(writer)
+            if not queue:
+                self._mutations.pop(writer, None)
+                continue
+            batch.append(queue.popleft())
             took = True
+            if queue:
+                order.append(writer)
+            else:
+                del self._mutations[writer]
         return took
 
     async def _dispatch(self) -> None:
@@ -398,8 +456,9 @@ class ServingGateway:
             self._draining = True
             leftovers = list(self._retry)
             self._retry.clear()
-            leftovers.extend(self._mutations)
+            leftovers.extend(self._pending_mutations())
             self._mutations.clear()
+            self._writer_order.clear()
             while not self._queue.empty():
                 item = self._queue.get_nowait()
                 if item is not None and item is not _WAKE:
@@ -427,8 +486,9 @@ class ServingGateway:
         stranded = list(batch)
         stranded.extend(self._retry)
         self._retry.clear()
-        stranded.extend(self._mutations)
+        stranded.extend(self._pending_mutations())
         self._mutations.clear()
+        self._writer_order.clear()
         while True:
             try:
                 item = self._queue.get_nowait()
@@ -461,11 +521,12 @@ class ServingGateway:
             for request in batch
             if request.kind in _MUTATION_KINDS and not request.applied
         ]
-        if self._mutations:
+        parked = self._pending_mutations()
+        if parked:
             max_seq = max(request.seq for request in batch)
             group.extend(
                 request
-                for request in self._mutations
+                for request in parked
                 if not request.applied and request.seq < max_seq
             )
         if not group:
@@ -593,6 +654,7 @@ class ServingGateway:
         elif applied:
             service.apply_batch(net_inserts, net_deletes, strict=True)
         record_write_batch(ops, applied)
+        record_batch_writers(len({request.writer for request in group}))
         self.mutations_applied += sum(
             1 for request in group if request.error is None
         )

@@ -3,7 +3,7 @@
 :class:`GraphService` is the synchronous core the async gateway wraps.
 It owns a :class:`~repro.graphs.delta.PatchedGraph` — the CSR base plus
 the pending edge patches, rebased above ``threshold`` pending entries —
-and four incremental indexes kept consistent with it:
+and five incremental indexes kept consistent with it:
 
 * an :class:`~repro.layering.incremental.IncrementalNSF` — the peel
   level labeling, repaired by round replay;
@@ -13,7 +13,9 @@ and four incremental indexes kept consistent with it:
 * an :class:`~repro.labeling.incremental.IncrementalPageRank` — scores
   re-converged by warm-started power iteration;
 * an :class:`~repro.labeling.incremental.IncrementalMIS` — three-color
-  clusterhead membership, repaired by round replay.
+  clusterhead membership, repaired by round replay;
+* an :class:`~repro.labeling.incremental.IncrementalCDS` — the Wu–Dai
+  marked/trimmed backbone, repaired by touched-region rule replay.
 
 Mutations are applied eagerly (O(degree) into the patch buffer; whole
 batches in one vectorized :meth:`PatchedGraph.apply_batch` pass) while
@@ -33,7 +35,7 @@ the constructor freezes the seed topology once via the plain
 and every later snapshot is a vectorized patch merge.  The
 differential harness (``tests/test_incremental_differential.py``)
 holds a mirror dict graph and asserts bit-exactness of the CSR arrays,
-NSF levels, landmark labels, and MIS (PageRank within tolerance)
+NSF levels, landmark labels, MIS, and CDS (PageRank within tolerance)
 against the full-rebuild references at every step.
 """
 
@@ -50,6 +52,7 @@ from repro.graphs.delta import (
     PatchedGraph,
 )
 from repro.labeling.incremental import (
+    IncrementalCDS,
     IncrementalLandmarkLabels,
     IncrementalMIS,
     IncrementalPageRank,
@@ -88,17 +91,19 @@ class GraphService:
         #: Canonical index pairs mutated since each index's last repair.
         #: Node indices are append-only, so pairs recorded at mutation
         #: time stay valid in every later snapshot.  "core" covers the
-        #: coupled NSF + landmark-label pair; PageRank and MIS repair
-        #: independently so querying one never repairs the others.
+        #: coupled NSF + landmark-label pair; PageRank, MIS, and CDS
+        #: repair independently so querying one never repairs the others.
         self._dirty: Dict[str, Set[Tuple[int, int]]] = {
             "core": set(),
             "pagerank": set(),
             "mis": set(),
+            "cds": set(),
         }
         self._nsf: Optional[IncrementalNSF] = None
         self._labels: Optional[IncrementalLandmarkLabels] = None
         self._pagerank: Optional[IncrementalPageRank] = None
         self._mis: Optional[IncrementalMIS] = None
+        self._cds: Optional[IncrementalCDS] = None
         #: Single-entry BFS sweep cache: (version, n, source index, levels).
         self._dist_cache: Optional[Tuple[int, int, int, np.ndarray]] = None
 
@@ -214,6 +219,18 @@ class GraphService:
             dirty.clear()
         return fg
 
+    def _repair_cds(self) -> FrozenGraph:
+        """Bring the CDS membership up to the current snapshot."""
+        fg = self._patched.snapshot()
+        dirty = self._dirty["cds"]
+        if self._cds is None:
+            self._cds = IncrementalCDS(fg)
+            dirty.clear()
+        elif dirty or fg.n != self._cds._n:
+            self._cds.update(fg, sorted(dirty))
+            dirty.clear()
+        return fg
+
     # ------------------------------------------------------------------
     # point queries
     # ------------------------------------------------------------------
@@ -307,6 +324,29 @@ class GraphService:
         """The maintained MIS as a node set, comparable with the batch kernel."""
         fg = self._repair_mis()
         return self._mis.members(fg)
+
+    # ------------------------------------------------------------------
+    # CDS queries (incremental, independently repaired)
+    # ------------------------------------------------------------------
+    def cds_member(self, node: Node) -> bool:
+        """Whether ``node`` is on the maintained Wu–Dai backbone."""
+        fg = self._repair_cds()
+        return bool(self._cds.member_mask()[fg.index_of(node)])
+
+    def cds_mask(self) -> np.ndarray:
+        """Index-aligned CDS membership mask (read-only by convention)."""
+        self._repair_cds()
+        return self._cds.member_mask()
+
+    def cds_set(self) -> Set[Node]:
+        """The maintained trimmed CDS, comparable with ``wu_dai_cds``."""
+        fg = self._repair_cds()
+        return self._cds.members(fg)
+
+    def cds_marked_set(self) -> Set[Node]:
+        """The pre-trimming marked (black) set of the maintained CDS."""
+        fg = self._repair_cds()
+        return self._cds.marked(fg)
 
     def __repr__(self) -> str:
         return (

@@ -31,6 +31,7 @@ if BENCH_DIR not in sys.path:
 
 import bench_perf_csr  # noqa: E402  (benchmarks/bench_perf_csr.py)
 import bench_perf_labeling  # noqa: E402
+import bench_perf_runtime  # noqa: E402
 import bench_perf_scale  # noqa: E402
 import bench_perf_temporal  # noqa: E402
 import bench_serving  # noqa: E402
@@ -147,6 +148,58 @@ def test_committed_perf_labeling_feed_is_valid_and_meets_targets():
             assert row[speedup_col] >= floor, row
             seen.add(row[kernel_col])
     assert seen == set(floors)  # every gated kernel appears at the top size
+
+
+def test_perf_runtime_toy_run_validates_schema_and_equivalence(tmp_path):
+    """Tiny instance of the vector-plane harness: every protocol runs on
+    both engines and the harness asserts bit-exact state plus equal
+    round/message accounting before its timing loop (no speedup floor
+    at toy scale)."""
+    result = bench_perf_runtime.run(
+        sizes=(bench_perf_runtime.TOY_SIZE,),
+        repeats=1,
+        out_dir=str(tmp_path),
+        top_dir=str(tmp_path),
+    )
+    assert result.experiment == "perf-runtime"
+    document = json.loads(open(result.json_path).read())
+    assert document["schema"] == BENCH_SCHEMA
+    assert validate_bench_report(document) == []
+    assert open(result.bench_path).read() == open(result.json_path).read()
+    kernels = {row[1] for row in result.rows}
+    assert set(bench_perf_runtime.TARGET_SPEEDUPS) <= kernels
+    assert "mis" in kernels
+    assert any(key.endswith("_vector_median_s") for key in document["timings"])
+    assert any(key.endswith("_ref_median_s") for key in document["timings"])
+    assert any(key.startswith("freeze_") for key in document["timings"])
+
+
+def test_committed_perf_runtime_feed_is_valid_and_meets_targets():
+    path = os.path.join(TOP, "BENCH_perf-runtime.json")
+    document = json.loads(open(path).read())
+    assert validate_bench_report(document) == []
+    header = document["header"]
+    kernel_col = header.index("kernel")
+    speedup_col = header.index("speedup")
+    n_col = header.index("n")
+    # The tiers pair a random-graph n with a cube dimension, so each
+    # kernel is gated at its own largest n (the cube's is a power of 2).
+    floors = bench_perf_runtime.TARGET_SPEEDUPS
+    largest = {
+        kernel: max(
+            row[n_col]
+            for row in document["rows"]
+            if row[kernel_col] == kernel
+        )
+        for kernel in floors
+    }
+    seen = set()
+    for row in document["rows"]:
+        floor = floors.get(row[kernel_col])
+        if floor is not None and row[n_col] == largest[row[kernel_col]]:
+            assert row[speedup_col] >= floor, row
+            seen.add(row[kernel_col])
+    assert seen == set(floors)  # every gated kernel appears at its top size
 
 
 def test_perf_scale_toy_run_validates_schema_and_tiers(tmp_path):
@@ -394,6 +447,36 @@ def test_perf_trajectory_labeling_warn_only():
             continue
         _, timing = time_repeated(frozen_fn, repeats=1, warmup=1)
         _flag_regression(f"{name} (frozen, n={n})", timings[key], timing.median_s)
+
+
+def test_perf_trajectory_runtime_warn_only():
+    """Re-time the vector-plane kernels at the smallest committed tier;
+    warn (never fail) on a >3x slowdown vs the committed median."""
+    from repro.graphs.hypercube import binary_hypercube
+    from repro.runtime.vector import hypercube_frozen
+
+    n, dimension = bench_perf_runtime.DEFAULT_SIZES[0]
+    timings = _committed_timings("BENCH_perf-runtime.json")
+    graph, destination, stale = bench_perf_runtime.reversal_workload(n)
+    fg = graph.frozen()
+    faults = bench_perf_runtime.safety_workload(dimension)
+    cube = binary_hypercube(dimension)
+    cube_fg = hypercube_frozen(dimension)
+    runners = [
+        ("link-reversal", n,
+         bench_perf_runtime._reversal_runners(graph, fg, destination, stale)),
+        ("safety-levels", 1 << dimension,
+         bench_perf_runtime._safety_runners(cube, cube_fg, dimension, faults)),
+        ("mis", n, bench_perf_runtime._mis_runners(graph, fg)),
+    ]
+    for name, size_n, (_scalar_run, vector_run, _check) in runners:
+        key = f"{name}_n{size_n}_vector_median_s"
+        if key not in timings:
+            continue
+        _, timing = time_repeated(vector_run, repeats=1, warmup=1)
+        _flag_regression(
+            f"{name} (vector, n={size_n})", timings[key], timing.median_s
+        )
 
 
 def test_perf_trajectory_serving_warn_only():

@@ -27,6 +27,7 @@ def test_smoke_runs_every_figure_and_validates(tmp_path):
     assert {f"fig{i}" for i in range(1, 10)} | {
         "dtn",
         "faults",
+        "perf-runtime",
         "scale",
         "serving",
         "serving-write",

@@ -539,3 +539,104 @@ class TestAdaptiveDeadline:
         first, ewma = asyncio.run(main())
         assert first is None  # one arrival has no gap yet
         assert ewma is not None and 0 < ewma < 0.1
+
+
+class TestWriterFairness:
+    """Per-writer round-robin draining of the mutation lanes."""
+
+    def test_lone_writer_acknowledged_in_first_flush(self, registry):
+        """A hot writer flooding its lane cannot delay a lone writer's
+        single mutation beyond one flush: round-robin admits the lone
+        lane into the very first batch, so its acknowledgment lands
+        within the first ``max_batch`` completions."""
+        service = GraphService(serving_graph(), landmark_count=1)
+        max_batch = 4
+
+        async def main():
+            completions = []
+            async with ServingGateway(
+                service, max_batch=max_batch, max_delay=0.0
+            ) as gateway:
+                hot = [
+                    gateway.insert_edge(f"h{i}", 0, writer="hot")
+                    for i in range(10 * max_batch)
+                ]
+                lone = gateway.insert_edge("lone", 0, writer="lone")
+                for i, future in enumerate(hot):
+                    future.add_done_callback(
+                        lambda _, i=i: completions.append(("hot", i))
+                    )
+                lone.add_done_callback(lambda _: completions.append(("lone",)))
+                assert await lone is True
+                await asyncio.gather(*hot)
+            return completions
+
+        completions = asyncio.run(main())
+        # Acknowledged inside the first flush's batch (FIFO draining
+        # would park it behind all 40 hot mutations, ~10 flushes out).
+        assert completions.index(("lone",)) < max_batch
+
+    def test_round_robin_interleaves_waiting_writers(self, registry):
+        """With several backlogged lanes, each flush takes one request
+        per lane per turn — acknowledgments interleave writers instead
+        of draining one lane to exhaustion."""
+        service = GraphService(serving_graph(), landmark_count=1)
+
+        async def main():
+            completions = []
+            async with ServingGateway(
+                service, max_batch=6, max_delay=0.0
+            ) as gateway:
+                futures = []
+                for i in range(4):
+                    for writer in ("a", "b"):
+                        future = gateway.insert_edge(
+                            f"{writer}{i}", 0, writer=writer
+                        )
+                        future.add_done_callback(
+                            lambda _, w=writer, i=i: completions.append((w, i))
+                        )
+                        futures.append(future)
+                await asyncio.gather(*futures)
+            return completions
+
+        completions = asyncio.run(main())
+        # First flush holds three turns of (a, b) — strict alternation.
+        assert completions[:6] == [
+            ("a", 0), ("b", 0), ("a", 1), ("b", 1), ("a", 2), ("b", 2)
+        ]
+
+    def test_writers_histogram_counts_distinct_lanes(self, registry):
+        """Every write barrier observes how many distinct writers it
+        drained into ``repro.serving.batch.writers``."""
+        from repro.observability.telemetry import SERVING_WRITERS_METRIC
+
+        service = GraphService(serving_graph(), landmark_count=1)
+
+        async def main():
+            async with ServingGateway(
+                service, max_batch=16, max_delay=0.0
+            ) as gateway:
+                futures = [
+                    gateway.insert_edge(f"n{i}", 0, writer=f"w{i % 3}")
+                    for i in range(9)
+                ]
+                await asyncio.gather(*futures)
+
+        asyncio.run(main())
+        values = registry.histogram(SERVING_WRITERS_METRIC).values
+        assert values, "write barrier never recorded its writer count"
+        assert max(values) == 3.0
+
+    def test_untagged_mutations_share_default_lane(self, registry):
+        """The writer tag is optional: untagged writes keep working and
+        land on one shared default lane."""
+        service = GraphService(serving_graph(), landmark_count=1)
+
+        async def main():
+            async with ServingGateway(service, max_batch=8) as gateway:
+                first = gateway.insert_edge("p", 0)
+                second = gateway.insert_edge("q", 0, writer="tagged")
+                return await asyncio.gather(first, second)
+
+        assert asyncio.run(main()) == [True, True]

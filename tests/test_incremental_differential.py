@@ -9,9 +9,11 @@ full-rebuild references at every step:
   (node order, ``indptr``, ``indices``);
 * the incrementally repaired NSF levels vs ``nsf_levels_reference``;
 * the repaired landmark labels vs ``distance_gateway_labels_reference``;
-* the round-replay-repaired MIS vs ``compute_mis`` (bit-exact) and the
-  warm-started PageRank vs the cold-start ``pagerank_scores`` kernel
-  (within fixed-point tolerance);
+* the round-replay-repaired MIS vs ``compute_mis`` (bit-exact), the
+  rule-replay-repaired CDS vs ``wu_dai_cds`` (bit-exact, both the
+  marked and the trimmed set), and the warm-started PageRank vs the
+  cold-start ``pagerank_scores`` kernel (within fixed-point
+  tolerance);
 * the patch-aware BFS vs the same BFS on the merged snapshot.
 
 Traces run both per-edge (``insert_edge`` / ``delete_edge``) and in
@@ -40,6 +42,7 @@ from repro.labeling.landmarks import (
     distance_gateway_labels_reference,
     select_landmarks,
 )
+from repro.labeling.cds import wu_dai_cds
 from repro.labeling.mis import compute_mis
 from repro.layering.nsf import nsf_levels_reference
 from repro.observability.metrics import MetricsRegistry, set_registry
@@ -74,9 +77,10 @@ def build_graph(edges):
 def assert_state_bit_exact(service, mirror, landmarks, context):
     """The structural invariants, asserted after every step.
 
-    CSR arrays, NSF levels, landmark labels, and the MIS are bit-exact
-    against the full-rebuild references; the warm-started PageRank is
-    equal within fixed-point tolerance of the cold-start kernel.
+    CSR arrays, NSF levels, landmark labels, the MIS, and the CDS
+    (marked and trimmed sets) are bit-exact against the full-rebuild
+    references; the warm-started PageRank is equal within fixed-point
+    tolerance of the cold-start kernel.
     """
     reference = FrozenGraph(mirror)
     snapshot = service.snapshot()
@@ -92,6 +96,9 @@ def assert_state_bit_exact(service, mirror, landmarks, context):
         service.pagerank_vector(), ref_scores, atol=1e-8
     ), context
     assert service.mis_set() == compute_mis(mirror)[0], context
+    marked_ref, cds_ref = wu_dai_cds(mirror)
+    assert service.cds_marked_set() == marked_ref, context
+    assert service.cds_set() == cds_ref, context
 
 
 def drive_trace(service, mirror, rng, steps, new_node_prob=0.06):

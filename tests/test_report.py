@@ -335,7 +335,9 @@ class TestDashboard:
         assert committed  # the repo ships feeds
         assert committed <= set(dashboard["feeds"])
         perf_sections = {e["experiment"] for e in dashboard["speedups"]}
-        assert {"perf-csr", "perf-temporal", "perf-labeling"} <= perf_sections
+        assert {
+            "perf-csr", "perf-temporal", "perf-labeling", "perf-runtime",
+        } <= perf_sections
         # The committed serving feed populates the serving panel: the
         # stream table and the coalescing counters it rode in with.
         serving = dashboard["serving"]

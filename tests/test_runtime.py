@@ -212,3 +212,73 @@ class TestEngineParity:
         sync_keys = {k for k in sync.metrics.snapshot() if not k.startswith("repro.faults.")}
         async_keys = {k for k in async_net.metrics.snapshot() if not k.startswith("repro.faults.")}
         assert sync_keys == async_keys
+
+
+class ReprCountingPayload:
+    """Payload that records every ``repr`` call against it."""
+
+    calls = 0
+
+    def __repr__(self):
+        type(self).calls += 1
+        return "ReprCountingPayload()"
+
+
+class PayloadFlood(Flood):
+    """Flood variant whose token is a repr-instrumented object."""
+
+    def init(self, ctx):
+        ctx.state["informed"] = ctx.node == self.source
+        if ctx.state["informed"]:
+            ctx.broadcast(ReprCountingPayload())
+
+    def step(self, ctx):
+        if ctx.inbox and not ctx.state["informed"]:
+            ctx.state["informed"] = True
+            ctx.broadcast(ReprCountingPayload())
+        ctx.halt()
+
+
+class TestMessageSizeAccounting:
+    """Size measurement is strictly opt-in: the counting hot path must
+    never pay a per-payload ``repr`` (regression pin for the
+    message-size accounting fix)."""
+
+    def test_default_run_never_reprs_payloads(self):
+        ReprCountingPayload.calls = 0
+        net = Network(path_graph(6), lambda n: PayloadFlood(0))
+        net.run()
+        assert all(net.states("informed").values())
+        assert ReprCountingPayload.calls == 0
+
+    def test_default_faulty_run_never_reprs_payloads(self):
+        from repro.faults import FaultPlan, MessageFaults, RetryPolicy
+
+        ReprCountingPayload.calls = 0
+        plan = FaultPlan(
+            3, [MessageFaults(drop=0.2, delay=0.2, duplicate=0.1)],
+            retry=RetryPolicy(),
+        )
+        net = Network(path_graph(6), lambda n: PayloadFlood(0), fault_plan=plan)
+        net.run()
+        assert all(net.states("informed").values())
+        assert ReprCountingPayload.calls == 0
+
+    def test_opt_in_measurement_reprs_unsized_payloads(self):
+        ReprCountingPayload.calls = 0
+        net = Network(
+            path_graph(4),
+            lambda n: PayloadFlood(0),
+            measure_message_sizes=True,
+        )
+        net.run()
+        assert ReprCountingPayload.calls > 0
+        assert net.metrics.snapshot()["repro.runtime.message_bytes"] > 0
+
+    def test_sized_payloads_report_bytes_not_arity(self):
+        from repro.runtime.engine import _payload_size
+
+        assert _payload_size(b"abcd") == 4
+        assert _payload_size("hey") == 3
+        # A tuple is not wire-sized by its arity — repr length instead.
+        assert _payload_size(("height", (3, 1))) == len(repr(("height", (3, 1))))

@@ -1,0 +1,408 @@
+"""Scalar-vs-vector differential suite for the bulk-synchronous plane.
+
+The contract under test (``repro.runtime.vector``): for every protocol
+family, every topology, and every seed, a fault-free vector run matches
+the scalar :class:`~repro.runtime.engine.Network` **bit-exactly** —
+final state, round count, total messages, and per-round message counts
+(``RunStats`` equality) — and a chaos run under the same seeded
+:class:`~repro.faults.FaultPlan` still converges to the fault-free
+fixpoint (the `tests/test_faults.py` claims, re-certified on the
+vector engine).  Topologies deliberately straddle the
+``FROZEN_MIN_NODES`` dispatch gate so both the reference and fast
+sides of every consumer kernel get exercised.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.faults import (
+    CrashEvent,
+    FaultPlan,
+    LinkChurn,
+    MessageFaults,
+    NodeCrashFaults,
+    RetryPolicy,
+)
+from repro.graphs.generators import (
+    path_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.graphs.hypercube import binary_addresses, binary_hypercube
+from repro.labeling.mis import MISAlgorithm, distributed_mis, id_priorities
+from repro.labeling.safety import compute_safety_levels
+from repro.labeling.safety_distributed import (
+    SafetyLevelAlgorithm,
+    distributed_safety_levels,
+)
+from repro.layering.link_reversal import initial_heights, paper_fig4_graph
+from repro.layering.link_reversal_distributed import (
+    LinkReversalAlgorithm,
+    PartialReversalAlgorithm,
+    distributed_full_reversal,
+    distributed_partial_reversal,
+    lift_partial_heights,
+)
+from repro.observability.metrics import MetricsRegistry, set_registry
+from repro.observability.telemetry import dispatch_counts
+from repro.runtime.engine import Network
+from repro.runtime.vector import (
+    FullReversalKernel,
+    MISKernel,
+    PartialReversalKernel,
+    SafetyLevelKernel,
+    VectorEngine,
+    hypercube_frozen,
+    vector_full_reversal,
+    vector_mis,
+    vector_partial_reversal,
+    vector_safety_levels,
+)
+
+CHAOS = MessageFaults(drop=0.1, duplicate=0.05, reorder=0.2)
+RETRY = RetryPolicy(max_retries=10)
+SEEDS = range(3)
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry("test-vector")
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+def topologies(seed):
+    """Named graphs straddling the FROZEN_MIN_NODES=32 dispatch gate."""
+    rng = np.random.default_rng(seed)
+    return [
+        ("path-small", path_graph(9)),
+        ("star-small", star_graph(7)),
+        ("path-large", path_graph(40)),
+        ("random-large", random_connected_graph(48, 0.08, rng=rng)),
+        ("hypercube", binary_hypercube(4)),
+    ]
+
+
+def stale_heights(graph, destination, seed):
+    """BFS heights with a few nodes knocked below their neighbors —
+    the post-topology-change repair workload."""
+    heights = initial_heights(graph, destination)
+    nodes = [node for node in sorted(graph.nodes(), key=repr) if node != destination]
+    rng = np.random.default_rng(seed)
+    for node in rng.choice(len(nodes), size=min(3, len(nodes)), replace=False):
+        stale = nodes[int(node)]
+        heights[stale] = (-1, heights[stale][-1])
+    return heights
+
+
+def full_reversal_stats(graph, destination, heights):
+    network = Network(
+        graph,
+        lambda node: LinkReversalAlgorithm(node == destination, heights[node]),
+    )
+    scalar = network.run(max_rounds=100_000)
+    fg = graph.frozen()
+    nodes = fg.node_list
+    kernel = FullReversalKernel(
+        fg.index_of(destination),
+        np.array([heights[node][0] for node in nodes], dtype=np.int64),
+        np.array([heights[node][-1] for node in nodes], dtype=np.int64),
+    )
+    engine = VectorEngine(fg, kernel)
+    vector = engine.run(max_rounds=100_000)
+    scalar_state = {
+        node: (
+            tuple(network.state_of(node)["height"]),
+            network.state_of(node)["reversals"],
+        )
+        for node in graph.nodes()
+    }
+    vector_state = {
+        nodes[i]: (
+            (int(kernel.level[i]), int(kernel.tie[i])),
+            int(kernel.reversals[i]),
+        )
+        for i in range(fg.n)
+    }
+    return scalar, vector, scalar_state, vector_state
+
+
+class TestFullReversalParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_state_round_and_message_parity(self, seed):
+        for name, graph in topologies(seed):
+            nodes = sorted(graph.nodes(), key=repr)
+            destination = nodes[-1]
+            heights = stale_heights(graph, destination, seed)
+            scalar, vector, s_state, v_state = full_reversal_stats(
+                graph, destination, heights
+            )
+            assert s_state == v_state, name
+            assert scalar == vector, (name, scalar, vector)
+
+    def test_wrapper_matches_scalar_wrapper(self):
+        graph, destination, heights = paper_fig4_graph()
+        s_orient, s_heights, s_rev, s_rounds = distributed_full_reversal(
+            graph, destination, heights
+        )
+        v_orient, v_heights, v_rev, v_rounds = vector_full_reversal(
+            graph, destination, heights
+        )
+        assert s_heights == v_heights
+        assert s_rev == v_rev
+        assert s_rounds == v_rounds
+        assert v_orient.is_destination_oriented(destination)
+
+
+class TestPartialReversalParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_state_round_and_message_parity(self, seed):
+        for name, graph in topologies(seed):
+            nodes = sorted(graph.nodes(), key=repr)
+            destination = nodes[-1]
+            heights = lift_partial_heights(
+                stale_heights(graph, destination, seed)
+            )
+            network = Network(
+                graph,
+                lambda node: PartialReversalAlgorithm(
+                    node == destination, heights[node]
+                ),
+            )
+            scalar = network.run(max_rounds=100_000)
+            fg = graph.frozen()
+            fg_nodes = fg.node_list
+            kernel = PartialReversalKernel(
+                fg.index_of(destination),
+                np.array([heights[node][0] for node in fg_nodes]),
+                np.array([heights[node][1] for node in fg_nodes]),
+                np.array([heights[node][2] for node in fg_nodes]),
+            )
+            engine = VectorEngine(fg, kernel)
+            vector = engine.run(max_rounds=100_000)
+            assert scalar == vector, (name, scalar, vector)
+            for i, node in enumerate(fg_nodes):
+                assert tuple(network.state_of(node)["height"]) == (
+                    int(kernel.a[i]),
+                    int(kernel.b[i]),
+                    int(kernel.ids[i]),
+                ), name
+
+    def test_wrapper_matches_scalar_wrapper(self):
+        graph, destination, heights = paper_fig4_graph()
+        s_orient, s_heights, s_rev, s_rounds = distributed_partial_reversal(
+            graph, destination, heights
+        )
+        v_orient, v_heights, v_rev, v_rounds = vector_partial_reversal(
+            graph, destination, heights
+        )
+        assert s_heights == v_heights
+        assert s_rev == v_rev
+        assert s_rounds == v_rounds
+        assert v_orient.is_destination_oriented(destination)
+
+
+class TestSafetyLevelParity:
+    @pytest.mark.parametrize("dimension", [3, 4, 5])
+    def test_state_round_and_message_parity(self, dimension):
+        addresses = list(binary_addresses(dimension))
+        rng = np.random.default_rng(dimension)
+        faulty = {
+            addresses[int(i)]
+            for i in rng.choice(
+                len(addresses), size=max(2, dimension), replace=False
+            )
+        }
+        network = Network(
+            binary_hypercube(dimension),
+            lambda node: SafetyLevelAlgorithm(dimension, node in faulty),
+        )
+        scalar = network.run()
+        fg = hypercube_frozen(dimension)
+        kernel = SafetyLevelKernel(
+            dimension,
+            np.array([node in faulty for node in fg.node_list]),
+        )
+        engine = VectorEngine(fg, kernel)
+        vector = engine.run()
+        assert scalar == vector
+        levels = {
+            fg.node_list[i]: int(kernel.level[i]) for i in range(fg.n)
+        }
+        assert network.states("level") == levels
+
+    def test_wrapper_matches_scalar_wrapper_and_round_bound(self):
+        addresses = list(binary_addresses(4))
+        faulty = [addresses[1], addresses[6], addresses[11]]
+        s_levels, s_rounds = distributed_safety_levels(4, faulty)
+        v_levels, v_rounds = vector_safety_levels(4, faulty)
+        assert s_levels == v_levels
+        assert s_rounds == v_rounds
+        # Paper bound: at most n − 1 level-refinement rounds (plus the
+        # constant exchange-and-confirm overhead both engines share).
+        assert v_rounds <= (2 ** 4 - 1) + 2
+
+
+class TestMISParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_state_round_and_message_parity(self, seed):
+        for name, graph in topologies(seed):
+            priorities = id_priorities(graph)
+            network = Network(
+                graph, lambda node: MISAlgorithm(priorities[node])
+            )
+            scalar = network.run()
+            fg = graph.frozen()
+            kernel = MISKernel(
+                np.array([priorities[node] for node in fg.node_list])
+            )
+            engine = VectorEngine(fg, kernel)
+            vector = engine.run()
+            assert scalar == vector, (name, scalar, vector)
+            colors = {0: "white", 1: "black", 2: "gray"}
+            vector_colors = {
+                fg.node_list[i]: colors[int(kernel.color[i])]
+                for i in range(fg.n)
+            }
+            assert network.states("color") == vector_colors, name
+
+    def test_wrapper_matches_scalar_wrapper(self):
+        graph = random_connected_graph(40, 0.1, rng=np.random.default_rng(2))
+        s_black, s_rounds = distributed_mis(graph)
+        v_black, v_rounds = vector_mis(graph)
+        assert s_black == v_black
+        assert s_rounds == v_rounds
+
+
+class TestChaosOnVectorEngine:
+    """The tests/test_faults.py convergence claims, on the vector plane."""
+
+    def test_link_reversal_reaches_fault_free_fixpoint(self):
+        graph, destination, heights = paper_fig4_graph()
+        _, clean_heights, clean_reversals, _ = vector_full_reversal(
+            graph, destination, heights
+        )
+        for seed in range(8):
+            orientation, faulty_heights, faulty_reversals, _ = (
+                vector_full_reversal(
+                    graph,
+                    destination,
+                    heights,
+                    fault_plan=FaultPlan(seed, [CHAOS], retry=RETRY),
+                )
+            )
+            assert faulty_heights == clean_heights
+            assert faulty_reversals == clean_reversals
+            assert orientation.is_destination_oriented(destination)
+
+    def test_partial_reversal_reaches_fault_free_fixpoint(self):
+        graph, destination, heights = paper_fig4_graph()
+        _, clean_heights, clean_reversals, _ = vector_partial_reversal(
+            graph, destination, heights
+        )
+        for seed in range(8):
+            orientation, faulty_heights, faulty_reversals, _ = (
+                vector_partial_reversal(
+                    graph,
+                    destination,
+                    heights,
+                    fault_plan=FaultPlan(seed, [CHAOS], retry=RETRY),
+                )
+            )
+            assert faulty_heights == clean_heights
+            assert faulty_reversals == clean_reversals
+            assert orientation.is_destination_oriented(destination)
+
+    def test_safety_labeling_matches_centralized_oracle(self):
+        from repro.labeling.safety import paper_fig9_faults
+
+        dimension, faulty = paper_fig9_faults()
+        oracle = compute_safety_levels(dimension, faulty)
+        for seed in range(8):
+            levels, _ = vector_safety_levels(
+                dimension,
+                faulty,
+                fault_plan=FaultPlan(seed, [CHAOS], retry=RETRY),
+            )
+            assert levels == oracle.levels
+
+    def test_same_plan_seed_feeds_both_engines(self):
+        """One FaultPlan value drives either engine (same seed stream
+        origin), and the vector session records the same event kinds."""
+        graph, destination, heights = paper_fig4_graph()
+        plan = FaultPlan(42, [MessageFaults(drop=0.2, delay=0.2)], retry=RETRY)
+        distributed_full_reversal(graph, destination, heights, fault_plan=plan)
+        fg = graph.frozen()
+        nodes = fg.node_list
+        kernel = FullReversalKernel(
+            fg.index_of(destination),
+            np.array([heights[node][0] for node in nodes]),
+            np.array([heights[node][-1] for node in nodes]),
+        )
+        engine = VectorEngine(fg, kernel, fault_plan=plan)
+        engine.run(max_rounds=100_000)
+        summary = engine.faults.summary()
+        assert summary.get("drop", 0) > 0
+        assert summary.get("delay", 0) > 0
+        snapshot = engine.metrics.snapshot()
+        for kind, count in summary.items():
+            assert snapshot[f"repro.faults.{kind}"] == count
+
+    def test_crash_and_churn_plans_are_rejected(self):
+        fg = path_graph(8).frozen()
+        heights = {i: (8 - i, i) for i in range(8)}
+        for injector in (
+            NodeCrashFaults(schedule=(CrashEvent(node=3, at=1),)),
+            LinkChurn(down=0.1),
+        ):
+            kernel = FullReversalKernel(
+                0,
+                np.array([heights[i][0] for i in range(8)]),
+                np.array([heights[i][1] for i in range(8)]),
+            )
+            with pytest.raises(AlgorithmError, match="scalar Network"):
+                VectorEngine(fg, kernel, fault_plan=FaultPlan(0, [injector]))
+
+
+class TestTelemetryAndAccounting:
+    def test_dispatch_path_labels_for_both_engines(self, registry):
+        graph = path_graph(6)
+        heights = initial_heights(graph, 5)
+        distributed_full_reversal(graph, 5, heights)
+        vector_full_reversal(graph, 5, heights)
+        counts = dispatch_counts(registry)["runtime.engine"]
+        assert counts["scalar"] >= 1
+        assert counts["vector"] >= 1
+
+    def test_round_zero_and_trailing_round_accounting(self):
+        # Already-quiescent protocol state still runs the scalar
+        # engine's shape: 2m init messages in round 0, then one final
+        # all-halted round delivering zero messages.
+        graph = path_graph(5)
+        heights = initial_heights(graph, 4)
+        scalar, vector, _, _ = full_reversal_stats(graph, 4, heights)
+        assert vector.messages_per_round[0] == 2 * graph.num_edges
+        assert vector.messages_per_round[-1] == 0
+        assert scalar == vector
+
+    def test_directed_snapshot_rejected(self):
+        from repro.graphs.csr import FrozenGraph
+
+        fg = FrozenGraph.from_arrays(
+            np.array([0, 1, 1]), np.array([1]), directed=True
+        )
+        with pytest.raises(AlgorithmError, match="undirected"):
+            VectorEngine(fg, MISKernel(np.array([0.0, 1.0])))
+
+    def test_hypercube_frozen_matches_dict_builder(self):
+        for dimension in (0, 1, 3, 5):
+            fg = hypercube_frozen(dimension)
+            cube = binary_hypercube(dimension)
+            assert set(fg.node_list) == set(cube.nodes())
+            for i, node in enumerate(fg.node_list):
+                neighbors = {
+                    fg.node_list[j] for j in fg.neighbor_indices(i)
+                }
+                assert neighbors == cube.neighbors(node)
